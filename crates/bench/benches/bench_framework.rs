@@ -1,0 +1,73 @@
+//! Framework-level benchmarks: n-gram pair training (the Algorithm 1 inner
+//! loop), the full pairwise sweep on a small plant, and Algorithm 2
+//! detection throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdes_core::{
+    build_graph, detect, DetectionConfig, GraphBuildConfig, NgramConfig, NgramTranslator,
+    Translator,
+};
+use mdes_graph::ScoreRange;
+use mdes_lang::{LanguagePipeline, RawTrace, WindowConfig};
+use std::hint::black_box;
+
+fn toggling(name: &str, n: usize, period: usize, phase: usize) -> RawTrace {
+    RawTrace::new(
+        name,
+        (0..n)
+            .map(|t| if ((t + phase) / period).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+            .collect(),
+    )
+}
+
+fn setup() -> (LanguagePipeline, Vec<mdes_lang::SentenceSet>, Vec<mdes_lang::SentenceSet>, Vec<RawTrace>) {
+    let traces: Vec<RawTrace> =
+        (0..6).map(|i| toggling(&format!("s{i}"), 2_000, 4 + i % 3, i)).collect();
+    let cfg = WindowConfig { word_len: 6, word_stride: 1, sent_len: 8, sent_stride: 8 };
+    let pipeline = LanguagePipeline::fit(&traces, 0..1_000, cfg).expect("fit");
+    let train = pipeline.encode_segment(&traces, 0..1_000).expect("train");
+    let dev = pipeline.encode_segment(&traces, 1_000..1_500).expect("dev");
+    (pipeline, train, dev, traces)
+}
+
+fn bench_ngram_fit(c: &mut Criterion) {
+    let (_, train, _, _) = setup();
+    let pairs: Vec<(Vec<u32>, Vec<u32>)> = train[0]
+        .sentences
+        .iter()
+        .zip(&train[1].sentences)
+        .map(|(s, t)| (s.clone(), t.clone()))
+        .collect();
+    c.bench_function("framework/ngram_fit_124_pairs", |b| {
+        b.iter(|| black_box(NgramTranslator::fit(black_box(&pairs), &NgramConfig::default())))
+    });
+    let model = NgramTranslator::fit(&pairs, &NgramConfig::default());
+    c.bench_function("framework/ngram_translate_len8", |b| {
+        b.iter(|| black_box(model.translate(black_box(&pairs[0].0), 8)))
+    });
+}
+
+fn bench_build_graph(c: &mut Criterion) {
+    let (pipeline, train, dev, _) = setup();
+    let cfg = GraphBuildConfig { threads: 1, ..GraphBuildConfig::default() };
+    c.bench_function("framework/algorithm1_6_sensors", |b| {
+        b.iter(|| black_box(build_graph(&pipeline, &train, &dev, &cfg).expect("build")))
+    });
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let (pipeline, train, dev, traces) = setup();
+    let cfg = GraphBuildConfig { threads: 1, ..GraphBuildConfig::default() };
+    let trained = build_graph(&pipeline, &train, &dev, &cfg).expect("build");
+    let test = pipeline.encode_segment(&traces, 1_500..2_000).expect("test");
+    let dcfg = DetectionConfig {
+        valid_range: ScoreRange::closed(0.0, 100.0),
+        ..DetectionConfig::default()
+    };
+    c.bench_function("framework/algorithm2_30_models", |b| {
+        b.iter(|| black_box(detect(&trained, black_box(&test), &dcfg).expect("detect")))
+    });
+}
+
+criterion_group!(benches, bench_ngram_fit, bench_build_graph, bench_detection);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Micro-benchmarks of relationship-graph operations: subgraph extraction,
+//! degree scans, connected components and Walktrap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdes_graph::{pagerank, walktrap, PageRankConfig, RelGraph, ScoreRange, WalktrapConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn dense_graph(n: usize) -> RelGraph {
+    let mut rng = StdRng::seed_from_u64(9);
+    let names: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    let mut g = RelGraph::new(names);
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                g.set_score(a, b, rng.gen_range(0.0..100.0));
+            }
+        }
+    }
+    g
+}
+
+fn clustered_graph(clusters: usize, size: usize) -> RelGraph {
+    let n = clusters * size;
+    let names: Vec<String> = (0..n).map(|i| format!("s{i}")).collect();
+    let mut g = RelGraph::new(names);
+    for c in 0..clusters {
+        for a in c * size..(c + 1) * size {
+            for b in c * size..(c + 1) * size {
+                if a != b {
+                    g.set_score(a, b, 85.0);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn bench_subgraph(c: &mut Criterion) {
+    let g = dense_graph(128);
+    let range = ScoreRange::best_detection();
+    c.bench_function("graph/subgraph_128_dense", |b| {
+        b.iter(|| black_box(g.subgraph(black_box(&range))))
+    });
+}
+
+fn bench_degrees(c: &mut Criterion) {
+    let g = dense_graph(128);
+    c.bench_function("graph/popular_scan_128", |b| {
+        b.iter(|| black_box(g.popular(black_box(100))))
+    });
+}
+
+fn bench_components(c: &mut Criterion) {
+    let g = clustered_graph(8, 8);
+    c.bench_function("graph/components_64", |b| {
+        b.iter(|| black_box(g.weakly_connected_components()))
+    });
+}
+
+fn bench_walktrap(c: &mut Criterion) {
+    let g = clustered_graph(4, 8);
+    let cfg = WalktrapConfig::default();
+    c.bench_function("graph/walktrap_32", |b| {
+        b.iter(|| black_box(walktrap(black_box(&g), &cfg)))
+    });
+}
+
+fn bench_pagerank(c: &mut Criterion) {
+    let g = dense_graph(64);
+    let cfg = PageRankConfig::default();
+    c.bench_function("graph/pagerank_64_dense", |b| {
+        b.iter(|| black_box(pagerank(black_box(&g), &cfg)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_subgraph,
+    bench_degrees,
+    bench_components,
+    bench_walktrap,
+    bench_pagerank
+);
+criterion_main!(benches);

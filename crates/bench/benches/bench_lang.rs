@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the language pipeline: encryption, window
+//! generation, and full segment encoding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdes_lang::{discretize::Scheme, Alphabet, LanguagePipeline, RawTrace, WindowConfig};
+use std::hint::black_box;
+
+fn toggling(name: &str, n: usize, period: usize) -> RawTrace {
+    RawTrace::new(
+        name,
+        (0..n).map(|t| if (t / period).is_multiple_of(2) { "on" } else { "off" }.to_owned()).collect(),
+    )
+}
+
+fn bench_encrypt(c: &mut Criterion) {
+    let trace = toggling("s", 10_000, 5);
+    let alphabet = Alphabet::fit(&trace.events).expect("fit");
+    c.bench_function("lang/encrypt_10k_events", |b| {
+        b.iter(|| black_box(alphabet.encode(black_box(&trace.events))))
+    });
+}
+
+fn bench_words(c: &mut Criterion) {
+    let chars: Vec<u8> = (0..10_000).map(|t| ((t / 5) % 2) as u8).collect();
+    let cfg = WindowConfig::default();
+    c.bench_function("lang/words_10k_chars", |b| {
+        b.iter(|| black_box(mdes_lang::window::words(black_box(&chars), &cfg).len()))
+    });
+}
+
+fn bench_encode_segment(c: &mut Criterion) {
+    let traces: Vec<RawTrace> =
+        (0..8).map(|i| toggling(&format!("s{i}"), 5_000, 3 + i)).collect();
+    let pipeline =
+        LanguagePipeline::fit(&traces, 0..2_500, WindowConfig::default()).expect("fit");
+    c.bench_function("lang/encode_segment_8x2500", |b| {
+        b.iter(|| black_box(pipeline.encode_segment(black_box(&traces), 2_500..5_000).expect("encode")))
+    });
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let values: Vec<f64> = (0..5_000).map(|i| (i as f64 * 0.37).sin() * 40.0).collect();
+    let scheme = Scheme::fit_default(&values);
+    c.bench_function("lang/discretize_5k_values", |b| {
+        b.iter(|| black_box(scheme.apply_all(black_box(&values))))
+    });
+}
+
+criterion_group!(benches, bench_encrypt, bench_words, bench_encode_segment, bench_discretize);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Micro-benchmarks of the neural substrate: matrix products, LSTM steps,
+//! seq2seq training steps and greedy decoding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mdes_nn::{Matrix, Seq2Seq, Seq2SeqConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::uniform(64, 64, 1.0, &mut rng);
+    let b = Matrix::uniform(64, 64, 1.0, &mut rng);
+    c.bench_function("matrix/matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(black_box(&b))))
+    });
+    c.bench_function("matrix/matmul_tn_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul_tn(black_box(&b))))
+    });
+}
+
+fn bench_lstm_step(c: &mut Criterion) {
+    use mdes_nn::lstm::LstmLayer;
+    use mdes_nn::{ParamSet, Tape};
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut params = ParamSet::new();
+    let layer = LstmLayer::new(&mut params, 32, 32, &mut rng);
+    let x_value = Matrix::uniform(8, 32, 1.0, &mut rng);
+    c.bench_function("lstm/step_batch8_hidden32", |bench| {
+        bench.iter_batched(
+            || {
+                let mut tape = Tape::new();
+                let bound = layer.bind(&mut tape, &params);
+                let state = layer.zero_state(&mut tape, 8);
+                let x = tape.leaf(x_value.clone());
+                (tape, bound, state, x)
+            },
+            |(mut tape, bound, state, x)| black_box(bound.step(&mut tape, x, state)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn shifted_corpus(n: usize, len: usize, vocab: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| {
+            let src: Vec<usize> = (0..len).map(|_| rng.gen_range(2..vocab)).collect();
+            let tgt: Vec<usize> = src.iter().map(|&t| (t + 1) % vocab).collect();
+            (src, tgt)
+        })
+        .collect()
+}
+
+fn bench_seq2seq(c: &mut Criterion) {
+    let corpus = shifted_corpus(32, 8, 12);
+    let cfg = Seq2SeqConfig {
+        embed_dim: 16,
+        hidden: 16,
+        train_steps: 1,
+        batch_size: 8,
+        ..Seq2SeqConfig::default()
+    };
+    c.bench_function("seq2seq/train_step_len8", |bench| {
+        bench.iter_batched(
+            || Seq2Seq::new(12, 12, 1, cfg.clone()),
+            |mut model| {
+                model.fit(black_box(&corpus)).expect("fit");
+                black_box(model)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut trained = Seq2Seq::new(
+        12,
+        12,
+        1,
+        Seq2SeqConfig { train_steps: 40, ..cfg },
+    );
+    trained.fit(&corpus).expect("fit");
+    let src = corpus[0].0.clone();
+    c.bench_function("seq2seq/greedy_decode_len8", |bench| {
+        bench.iter(|| black_box(trained.translate(black_box(&src), 8).expect("translate")))
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_lstm_step, bench_seq2seq);
+criterion_main!(benches);

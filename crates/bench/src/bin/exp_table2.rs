@@ -1,0 +1,128 @@
+//! Experiment E11 — Table II: model comparison on the HDD fleet.
+//!
+//! Paper row-by-row: Random Forest (supervised, feature-engineered) reaches
+//! 70–80 % recall; one-class SVM (unsupervised, feature-engineered) 60 %;
+//! the framework (unsupervised, *no* feature engineering, works natively on
+//! discrete event sequences) 58 %. The absolute numbers depend on the
+//! synthetic fleet; the ordering and capability columns are the result.
+
+use mdes_bench::hdd_study::{default_fleet, HddStudy};
+use mdes_bench::plant_study::translator_from_args;
+use mdes_bench::report::{print_table, write_csv};
+use mdes_graph::ScoreRange;
+use mdes_ml::{
+    auc, Confusion, Dataset, ForestConfig, KMeans, KMeansConfig, OneClassSvm, RandomForest,
+    Scaler, SvmConfig,
+};
+use mdes_synth::hdd::{generate, HddConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let study = HddStudy::run(&default_fleet(), translator_from_args(&args));
+
+    // The baselines train on a much larger fleet, mirroring the paper where
+    // RF/OC-SVM see the whole drive population while the framework analyzes
+    // the 24 long-history disks. Labels use a 3-day failure-prediction
+    // window (Mahdisoltani et al., ATC'17 — the RF reference the paper
+    // cites), since single failure-day labels are too sparse to train on.
+    let big = generate(&HddConfig {
+        n_drives: 200,
+        days: 240,
+        failure_fraction: 0.25,
+        ..HddConfig::default()
+    });
+    let (x, y, names) = big.to_tabular_windowed(3);
+    let data = Dataset::new(x, y).with_feature_names(names);
+    let mut rng = StdRng::seed_from_u64(11);
+    let (train, test) = data.train_test_split(0.8, &mut rng);
+
+    // --- Random Forest: supervised, 1:1 under-sampling. ---
+    let rf_train = train.undersample_balanced(&mut rng);
+    let forest = RandomForest::fit(&rf_train, &ForestConfig::default());
+    let rf = Confusion::from_predictions(&forest.predict(&test.x), &test.y);
+
+    // --- One-class SVM: standardized features, sub-sampled healthy set
+    //     (it scales poorly with training-set size, as the paper notes). ---
+    let healthy = train.filter_class(0);
+    let scaler = Scaler::fit(&healthy.x);
+    let sub_x: Vec<Vec<f64>> = healthy.x.iter().step_by(40).cloned().collect();
+    let sub = Dataset::new(scaler.transform(&sub_x), vec![0; sub_x.len()]);
+    let svm = OneClassSvm::fit(&sub, &SvmConfig { nu: 0.05, ..SvmConfig::default() });
+    let oc = Confusion::from_predictions(&svm.predict(&scaler.transform(&test.x)), &test.y);
+
+    // --- The framework: pooled models, per-drive detection (Fig. 12 rule). ---
+    let outcomes = study.evaluate(ScoreRange::best_detection(), 0.3);
+    let ours_recall = HddStudy::recall(&outcomes);
+    let ours_fa = HddStudy::false_alarm_rate(&outcomes);
+
+    println!("Table II — model comparison on the HDD fleet\n");
+    let rows = vec![
+        vec![
+            "Random Forest".into(),
+            "no".into(),
+            "yes".into(),
+            "yes".into(),
+            format!("{:.0}%", 100.0 * rf.recall()),
+            "no".into(),
+        ],
+        vec![
+            "One-class SVM".into(),
+            "yes".into(),
+            "yes".into(),
+            "no".into(),
+            format!("{:.0}%", 100.0 * oc.recall()),
+            "no".into(),
+        ],
+        vec![
+            "Ours (translation graph)".into(),
+            "yes".into(),
+            "no".into(),
+            "yes".into(),
+            format!("{:.0}%", 100.0 * ours_recall),
+            "yes".into(),
+        ],
+    ];
+    print_table(
+        &["model", "unsupervised?", "feature eng.?", "feature ranking?", "recall", "discrete-native?"],
+        &rows,
+    );
+    println!("\npaper: RF 70-80% | OC-SVM 60% | ours 58%");
+    println!(
+        "extras: RF precision {:.2}, OC-SVM precision {:.2}, ours false-alarm rate {:.2} over {} healthy drives",
+        rf.precision(),
+        oc.precision(),
+        ours_fa,
+        outcomes.iter().filter(|o| !o.failed).count()
+    );
+    // Threshold-free comparison (ours): AUC of each baseline's continuous
+    // score on the test split, including the k-means distance detector the
+    // paper's introduction cites as the classic unsupervised alternative.
+    let rf_scores: Vec<f64> = test.x.iter().map(|r| forest.predict_proba(r, 1)).collect();
+    let svm_scores: Vec<f64> =
+        scaler.transform(&test.x).iter().map(|r| -svm.decision(r)).collect();
+    let km = KMeans::fit(
+        &sub.x,
+        &KMeansConfig { k: 4, ..KMeansConfig::default() },
+        &mut rng,
+    );
+    let km_scores: Vec<f64> = scaler
+        .transform(&test.x)
+        .iter()
+        .map(|r| km.distance_to_nearest(r))
+        .collect();
+    println!(
+        "score AUCs on the test split: RF {:.2} | OC-SVM {:.2} | k-means distance {:.2}",
+        auc(&rf_scores, &test.y),
+        auc(&svm_scores, &test.y),
+        auc(&km_scores, &test.y)
+    );
+    let _ = &study.fleet;
+    let path = write_csv(
+        "table2_model_comparison.csv",
+        &["model", "unsupervised", "feature_eng", "feature_ranking", "recall", "discrete_native"],
+        &rows,
+    );
+    println!("wrote {}", path.display());
+}

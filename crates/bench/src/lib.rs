@@ -1,0 +1,22 @@
+//! `mdes-bench` — the experiment harness regenerating every table and
+//! figure of the paper's evaluation.
+//!
+//! Each `src/bin/exp_*.rs` binary reproduces one artifact (see
+//! `DESIGN.md` §4 for the index); this library holds the shared study
+//! set-ups:
+//!
+//! * [`plant_study`] — the physical-plant case study state (§III),
+//! * [`hdd_study`] — the pooled HDD case study state (§IV),
+//! * [`report`] — text tables, ASCII CDFs/histograms, CSV/JSON writers.
+//!
+//! Common flags accepted by the binaries:
+//!
+//! * `--full` — run the paper's full scale (128 sensors, per-minute
+//!   sampling) instead of the reduced default;
+//! * `--translator=nmt|ngram` — neural seq2seq (paper-faithful, slow on one
+//!   core) vs the statistical fast path (default);
+//! * `--sensors=N` — override the sensor count.
+
+pub mod hdd_study;
+pub mod plant_study;
+pub mod report;

@@ -1,0 +1,121 @@
+//! Reporting utilities shared by the experiment binaries: aligned text
+//! tables, ASCII histograms/CDFs, and CSV/JSON result files under
+//! `results/`.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory where experiment outputs are written (`<repo>/results`).
+pub fn results_dir() -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Writes a CSV file into `results/` and returns its path.
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut out = String::new();
+    out.push_str(&headers.join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    fs::write(&path, out).expect("write csv");
+    path
+}
+
+/// Writes a JSON value (via `serde_json`) into `results/`.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(name);
+    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize json"))
+        .expect("write json");
+    path
+}
+
+/// Empirical CDF of float observations as `(value, fraction)` pairs.
+pub fn ecdf_f64(values: &[f64]) -> Vec<(f64, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Prints an ASCII CDF sampled at the given fractions.
+pub fn print_cdf(label: &str, values: &[f64]) {
+    let cdf = ecdf_f64(values);
+    if cdf.is_empty() {
+        println!("{label}: (no data)");
+        return;
+    }
+    println!("{label} (n = {}):", values.len());
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let idx = ((q * cdf.len() as f64).ceil() as usize).clamp(1, cdf.len()) - 1;
+        println!("  p{:<3} = {:.3}", (q * 100.0) as usize, cdf[idx].0);
+    }
+}
+
+/// Prints an ASCII histogram with `bins` equal-width buckets over `[lo, hi]`.
+pub fn print_histogram(label: &str, values: &[f64], lo: f64, hi: f64, bins: usize) {
+    assert!(bins > 0 && hi > lo, "invalid histogram configuration");
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v - lo) / (hi - lo)) * bins as f64).floor() as isize;
+        let b = b.clamp(0, bins as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(1).max(1);
+    println!("{label} (n = {}):", values.len());
+    for (b, &c) in counts.iter().enumerate() {
+        let from = lo + (hi - lo) * b as f64 / bins as f64;
+        let to = lo + (hi - lo) * (b + 1) as f64 / bins as f64;
+        let bar = "#".repeat(c * 50 / max);
+        println!("  [{from:6.1}, {to:6.1}) {c:6} {bar}");
+    }
+}
+
+/// Parses `--key=value` style arguments; returns the value for `key`.
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    let prefix = format!("--{key}=");
+    args.iter().find_map(|a| a.strip_prefix(&prefix).map(str::to_owned))
+}
+
+/// Whether a bare `--flag` is present.
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == &format!("--{flag}"))
+}

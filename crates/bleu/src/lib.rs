@@ -1,0 +1,370 @@
+//! `mdes-bleu` — BiLingual Evaluation Understudy (BLEU) scores.
+//!
+//! BLEU (Papineni et al., ACL 2002) measures translation quality as the
+//! geometric mean of modified n-gram precisions, multiplied by a brevity
+//! penalty. The paper uses BLEU on a 0–100 scale as the pairwise relationship
+//! strength between two sensor "languages": the development-set corpus BLEU
+//! becomes the edge weight `s(i, j)` of the relationship graph, and
+//! sentence-level BLEU at test time (`f(i, j)`) is compared against it to
+//! detect broken relationships.
+//!
+//! Tokens are generic: anything `Eq + Hash + Clone` works, so the language
+//! pipeline can score word-id sentences without materializing strings.
+//!
+//! # Example
+//!
+//! ```
+//! use mdes_bleu::{corpus_bleu, BleuConfig};
+//!
+//! let hyps = vec![vec![1u32, 2, 3, 4, 5]];
+//! let refs = vec![vec![1u32, 2, 3, 4, 5]];
+//! let score = corpus_bleu(&hyps, &refs, &BleuConfig::default());
+//! assert!((score - 100.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Smoothing applied to zero n-gram precision counts.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Smoothing {
+    /// No smoothing: any zero precision zeroes the whole score (the original
+    /// BLEU definition; appropriate for large corpora).
+    None,
+    /// Add-one smoothing on matched and total counts for n > 1
+    /// (Lin & Och, 2004) — the standard choice for sentence-level BLEU.
+    AddOne,
+    /// Replace zero matched counts with `epsilon` matches.
+    Epsilon(f64),
+}
+
+/// Configuration for BLEU computation.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BleuConfig {
+    /// Maximum n-gram order (standard BLEU-4 uses 4).
+    pub max_n: usize,
+    /// Smoothing variant for zero counts.
+    pub smoothing: Smoothing,
+}
+
+impl Default for BleuConfig {
+    fn default() -> Self {
+        Self { max_n: 4, smoothing: Smoothing::None }
+    }
+}
+
+impl BleuConfig {
+    /// Standard sentence-level configuration: BLEU-4 with add-one smoothing.
+    pub fn sentence() -> Self {
+        Self { max_n: 4, smoothing: Smoothing::AddOne }
+    }
+}
+
+/// Counts n-grams of order `n` in `tokens`.
+fn ngram_counts<T: Eq + Hash + Clone>(tokens: &[T], n: usize) -> HashMap<Vec<T>, usize> {
+    let mut map = HashMap::new();
+    if tokens.len() >= n {
+        for w in tokens.windows(n) {
+            *map.entry(w.to_vec()).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Aggregated n-gram match statistics for one corpus.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BleuStats {
+    /// Clipped matched n-gram counts per order (index 0 = unigrams).
+    pub matched: Vec<u64>,
+    /// Total hypothesis n-gram counts per order.
+    pub total: Vec<u64>,
+    /// Total hypothesis length (tokens).
+    pub hyp_len: u64,
+    /// Total effective reference length (tokens).
+    pub ref_len: u64,
+}
+
+impl BleuStats {
+    /// Creates empty statistics for n-gram orders up to `max_n`.
+    pub fn new(max_n: usize) -> Self {
+        Self { matched: vec![0; max_n], total: vec![0; max_n], hyp_len: 0, ref_len: 0 }
+    }
+
+    /// Accumulates statistics for one hypothesis/reference pair.
+    pub fn update<T: Eq + Hash + Clone>(&mut self, hyp: &[T], reference: &[T]) {
+        let max_n = self.matched.len();
+        self.hyp_len += hyp.len() as u64;
+        self.ref_len += reference.len() as u64;
+        for n in 1..=max_n {
+            let hyp_counts = ngram_counts(hyp, n);
+            let ref_counts = ngram_counts(reference, n);
+            let mut matched = 0u64;
+            let mut total = 0u64;
+            for (gram, &c) in &hyp_counts {
+                total += c as u64;
+                if let Some(&rc) = ref_counts.get(gram) {
+                    matched += c.min(rc) as u64;
+                }
+            }
+            self.matched[n - 1] += matched;
+            self.total[n - 1] += total;
+        }
+    }
+
+    /// Merges statistics from another corpus chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two statistics track different n-gram orders.
+    pub fn merge(&mut self, other: &BleuStats) {
+        assert_eq!(self.matched.len(), other.matched.len(), "mismatched max_n in merge");
+        for (a, b) in self.matched.iter_mut().zip(&other.matched) {
+            *a += b;
+        }
+        for (a, b) in self.total.iter_mut().zip(&other.total) {
+            *a += b;
+        }
+        self.hyp_len += other.hyp_len;
+        self.ref_len += other.ref_len;
+    }
+
+    /// Final BLEU score in `[0, 100]` under the given smoothing.
+    pub fn score(&self, smoothing: Smoothing) -> f64 {
+        let max_n = self.matched.len();
+        if self.hyp_len == 0 {
+            return 0.0;
+        }
+        let mut log_sum = 0.0;
+        for n in 0..max_n {
+            let (matched, total) = match smoothing {
+                Smoothing::AddOne if n > 0 => {
+                    (self.matched[n] as f64 + 1.0, self.total[n] as f64 + 1.0)
+                }
+                _ => (self.matched[n] as f64, self.total[n] as f64),
+            };
+            let p = if total > 0.0 {
+                match smoothing {
+                    Smoothing::Epsilon(eps) if matched == 0.0 => eps / total,
+                    _ => matched / total,
+                }
+            } else {
+                0.0
+            };
+            if p <= 0.0 {
+                return 0.0;
+            }
+            log_sum += p.ln() / max_n as f64;
+        }
+        let bp = if self.hyp_len >= self.ref_len {
+            1.0
+        } else {
+            (1.0 - self.ref_len as f64 / self.hyp_len as f64).exp()
+        };
+        100.0 * bp * log_sum.exp()
+    }
+}
+
+/// Corpus-level BLEU of hypothesis sentences against one reference each.
+///
+/// Returns a score in `[0, 100]`; higher is better. Sentence pairs are
+/// matched by index.
+///
+/// # Panics
+///
+/// Panics if `hyps.len() != refs.len()`.
+pub fn corpus_bleu<T: Eq + Hash + Clone>(
+    hyps: &[Vec<T>],
+    refs: &[Vec<T>],
+    cfg: &BleuConfig,
+) -> f64 {
+    assert_eq!(hyps.len(), refs.len(), "hypothesis/reference count mismatch");
+    let mut stats = BleuStats::new(cfg.max_n);
+    for (h, r) in hyps.iter().zip(refs) {
+        stats.update(h, r);
+    }
+    stats.score(cfg.smoothing)
+}
+
+/// Sentence-level BLEU with the configured smoothing (use
+/// [`BleuConfig::sentence`] for the standard smoothed variant).
+pub fn sentence_bleu<T: Eq + Hash + Clone>(hyp: &[T], reference: &[T], cfg: &BleuConfig) -> f64 {
+    let mut stats = BleuStats::new(cfg.max_n);
+    stats.update(hyp, reference);
+    stats.score(cfg.smoothing)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    #[test]
+    fn perfect_match_scores_100() {
+        let h = vec![vec![1u32, 2, 3, 4, 5, 6]];
+        let score = corpus_bleu(&h, &h, &BleuConfig::default());
+        assert!((score - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_tokens_score_0() {
+        let h = vec![vec![1u32, 2, 3, 4, 5]];
+        let r = vec![vec![6u32, 7, 8, 9, 10]];
+        assert_eq!(corpus_bleu(&h, &r, &BleuConfig::default()), 0.0);
+        assert_eq!(corpus_bleu(&h, &r, &BleuConfig::sentence()), 0.0);
+    }
+
+    #[test]
+    fn papineni_clipping_example() {
+        // "the the the the the the the" vs "the cat is on the mat":
+        // clipped unigram precision is 2/7.
+        let h = words("the the the the the the the");
+        let r = words("the cat is on the mat");
+        let mut stats = BleuStats::new(1);
+        stats.update(&h, &r);
+        assert_eq!(stats.matched[0], 2);
+        assert_eq!(stats.total[0], 7);
+        let score = stats.score(Smoothing::None);
+        assert!((score - 100.0 * 2.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brevity_penalty_applies_to_short_hypotheses() {
+        // Hypothesis is a strict prefix of the reference: all precisions are
+        // 1 but the hypothesis is half as long, so BP = exp(1 - 2) = e^-1.
+        let h = vec![vec![1u32, 2, 3, 4]];
+        let r = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let score = corpus_bleu(&h, &r, &BleuConfig::default());
+        assert!((score - 100.0 * (-1.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_brevity_penalty_for_long_hypotheses() {
+        let h = vec![vec![1u32, 2, 3, 4, 5, 1, 2, 3, 4, 5]];
+        let r = vec![vec![1u32, 2, 3, 4, 5]];
+        // Precisions < 1 but BP = 1; score must be strictly positive.
+        let score = corpus_bleu(&h, &r, &BleuConfig::default());
+        assert!(score > 0.0 && score < 100.0);
+    }
+
+    #[test]
+    fn smoothing_rescues_zero_higher_order() {
+        // One shared unigram, no shared bigrams.
+        let h = words("a x");
+        let r = words("a y");
+        let unsmoothed = sentence_bleu(&h, &r, &BleuConfig::default());
+        let smoothed = sentence_bleu(&h, &r, &BleuConfig::sentence());
+        assert_eq!(unsmoothed, 0.0);
+        assert!(smoothed > 0.0);
+    }
+
+    #[test]
+    fn epsilon_smoothing_positive_but_tiny() {
+        let h = words("a x c y e");
+        let r = words("a z c w e");
+        let cfg = BleuConfig { max_n: 4, smoothing: Smoothing::Epsilon(0.1) };
+        let s = sentence_bleu(&h, &r, &cfg);
+        assert!(s > 0.0 && s < 50.0);
+    }
+
+    #[test]
+    fn corpus_beats_worst_sentence() {
+        // A corpus mixing perfect and imperfect sentences scores between.
+        let hyps = vec![vec![1u32, 2, 3, 4, 5], vec![1u32, 2, 3, 9, 9]];
+        let refs = vec![vec![1u32, 2, 3, 4, 5], vec![1u32, 2, 3, 4, 5]];
+        let cfg = BleuConfig::sentence();
+        let corpus = corpus_bleu(&hyps, &refs, &cfg);
+        let bad = sentence_bleu(&hyps[1], &refs[1], &cfg);
+        let good = sentence_bleu(&hyps[0], &refs[0], &cfg);
+        assert!(corpus > bad && corpus <= good);
+    }
+
+    #[test]
+    fn empty_hypothesis_scores_zero() {
+        let h: Vec<Vec<u32>> = vec![vec![]];
+        let r = vec![vec![1u32, 2, 3]];
+        assert_eq!(corpus_bleu(&h, &r, &BleuConfig::default()), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let h1 = vec![1u32, 2, 3, 4, 5];
+        let h2 = vec![2u32, 3, 4, 5, 6];
+        let r1 = vec![1u32, 2, 3, 4, 6];
+        let r2 = vec![2u32, 3, 4, 5, 6];
+        let mut all = BleuStats::new(4);
+        all.update(&h1, &r1);
+        all.update(&h2, &r2);
+        let mut a = BleuStats::new(4);
+        a.update(&h1, &r1);
+        let mut b = BleuStats::new(4);
+        b.update(&h2, &r2);
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn shorter_ngram_order_on_short_sentences() {
+        let h = vec![vec![1u32, 2]];
+        let r = vec![vec![1u32, 2]];
+        let cfg = BleuConfig { max_n: 4, smoothing: Smoothing::AddOne };
+        // With add-one smoothing, 3-gram/4-gram precisions become 1/1.
+        let s = corpus_bleu(&h, &r, &cfg);
+        assert!(s > 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn token_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+            proptest::collection::vec(0u8..6, 1..max_len)
+        }
+
+        proptest! {
+            #[test]
+            fn score_is_bounded(h in token_seq(20), r in token_seq(20)) {
+                for cfg in [BleuConfig::default(), BleuConfig::sentence()] {
+                    let s = sentence_bleu(&h, &r, &cfg);
+                    prop_assert!((0.0..=100.0 + 1e-9).contains(&s), "score {}", s);
+                }
+            }
+
+            #[test]
+            fn identity_is_perfect(h in proptest::collection::vec(0u8..6, 4..20)) {
+                let s = sentence_bleu(&h, &h, &BleuConfig::default());
+                prop_assert!((s - 100.0).abs() < 1e-9);
+            }
+
+            #[test]
+            fn identity_is_maximal_under_smoothing(h in token_seq(20), r in token_seq(20)) {
+                let cfg = BleuConfig::sentence();
+                let self_score = sentence_bleu(&h, &h, &cfg);
+                let cross = sentence_bleu(&r, &h, &cfg);
+                prop_assert!(cross <= self_score + 1e-9);
+            }
+
+            #[test]
+            fn merge_matches_batch(hs in proptest::collection::vec(token_seq(12), 1..6),
+                                   rs in proptest::collection::vec(token_seq(12), 1..6)) {
+                let n = hs.len().min(rs.len());
+                let hs = &hs[..n];
+                let rs = &rs[..n];
+                let mut whole = BleuStats::new(3);
+                let mut merged = BleuStats::new(3);
+                for (h, r) in hs.iter().zip(rs) {
+                    whole.update(h, r);
+                    let mut part = BleuStats::new(3);
+                    part.update(h, r);
+                    merged.merge(&part);
+                }
+                prop_assert_eq!(whole, merged);
+            }
+        }
+    }
+}

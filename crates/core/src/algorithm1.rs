@@ -1,0 +1,377 @@
+//! Algorithm 1 — Multivariate Relationship Graph Generation.
+//!
+//! For every ordered sensor pair `(i, j)` a directional translator is
+//! trained on time-aligned training sentences and scored with corpus BLEU on
+//! the development set; the score becomes edge `i -> j` of the
+//! [`RelGraph`]. The sweep is embarrassingly parallel and runs on a small
+//! thread pool (crossbeam scoped threads pulling pair indices from an atomic
+//! counter).
+
+use crate::error::CoreError;
+use crate::translator::{train_translator, AnyTranslator, Translator, TranslatorConfig};
+use mdes_bleu::{corpus_bleu, BleuConfig};
+use mdes_graph::RelGraph;
+use mdes_lang::{LanguagePipeline, SentenceSet, Vocab};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration of the pairwise training sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GraphBuildConfig {
+    /// Translator family and hyper-parameters (shared across all pairs, as
+    /// the paper requires for BLEU comparability).
+    pub translator: TranslatorConfig,
+    /// Corpus-BLEU configuration for development scoring.
+    pub bleu: BleuConfig,
+    /// Worker threads (0 = number of available CPUs).
+    pub threads: usize,
+    /// Quantile of the per-sentence development BLEU distribution stored as
+    /// each pair's *calibrated floor* (see
+    /// [`BrokenRule::DevQuantileFloor`](crate::algorithm2::BrokenRule)).
+    pub floor_quantile: f64,
+}
+
+impl Default for GraphBuildConfig {
+    fn default() -> Self {
+        Self {
+            translator: TranslatorConfig::fast(),
+            bleu: BleuConfig { smoothing: mdes_bleu::Smoothing::AddOne, ..BleuConfig::default() },
+            threads: 0,
+            floor_quantile: 0.1,
+        }
+    }
+}
+
+/// One trained directional pair model with its development score.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct PairModel {
+    /// Source sensor index (into the pipeline's surviving sensors).
+    pub src: usize,
+    /// Target sensor index.
+    pub dst: usize,
+    /// Development-set corpus BLEU (`s(i, j)` in the paper).
+    pub train_score: f64,
+    /// Calibrated floor: the `floor_quantile` quantile of the per-sentence
+    /// development BLEU distribution. Normal windows rarely score below it,
+    /// so comparing test sentences against this floor instead of the corpus
+    /// mean sharply reduces false positives (ablation A8).
+    pub dev_floor: f64,
+    /// Wall-clock seconds spent training and scoring this model (Fig. 4a).
+    pub runtime_secs: f64,
+    translator: AnyTranslator,
+}
+
+impl PairModel {
+    /// Translates a source sentence with this pair's model.
+    pub fn translate(&self, src: &[u32], out_len: usize) -> Vec<u32> {
+        self.translator.translate(src, out_len)
+    }
+}
+
+impl std::fmt::Debug for PairModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairModel")
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("train_score", &self.train_score)
+            .field("runtime_secs", &self.runtime_secs)
+            .finish()
+    }
+}
+
+/// The output of Algorithm 1: the graph plus every pair model.
+///
+/// Serializable for persistence; the pair lookup index is rebuilt on
+/// deserialization.
+#[derive(Clone, Serialize, Deserialize)]
+#[serde(from = "TrainedGraphShadow")]
+pub struct TrainedGraph {
+    /// The multivariate relationship graph (edge weights = dev BLEU).
+    pub graph: RelGraph,
+    models: Vec<PairModel>,
+    #[serde(skip)]
+    index: HashMap<(usize, usize), usize>,
+}
+
+#[derive(Deserialize)]
+struct TrainedGraphShadow {
+    graph: RelGraph,
+    models: Vec<PairModel>,
+}
+
+impl From<TrainedGraphShadow> for TrainedGraph {
+    fn from(shadow: TrainedGraphShadow) -> Self {
+        let index = shadow
+            .models
+            .iter()
+            .enumerate()
+            .map(|(k, m)| ((m.src, m.dst), k))
+            .collect();
+        TrainedGraph { graph: shadow.graph, models: shadow.models, index }
+    }
+}
+
+impl TrainedGraph {
+    /// All pair models.
+    pub fn models(&self) -> &[PairModel] {
+        &self.models
+    }
+
+    /// The model for pair `(src, dst)`, if trained.
+    pub fn model(&self, src: usize, dst: usize) -> Option<&PairModel> {
+        self.index.get(&(src, dst)).map(|&k| &self.models[k])
+    }
+
+    /// Per-model runtimes in seconds (for the Fig. 4a CDF).
+    pub fn runtimes(&self) -> Vec<f64> {
+        self.models.iter().map(|m| m.runtime_secs).collect()
+    }
+
+    /// All development BLEU scores (for the Fig. 4b histogram).
+    pub fn scores(&self) -> Vec<f64> {
+        self.models.iter().map(|m| m.train_score).collect()
+    }
+}
+
+impl std::fmt::Debug for TrainedGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainedGraph")
+            .field("nodes", &self.graph.len())
+            .field("models", &self.models.len())
+            .finish()
+    }
+}
+
+/// Runs Algorithm 1: trains two directional models per sensor pair and
+/// assembles the relationship graph.
+///
+/// `train_sets` and `dev_sets` must come from
+/// [`LanguagePipeline::encode_segment`] on the same pipeline (one set per
+/// surviving sensor, sentences time-aligned across sensors).
+///
+/// # Errors
+///
+/// Returns an error if fewer than two sensors survive, any corpus is empty,
+/// or corpora are misaligned.
+pub fn build_graph(
+    pipeline: &LanguagePipeline,
+    train_sets: &[SentenceSet],
+    dev_sets: &[SentenceSet],
+    cfg: &GraphBuildConfig,
+) -> Result<TrainedGraph, CoreError> {
+    let n = pipeline.sensor_count();
+    if n < 2 {
+        return Err(CoreError::TooFewSensors { available: n });
+    }
+    validate_alignment(train_sets, n)?;
+    validate_alignment(dev_sets, n)?;
+
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (0..n).map(move |j| (i, j)))
+        .filter(|(i, j)| i != j)
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<PairModel>>> =
+        Mutex::new((0..pairs.len()).map(|_| None).collect());
+    let failure: Mutex<Option<CoreError>> = Mutex::new(None);
+
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|_| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= pairs.len() || failure.lock().is_some() {
+                    break;
+                }
+                let (i, j) = pairs[k];
+                match train_pair(pipeline, train_sets, dev_sets, i, j, cfg) {
+                    Ok(model) => results.lock()[k] = Some(model),
+                    Err(e) => *failure.lock() = Some(e),
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    if let Some(e) = failure.into_inner() {
+        return Err(e);
+    }
+
+    let names: Vec<String> =
+        pipeline.languages().iter().map(|l| l.name.clone()).collect();
+    let mut graph = RelGraph::new(names);
+    let mut models = Vec::with_capacity(pairs.len());
+    let mut index = HashMap::with_capacity(pairs.len());
+    for model in results.into_inner().into_iter().flatten() {
+        graph.set_score(model.src, model.dst, model.train_score);
+        index.insert((model.src, model.dst), models.len());
+        models.push(model);
+    }
+    Ok(TrainedGraph { graph, models, index })
+}
+
+fn validate_alignment(sets: &[SentenceSet], n: usize) -> Result<(), CoreError> {
+    if sets.len() != n {
+        return Err(CoreError::MisalignedCorpora { expected: n, found: sets.len() });
+    }
+    let count = sets.first().map_or(0, SentenceSet::len);
+    if count == 0 {
+        return Err(CoreError::EmptyCorpus);
+    }
+    for s in sets {
+        if s.len() != count {
+            return Err(CoreError::MisalignedCorpora { expected: count, found: s.len() });
+        }
+    }
+    Ok(())
+}
+
+fn train_pair(
+    pipeline: &LanguagePipeline,
+    train_sets: &[SentenceSet],
+    dev_sets: &[SentenceSet],
+    i: usize,
+    j: usize,
+    cfg: &GraphBuildConfig,
+) -> Result<PairModel, CoreError> {
+    let start = Instant::now();
+    let pairs: Vec<(Vec<u32>, Vec<u32>)> = train_sets[i]
+        .sentences
+        .iter()
+        .zip(&train_sets[j].sentences)
+        .map(|(s, t)| (s.clone(), t.clone()))
+        .collect();
+    let src_vocab = pipeline.languages()[i].vocab.size();
+    let tgt_vocab = pipeline.languages()[j].vocab.size();
+    let translator =
+        train_translator(&cfg.translator, &pairs, src_vocab, tgt_vocab, Vocab::BOS)?;
+
+    let out_len = pipeline.config().sent_len;
+    let hyps: Vec<Vec<u32>> = dev_sets[i]
+        .sentences
+        .iter()
+        .map(|s| translator.translate(s, out_len))
+        .collect();
+    let score = corpus_bleu(&hyps, &dev_sets[j].sentences, &cfg.bleu);
+    // Per-sentence dev scores calibrate the broken-relationship floor.
+    let sentence_cfg = mdes_bleu::BleuConfig::sentence();
+    let mut sentence_scores: Vec<f64> = hyps
+        .iter()
+        .zip(&dev_sets[j].sentences)
+        .map(|(h, r)| mdes_bleu::sentence_bleu(h, r, &sentence_cfg))
+        .collect();
+    sentence_scores.sort_by(f64::total_cmp);
+    let q = cfg.floor_quantile.clamp(0.0, 1.0);
+    let idx = ((sentence_scores.len() as f64 - 1.0) * q).round() as usize;
+    let dev_floor = sentence_scores.get(idx).copied().unwrap_or(0.0);
+    Ok(PairModel {
+        src: i,
+        dst: j,
+        train_score: score,
+        dev_floor,
+        runtime_secs: start.elapsed().as_secs_f64(),
+        translator,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdes_lang::{RawTrace, WindowConfig};
+
+    fn toggling(name: &str, n: usize, period: usize, phase: usize) -> RawTrace {
+        RawTrace::new(
+            name,
+            (0..n)
+                .map(|t| if ((t + phase) / period).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+                .collect(),
+        )
+    }
+
+    fn setup() -> (LanguagePipeline, Vec<SentenceSet>, Vec<SentenceSet>, Vec<RawTrace>) {
+        // Sensors a, b share a period (strongly related); c is unrelated.
+        let traces = vec![
+            toggling("a", 600, 5, 0),
+            toggling("b", 600, 5, 2),
+            toggling("c", 600, 7, 0),
+        ];
+        let cfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let p = LanguagePipeline::fit(&traces, 0..300, cfg).expect("fit");
+        let train = p.encode_segment(&traces, 0..300).expect("train");
+        let dev = p.encode_segment(&traces, 300..450).expect("dev");
+        (p, train, dev, traces)
+    }
+
+    #[test]
+    fn builds_full_directed_graph() {
+        let (p, train, dev, _) = setup();
+        let trained =
+            build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        assert_eq!(trained.graph.len(), 3);
+        assert_eq!(trained.graph.edge_count(), 6);
+        assert_eq!(trained.models().len(), 6);
+        assert!(trained.model(0, 1).is_some());
+        assert!(trained.model(0, 0).is_none());
+    }
+
+    #[test]
+    fn related_pair_outscores_unrelated_pair() {
+        let (p, train, dev, _) = setup();
+        let trained =
+            build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        let related = trained.graph.score(0, 1).expect("edge");
+        let unrelated = trained.graph.score(0, 2).expect("edge");
+        assert!(
+            related > unrelated + 5.0,
+            "related {related} should clearly beat unrelated {unrelated}"
+        );
+        assert!(related > 80.0, "phase-locked pair should translate well: {related}");
+    }
+
+    #[test]
+    fn scores_and_runtimes_populated() {
+        let (p, train, dev, _) = setup();
+        let trained =
+            build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        assert_eq!(trained.scores().len(), 6);
+        assert!(trained.scores().iter().all(|s| (0.0..=100.0).contains(s)));
+        assert!(trained.runtimes().iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn single_sensor_rejected() {
+        let traces = vec![toggling("a", 400, 5, 0)];
+        let cfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let p = LanguagePipeline::fit(&traces, 0..200, cfg).expect("fit");
+        let train = p.encode_segment(&traces, 0..200).expect("train");
+        let dev = p.encode_segment(&traces, 200..400).expect("dev");
+        let r = build_graph(&p, &train, &dev, &GraphBuildConfig::default());
+        assert!(matches!(r, Err(CoreError::TooFewSensors { available: 1 })));
+    }
+
+    #[test]
+    fn misaligned_corpora_rejected() {
+        let (p, train, dev, _) = setup();
+        let r = build_graph(&p, &train[..2], &dev, &GraphBuildConfig::default());
+        assert!(matches!(r, Err(CoreError::MisalignedCorpora { .. })));
+    }
+
+    #[test]
+    fn multithreaded_matches_single_thread() {
+        let (p, train, dev, _) = setup();
+        let one = GraphBuildConfig { threads: 1, ..GraphBuildConfig::default() };
+        let four = GraphBuildConfig { threads: 4, ..GraphBuildConfig::default() };
+        let a = build_graph(&p, &train, &dev, &one).expect("1 thread");
+        let b = build_graph(&p, &train, &dev, &four).expect("4 threads");
+        assert_eq!(a.graph, b.graph);
+    }
+}

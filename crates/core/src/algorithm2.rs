@@ -1,0 +1,293 @@
+//! Algorithm 2 — Anomaly Detection.
+//!
+//! At each test timestamp (sentence index) every *valid* pair model — one
+//! whose training BLEU `s(i, j)` lies in the user's validity range, best
+//! `[80, 90)` per the paper — translates the source sensor's test sentence
+//! and scores it against the target's actual sentence with sentence-level
+//! BLEU `f(i, j)`. A relationship is *broken* when `f(i, j) < s(i, j)`; the
+//! anomaly score `a_t` is the fraction of valid relationships broken at `t`,
+//! and the alert set `W_t` lists the broken pairs for diagnosis.
+
+use crate::algorithm1::TrainedGraph;
+use crate::error::CoreError;
+use mdes_bleu::{sentence_bleu, BleuConfig};
+use mdes_graph::ScoreRange;
+use mdes_lang::SentenceSet;
+use serde::{Deserialize, Serialize};
+
+/// How a broken relationship is decided from the test score `f(i, j)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum BrokenRule {
+    /// The paper's rule: broken when `f < s(i, j)` (the corpus dev BLEU),
+    /// minus the configured margin.
+    #[default]
+    CorpusScore,
+    /// Calibrated rule: broken when `f` falls below the pair's stored
+    /// development-quantile floor (see
+    /// [`GraphBuildConfig::floor_quantile`](crate::algorithm1::GraphBuildConfig)),
+    /// minus the margin. Normal-window fluctuation rarely crosses the floor,
+    /// so false positives drop (ablation A8).
+    DevQuantileFloor,
+}
+
+/// Configuration of online detection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DetectionConfig {
+    /// Validity range on training scores: only models inside participate.
+    pub valid_range: ScoreRange,
+    /// Sentence-BLEU configuration for test scoring (smoothed by default).
+    pub bleu: BleuConfig,
+    /// Extra slack subtracted from the threshold before comparison. Zero
+    /// reproduces the paper exactly.
+    pub margin: f64,
+    /// Threshold rule.
+    pub rule: BrokenRule,
+}
+
+impl Default for DetectionConfig {
+    fn default() -> Self {
+        Self {
+            valid_range: ScoreRange::best_detection(),
+            bleu: BleuConfig::sentence(),
+            margin: 0.0,
+            rule: BrokenRule::CorpusScore,
+        }
+    }
+}
+
+/// Result of Algorithm 2 over a test segment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectionResult {
+    /// Anomaly score `a_t` per test sentence index, each in `[0, 1]`.
+    pub scores: Vec<f64>,
+    /// Broken sensor pairs `W_t` per test sentence index.
+    pub alerts: Vec<Vec<(usize, usize)>>,
+    /// Character offset of each sentence within the test segment (timestamp).
+    pub starts: Vec<usize>,
+    /// Number of valid models that participated.
+    pub valid_models: usize,
+}
+
+impl DetectionResult {
+    /// Sentence indices whose anomaly score is at least `threshold`.
+    pub fn detections(&self, threshold: f64) -> Vec<usize> {
+        (0..self.scores.len()).filter(|&t| self.scores[t] >= threshold).collect()
+    }
+
+    /// The maximum anomaly score observed.
+    pub fn max_score(&self) -> f64 {
+        self.scores.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Runs Algorithm 2 on aligned test sentence sets.
+///
+/// # Errors
+///
+/// Returns an error if corpora are empty/misaligned or no model's training
+/// score falls inside `cfg.valid_range`.
+pub fn detect(
+    trained: &TrainedGraph,
+    test_sets: &[SentenceSet],
+    cfg: &DetectionConfig,
+) -> Result<DetectionResult, CoreError> {
+    let n = trained.graph.len();
+    if test_sets.len() != n {
+        return Err(CoreError::MisalignedCorpora { expected: n, found: test_sets.len() });
+    }
+    let count = test_sets.first().map_or(0, SentenceSet::len);
+    if count == 0 {
+        return Err(CoreError::EmptyCorpus);
+    }
+    for s in test_sets {
+        if s.len() != count {
+            return Err(CoreError::MisalignedCorpora { expected: count, found: s.len() });
+        }
+    }
+    let valid: Vec<usize> = (0..trained.models().len())
+        .filter(|&k| cfg.valid_range.contains(trained.models()[k].train_score))
+        .collect();
+    if valid.is_empty() {
+        return Err(CoreError::NoValidModels);
+    }
+
+    let mut scores = Vec::with_capacity(count);
+    let mut alerts = Vec::with_capacity(count);
+    for t in 0..count {
+        let mut broken = Vec::new();
+        for &k in &valid {
+            let m = &trained.models()[k];
+            let src_sentence = &test_sets[m.src].sentences[t];
+            let ref_sentence = &test_sets[m.dst].sentences[t];
+            let hyp = m.translate(src_sentence, ref_sentence.len());
+            let f = sentence_bleu(&hyp, ref_sentence, &cfg.bleu);
+            let threshold = match cfg.rule {
+                BrokenRule::CorpusScore => m.train_score,
+                BrokenRule::DevQuantileFloor => m.dev_floor,
+            };
+            if f < threshold - cfg.margin {
+                broken.push((m.src, m.dst));
+            }
+        }
+        scores.push(broken.len() as f64 / valid.len() as f64);
+        alerts.push(broken);
+    }
+    Ok(DetectionResult {
+        scores,
+        alerts,
+        starts: test_sets[0].starts.clone(),
+        valid_models: valid.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm1::{build_graph, GraphBuildConfig};
+    use mdes_lang::{LanguagePipeline, RawTrace, WindowConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two phase-locked sensors; the test half optionally decouples them.
+    fn scenario(decouple_after: Option<usize>) -> (Vec<f64>, usize) {
+        let n = 900;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mk = |phase: usize, decouple: Option<usize>| -> RawTrace {
+            let mut extra = 0usize;
+            let events = (0..n)
+                .map(|t| {
+                    if Some(t) == decouple {
+                        extra = 3; // sudden phase slip
+                    }
+                    let state = ((t + phase + extra) / 5) % 2;
+                    if state == 0 { "on" } else { "off" }.to_owned()
+                })
+                .collect();
+            RawTrace::new(format!("p{phase}"), events)
+        };
+        let traces = vec![
+            mk(0, None),
+            mk(2, decouple_after),
+            mk(4, None),
+            {
+                // An unrelated noisy sensor to fill the graph.
+                let events = (0..n)
+                    .map(|_| if rng.gen::<f64>() < 0.5 { "a" } else { "b" }.to_owned())
+                    .collect();
+                RawTrace::new("noise", events)
+            },
+        ];
+        let wcfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
+        let train = p.encode_segment(&traces, 0..300).expect("train");
+        let dev = p.encode_segment(&traces, 300..500).expect("dev");
+        let test = p.encode_segment(&traces, 500..900).expect("test");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        // Use a wide validity range so the strong pairs participate.
+        let cfg = DetectionConfig {
+            valid_range: ScoreRange::closed(60.0, 100.0),
+            ..DetectionConfig::default()
+        };
+        let result = detect(&trained, &test, &cfg).expect("detect");
+        (result.scores, result.valid_models)
+    }
+
+    #[test]
+    fn normal_test_data_scores_low() {
+        let (scores, valid) = scenario(None);
+        assert!(valid > 0);
+        let mean: f64 = scores.iter().sum::<f64>() / scores.len() as f64;
+        assert!(mean < 0.35, "normal-period mean anomaly score {mean}");
+    }
+
+    #[test]
+    fn decoupling_raises_scores_after_the_event() {
+        // Decouple at sample 700 = test-segment offset 200 = sentence 10.
+        let (scores, _) = scenario(Some(700));
+        let before: f64 = scores[..8].iter().sum::<f64>() / 8.0;
+        let after: f64 = scores[11..].iter().sum::<f64>() / (scores.len() - 11) as f64;
+        assert!(
+            after > before + 0.2,
+            "anomaly should raise score: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn alerts_identify_the_decoupled_sensor() {
+        let (_, _) = scenario(None); // warm path
+        // Rebuild with alerts inspection.
+        let n = 900;
+        let mk = |phase: usize, slip: bool| -> RawTrace {
+            let events = (0..n)
+                .map(|t| {
+                    let extra = if slip && t >= 700 { 3 } else { 0 };
+                    let state = ((t + phase + extra) / 5) % 2;
+                    if state == 0 { "on" } else { "off" }.to_owned()
+                })
+                .collect();
+            RawTrace::new(format!("p{phase}{slip}"), events)
+        };
+        let traces = vec![mk(0, false), mk(2, true), mk(4, false)];
+        let wcfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
+        let train = p.encode_segment(&traces, 0..300).expect("train");
+        let dev = p.encode_segment(&traces, 300..500).expect("dev");
+        let test = p.encode_segment(&traces, 500..900).expect("test");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        let cfg = DetectionConfig {
+            valid_range: ScoreRange::closed(60.0, 100.0),
+            ..DetectionConfig::default()
+        };
+        let result = detect(&trained, &test, &cfg).expect("detect");
+        // After the slip (sentence 10+), broken pairs should involve sensor 1.
+        let late_alerts: Vec<&(usize, usize)> =
+            result.alerts[11..].iter().flatten().collect();
+        assert!(!late_alerts.is_empty(), "expected broken pairs after the slip");
+        let involving_1 =
+            late_alerts.iter().filter(|(s, d)| *s == 1 || *d == 1).count();
+        assert!(
+            involving_1 * 2 >= late_alerts.len(),
+            "sensor 1 should dominate alerts: {involving_1}/{}",
+            late_alerts.len()
+        );
+    }
+
+    #[test]
+    fn scores_bounded_and_detections_thresholded() {
+        let (scores, _) = scenario(Some(700));
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        let r = DetectionResult {
+            scores: scores.clone(),
+            alerts: vec![Vec::new(); scores.len()],
+            starts: (0..scores.len()).collect(),
+            valid_models: 1,
+        };
+        let hits = r.detections(0.5);
+        assert!(hits.iter().all(|&t| scores[t] >= 0.5));
+        assert!(r.max_score() <= 1.0);
+    }
+
+    #[test]
+    fn no_valid_models_is_an_error() {
+        let n = 600;
+        let mk = |phase: usize| -> RawTrace {
+            let events = (0..n)
+                .map(|t| if ((t + phase) / 5).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+                .collect();
+            RawTrace::new(format!("p{phase}"), events)
+        };
+        let traces = vec![mk(0), mk(2)];
+        let wcfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
+        let train = p.encode_segment(&traces, 0..300).expect("train");
+        let dev = p.encode_segment(&traces, 300..450).expect("dev");
+        let test = p.encode_segment(&traces, 450..600).expect("test");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        // Perfectly coupled sensors score ~100, outside [0, 10).
+        let cfg = DetectionConfig {
+            valid_range: ScoreRange::half_open(0.0, 10.0),
+            ..DetectionConfig::default()
+        };
+        assert!(matches!(detect(&trained, &test, &cfg), Err(CoreError::NoValidModels)));
+    }
+}

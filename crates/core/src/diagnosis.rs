@@ -1,0 +1,210 @@
+//! Fault diagnosis from broken relationships (§III-C, Fig. 9).
+//!
+//! Once Algorithm 2 flags a timestamp, the broken pairs `W_t` are projected
+//! onto the relationship graph: connected clusters of broken edges point at
+//! the faulty component, and per-sensor broken-edge counts rank individual
+//! sensors by suspicion.
+
+use mdes_graph::RelGraph;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Diagnosis of one detection timestamp.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Clusters of sensors connected by broken edges, each sorted; clusters
+    /// ordered by their smallest sensor index (the paper's green circles).
+    pub faulty_clusters: Vec<Vec<usize>>,
+    /// `(sensor, broken edge count)` sorted by decreasing count.
+    pub sensor_ranking: Vec<(usize, usize)>,
+    /// Fraction of the subgraph's edges that are broken.
+    pub broken_fraction: f64,
+}
+
+impl Diagnosis {
+    /// Whether the anomaly is *severe*: broken edges cover at least
+    /// `threshold` of the subgraph (the paper's day-28 pattern where almost
+    /// all relationships break).
+    pub fn is_severe(&self, threshold: f64) -> bool {
+        self.broken_fraction >= threshold
+    }
+}
+
+/// Projects broken pairs onto `subgraph` and extracts faulty clusters.
+///
+/// `subgraph` is typically the local subgraph at the detection range
+/// (popular sensors removed); broken pairs not present in the subgraph are
+/// still counted in the sensor ranking but cannot join clusters.
+pub fn diagnose(subgraph: &RelGraph, broken: &[(usize, usize)]) -> Diagnosis {
+    let broken_set: HashSet<(usize, usize)> = broken.iter().copied().collect();
+
+    // Graph induced by broken edges (restricted to edges in the subgraph).
+    let mut induced = RelGraph::new(subgraph.names().to_vec());
+    for &(s, d) in &broken_set {
+        if let Some(w) = subgraph.score(s, d) {
+            induced.set_score(s, d, w);
+        }
+    }
+    let faulty_clusters = induced.weakly_connected_components();
+
+    let mut counts = vec![0usize; subgraph.len()];
+    for &(s, d) in &broken_set {
+        if s < counts.len() {
+            counts[s] += 1;
+        }
+        if d < counts.len() {
+            counts[d] += 1;
+        }
+    }
+    let mut sensor_ranking: Vec<(usize, usize)> = counts
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, c)| c > 0)
+        .collect();
+    sensor_ranking.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let total = subgraph.edge_count();
+    let broken_in_subgraph = induced.edge_count();
+    let broken_fraction =
+        if total == 0 { 0.0 } else { broken_in_subgraph as f64 / total as f64 };
+    Diagnosis { faulty_clusters, sensor_ranking, broken_fraction }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subgraph() -> RelGraph {
+        let names: Vec<String> = (0..8).map(|i| format!("s{i}")).collect();
+        let mut g = RelGraph::new(names);
+        // Two clusters: {0,1,2} and {4,5,6}; node 3 and 7 spare.
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4)] {
+            g.set_score(a, b, 85.0);
+        }
+        g
+    }
+
+    #[test]
+    fn clusters_of_broken_edges() {
+        let g = subgraph();
+        let d = diagnose(&g, &[(0, 1), (1, 2), (4, 5)]);
+        assert_eq!(d.faulty_clusters, vec![vec![0, 1, 2], vec![4, 5]]);
+        assert!((d.broken_fraction - 0.5).abs() < 1e-9);
+        assert!(!d.is_severe(0.9));
+    }
+
+    #[test]
+    fn severe_when_everything_breaks() {
+        let g = subgraph();
+        let all: Vec<(usize, usize)> = g.edges().map(|(s, d, _)| (s, d)).collect();
+        let diag = diagnose(&g, &all);
+        assert!((diag.broken_fraction - 1.0).abs() < 1e-9);
+        assert!(diag.is_severe(0.9));
+        assert_eq!(diag.faulty_clusters.len(), 2);
+    }
+
+    #[test]
+    fn ranking_orders_by_broken_count() {
+        let g = subgraph();
+        let d = diagnose(&g, &[(0, 1), (1, 2), (2, 0)]);
+        // Every node in the triangle touches 2 broken edges.
+        assert_eq!(d.sensor_ranking.len(), 3);
+        assert!(d.sensor_ranking.iter().all(|&(_, c)| c == 2));
+    }
+
+    #[test]
+    fn broken_edges_outside_subgraph_rank_but_do_not_cluster() {
+        let g = subgraph();
+        // (3, 7) is not an edge of the subgraph.
+        let d = diagnose(&g, &[(3, 7)]);
+        assert!(d.faulty_clusters.is_empty());
+        assert_eq!(d.sensor_ranking, vec![(3, 1), (7, 1)]);
+        assert_eq!(d.broken_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_alerts_mean_clean_bill() {
+        let g = subgraph();
+        let d = diagnose(&g, &[]);
+        assert!(d.faulty_clusters.is_empty());
+        assert!(d.sensor_ranking.is_empty());
+        assert_eq!(d.broken_fraction, 0.0);
+    }
+}
+
+/// One step of a fault-propagation timeline (§III-C: the paper proposes
+/// rendering diagnosis at finer granularities to show how faults spread).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PropagationStep {
+    /// Detection window index.
+    pub window: usize,
+    /// Anomaly score at this window.
+    pub score: f64,
+    /// All sensors touching a broken edge at this window, sorted.
+    pub affected: Vec<usize>,
+    /// Sensors affected here that were not affected in any earlier step.
+    pub newly_affected: Vec<usize>,
+}
+
+/// Builds a fault-propagation timeline from consecutive detection windows:
+/// for each window, which sensors participate in broken relationships and
+/// which of them are newly reached — the spread front of the fault.
+pub fn propagation_timeline(
+    scores: &[f64],
+    alerts: &[Vec<(usize, usize)>],
+) -> Vec<PropagationStep> {
+    assert_eq!(scores.len(), alerts.len(), "scores/alerts length mismatch");
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut steps = Vec::with_capacity(scores.len());
+    for (window, (score, broken)) in scores.iter().zip(alerts).enumerate() {
+        let mut affected: Vec<usize> =
+            broken.iter().flat_map(|&(s, d)| [s, d]).collect::<HashSet<_>>().into_iter().collect();
+        affected.sort_unstable();
+        let mut newly: Vec<usize> =
+            affected.iter().copied().filter(|s| !seen.contains(s)).collect();
+        newly.sort_unstable();
+        seen.extend(newly.iter().copied());
+        steps.push(PropagationStep { window, score: *score, affected, newly_affected: newly });
+    }
+    steps
+}
+
+#[cfg(test)]
+mod propagation_tests {
+    use super::*;
+
+    #[test]
+    fn timeline_tracks_spread_front() {
+        let scores = vec![0.0, 0.3, 0.6, 0.6];
+        let alerts = vec![
+            vec![],
+            vec![(0, 1)],
+            vec![(0, 1), (1, 2)],
+            vec![(1, 2), (2, 3)],
+        ];
+        let steps = propagation_timeline(&scores, &alerts);
+        assert_eq!(steps.len(), 4);
+        assert!(steps[0].affected.is_empty());
+        assert_eq!(steps[1].newly_affected, vec![0, 1]);
+        assert_eq!(steps[2].newly_affected, vec![2]);
+        assert_eq!(steps[3].newly_affected, vec![3]);
+        assert_eq!(steps[3].affected, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn repeat_alerts_are_not_new() {
+        let steps = propagation_timeline(
+            &[0.5, 0.5],
+            &[vec![(4, 5)], vec![(4, 5)]],
+        );
+        assert_eq!(steps[0].newly_affected, vec![4, 5]);
+        assert!(steps[1].newly_affected.is_empty());
+        assert_eq!(steps[1].affected, vec![4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_inputs_panic() {
+        let _ = propagation_timeline(&[0.0], &[]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type for the framework crate.
+
+use mdes_lang::LangError;
+use mdes_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the `mdes` framework.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Error from the language pipeline.
+    Lang(LangError),
+    /// Error from the neural substrate.
+    Nn(NnError),
+    /// Fewer than two sensors survive filtering — no pairs to model.
+    TooFewSensors {
+        /// Sensors available after filtering.
+        available: usize,
+    },
+    /// The aligned corpora have inconsistent sentence counts.
+    MisalignedCorpora {
+        /// Sentence count of the first sensor.
+        expected: usize,
+        /// Offending count.
+        found: usize,
+    },
+    /// A corpus segment produced no sentences.
+    EmptyCorpus,
+    /// No trained model's score falls in the configured validity range.
+    NoValidModels,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Lang(e) => write!(f, "language pipeline error: {e}"),
+            CoreError::Nn(e) => write!(f, "neural model error: {e}"),
+            CoreError::TooFewSensors { available } => {
+                write!(f, "need at least two sensors after filtering, have {available}")
+            }
+            CoreError::MisalignedCorpora { expected, found } => {
+                write!(f, "misaligned corpora: expected {expected} sentences, found {found}")
+            }
+            CoreError::EmptyCorpus => write!(f, "corpus segment produced no sentences"),
+            CoreError::NoValidModels => {
+                write!(f, "no model score falls inside the validity range")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Lang(e) => Some(e),
+            CoreError::Nn(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LangError> for CoreError {
+    fn from(e: LangError) -> Self {
+        CoreError::Lang(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::from(LangError::EmptyInput);
+        assert!(e.to_string().contains("language pipeline"));
+        assert!(e.source().is_some());
+        let e = CoreError::TooFewSensors { available: 1 };
+        assert!(e.source().is_none());
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! `mdes-core` — the analytics framework of *Mining Multivariate Discrete
+//! Event Sequences for Knowledge Discovery and Anomaly Detection* (DSN 2020).
+//!
+//! The framework treats each sensor's discrete event sequence as a natural
+//! language and quantifies pairwise sensor relationships by how well one
+//! language translates into another:
+//!
+//! 1. [`Translator`] / [`train_translator`] — directional pair models:
+//!    the paper's seq2seq LSTM with attention ([`TranslatorConfig::Nmt`])
+//!    or a fast statistical surrogate ([`TranslatorConfig::Ngram`]);
+//! 2. [`build_graph`] (Algorithm 1) — trains every ordered pair and
+//!    assembles the multivariate relationship graph;
+//! 3. [`detect`] (Algorithm 2) — flags timestamps whose test BLEU drops
+//!    below the trained score for valid pairs, yielding the anomaly score
+//!    `a_t` and alert sets `W_t`;
+//! 4. [`diagnose`] — projects alerts onto the local subgraph to locate
+//!    faulty sensor clusters;
+//! 5. [`Mdes`] — the end-to-end facade tying the language pipeline and all
+//!    of the above together.
+//!
+//! # Example
+//!
+//! ```
+//! use mdes_core::{Mdes, MdesConfig};
+//! use mdes_lang::{RawTrace, WindowConfig};
+//!
+//! # fn main() -> Result<(), mdes_core::CoreError> {
+//! // Two coupled square-wave sensors.
+//! let mk = |phase: usize| RawTrace::new(
+//!     format!("s{phase}"),
+//!     (0..600)
+//!         .map(|t| if ((t + phase) / 5).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+//!         .collect(),
+//! );
+//! let traces = vec![mk(0), mk(2)];
+//! let cfg = MdesConfig {
+//!     window: WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 },
+//!     ..MdesConfig::default()
+//! };
+//! let mdes = Mdes::fit(&traces, 0..300, 300..450, cfg)?;
+//! assert!(mdes.graph().score(0, 1).expect("edge") > 80.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithm1;
+pub mod algorithm2;
+pub mod diagnosis;
+mod error;
+pub mod online;
+mod pipeline;
+pub mod translator;
+
+pub use algorithm1::{build_graph, GraphBuildConfig, PairModel, TrainedGraph};
+pub use algorithm2::{detect, BrokenRule, DetectionConfig, DetectionResult};
+pub use diagnosis::{diagnose, propagation_timeline, Diagnosis, PropagationStep};
+pub use error::CoreError;
+pub use online::{OnlineDetection, OnlineMonitor};
+pub use pipeline::{Mdes, MdesConfig};
+pub use translator::{
+    train_translator, AnyTranslator, NgramConfig, NgramTranslator, NmtTranslator, Translator,
+    TranslatorConfig,
+};

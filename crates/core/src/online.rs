@@ -1,0 +1,248 @@
+//! Streaming (online) detection: feed one multivariate sample per tick and
+//! receive a detection every time a sentence window completes.
+//!
+//! [`Mdes::detect_range`] scores a batch of historical samples;
+//! [`OnlineMonitor`] is the production-facing equivalent of the paper's
+//! *online testing phase* (Fig. 1): it buffers just enough trailing samples
+//! to form one sentence per sensor and runs Algorithm 2 on each completed
+//! window, so detections arrive with the granularity the sentence stride
+//! configures (every 20 minutes with the paper's plant settings).
+
+use crate::algorithm2::detect;
+use crate::error::CoreError;
+use crate::pipeline::Mdes;
+use mdes_lang::RawTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One emitted detection.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OnlineDetection {
+    /// Index of the sample (0-based, counted from monitor creation) at which
+    /// the window completed.
+    pub sample_index: usize,
+    /// Anomaly score `a_t` of the completed window.
+    pub score: f64,
+    /// Broken sensor pairs of the completed window.
+    pub alerts: Vec<(usize, usize)>,
+}
+
+/// A stateful streaming detector wrapping a fitted [`Mdes`].
+///
+/// Samples are pushed in the *original trace order used at fit time*
+/// (including sensors that were filtered out as constant — their values are
+/// simply ignored).
+#[derive(Clone, Debug)]
+pub struct OnlineMonitor {
+    mdes: Mdes,
+    /// Trailing samples per original sensor index.
+    buffers: Vec<VecDeque<String>>,
+    /// Samples required to form one sentence.
+    window: usize,
+    /// Samples between consecutive sentence completions.
+    step: usize,
+    /// Total samples consumed.
+    seen: usize,
+    /// Number of sensors expected per pushed sample.
+    width: usize,
+}
+
+impl OnlineMonitor {
+    /// Wraps a fitted model. `width` is the number of sensors per pushed
+    /// sample — the length of the trace array used at fit time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the largest original sensor index
+    /// the model references.
+    pub fn new(mdes: Mdes, width: usize) -> Self {
+        let needed = mdes
+            .language()
+            .languages()
+            .iter()
+            .map(|l| l.source_index + 1)
+            .max()
+            .unwrap_or(0);
+        assert!(
+            width >= needed,
+            "width {width} smaller than the model's largest source index {needed}"
+        );
+        let cfg = *mdes.language().config();
+        Self {
+            buffers: vec![VecDeque::new(); width],
+            window: cfg.min_samples(),
+            step: cfg.sent_stride * cfg.word_stride,
+            mdes,
+            seen: 0,
+            width,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn mdes(&self) -> &Mdes {
+        &self.mdes
+    }
+
+    /// Samples needed before the first detection can be emitted.
+    pub fn warmup(&self) -> usize {
+        self.window
+    }
+
+    /// Consumes one multivariate sample (one record per sensor, in the
+    /// original fit order). Returns a detection when this sample completes a
+    /// sentence window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MisalignedCorpora`] when the sample width is
+    /// wrong, and propagates detection errors (e.g. no valid models).
+    pub fn push(&mut self, records: &[String]) -> Result<Option<OnlineDetection>, CoreError> {
+        if records.len() != self.width {
+            return Err(CoreError::MisalignedCorpora {
+                expected: self.width,
+                found: records.len(),
+            });
+        }
+        for (buf, rec) in self.buffers.iter_mut().zip(records) {
+            buf.push_back(rec.clone());
+            if buf.len() > self.window {
+                buf.pop_front();
+            }
+        }
+        self.seen += 1;
+        if self.seen < self.window || (self.seen - self.window) % self.step != 0 {
+            return Ok(None);
+        }
+
+        // The trailing buffer is exactly one sentence per sensor.
+        let traces: Vec<RawTrace> = self
+            .buffers
+            .iter()
+            .enumerate()
+            .map(|(i, buf)| RawTrace::new(format!("b{i}"), buf.iter().cloned().collect()))
+            .collect();
+        let sets = self.mdes.language().encode_segment(&traces, 0..self.window)?;
+        let result = detect(self.mdes.trained(), &sets, &self.mdes.config().detection)?;
+        Ok(Some(OnlineDetection {
+            sample_index: self.seen - 1,
+            score: result.scores[0],
+            alerts: result.alerts.into_iter().next().unwrap_or_default(),
+        }))
+    }
+}
+
+impl Mdes {
+    /// Converts the fitted model into a streaming monitor over samples of
+    /// `width` sensors (the original trace count used at fit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the model's largest original
+    /// sensor index.
+    pub fn into_online_monitor(self, width: usize) -> OnlineMonitor {
+        OnlineMonitor::new(self, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::MdesConfig;
+    use mdes_graph::ScoreRange;
+    use mdes_lang::WindowConfig;
+
+    fn square(name: &str, n: usize, phase: usize) -> RawTrace {
+        RawTrace::new(
+            name,
+            (0..n)
+                .map(|t| if ((t + phase) / 5).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+                .collect(),
+        )
+    }
+
+    fn fitted() -> (Mdes, Vec<RawTrace>) {
+        let traces = vec![square("a", 700, 0), square("b", 700, 2), square("c", 700, 4)];
+        let mut cfg = MdesConfig {
+            window: WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 },
+            ..MdesConfig::default()
+        };
+        cfg.detection.valid_range = ScoreRange::closed(60.0, 100.0);
+        let m = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit");
+        (m, traces)
+    }
+
+    #[test]
+    fn streaming_matches_batch_detection() {
+        let (m, traces) = fitted();
+        let batch = m.detect_range(&traces, 450..700).expect("batch");
+        let mut monitor = m.into_online_monitor(3);
+        let mut streamed: Vec<f64> = Vec::new();
+        for t in 450..700 {
+            let sample: Vec<String> =
+                traces.iter().map(|tr| tr.events[t].clone()).collect();
+            if let Some(d) = monitor.push(&sample).expect("push") {
+                streamed.push(d.score);
+            }
+        }
+        assert_eq!(streamed.len(), batch.scores.len());
+        for (s, b) in streamed.iter().zip(&batch.scores) {
+            assert!((s - b).abs() < 1e-12, "streamed {s} vs batch {b}");
+        }
+    }
+
+    #[test]
+    fn warmup_then_periodic_emissions() {
+        let (m, traces) = fitted();
+        let warmup = {
+            let cfg = *m.language().config();
+            cfg.min_samples()
+        };
+        let mut monitor = m.into_online_monitor(3);
+        assert_eq!(monitor.warmup(), warmup);
+        let mut emissions = Vec::new();
+        for t in 0..(warmup + 11) {
+            let sample: Vec<String> =
+                traces.iter().map(|tr| tr.events[t].clone()).collect();
+            if monitor.push(&sample).expect("push").is_some() {
+                emissions.push(t);
+            }
+        }
+        // First emission exactly at warmup - 1; then every step samples.
+        assert_eq!(emissions[0], warmup - 1);
+        assert_eq!(emissions[1], warmup - 1 + 5);
+    }
+
+    #[test]
+    fn wrong_width_is_an_error() {
+        let (m, _) = fitted();
+        let mut monitor = m.into_online_monitor(3);
+        let r = monitor.push(&["on".to_owned()]);
+        assert!(matches!(r, Err(CoreError::MisalignedCorpora { expected: 3, found: 1 })));
+    }
+
+    #[test]
+    fn alerts_stream_with_scores() {
+        let (m, traces) = fitted();
+        let mut monitor = m.into_online_monitor(3);
+        for t in 450..600 {
+            // Decouple sensor b mid-stream.
+            let sample: Vec<String> = traces
+                .iter()
+                .enumerate()
+                .map(|(k, tr)| {
+                    if k == 1 && t >= 520 {
+                        tr.events[t + 3].clone() // phase slip
+                    } else {
+                        tr.events[t].clone()
+                    }
+                })
+                .collect();
+            if let Some(d) = monitor.push(&sample).expect("push") {
+                assert!((0.0..=1.0).contains(&d.score));
+                if d.sample_index > 90 && d.score > 0.5 {
+                    assert!(!d.alerts.is_empty());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Node-importance measures beyond raw in-degree.
+//!
+//! The paper identifies critical sensors by in-degree; this module adds
+//! weighted PageRank as a robustness check (`exp_ablation_centrality`) and
+//! edge-reciprocity statistics exploiting the graph's directionality — the
+//! paper notes that the two directed scores between a sensor pair generally
+//! differ.
+
+use crate::graph::RelGraph;
+
+/// Configuration for [`pagerank`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PageRankConfig {
+    /// Damping factor (probability of following an edge).
+    pub damping: f64,
+    /// Maximum power iterations.
+    pub max_iters: usize,
+    /// L1 convergence tolerance.
+    pub tol: f64,
+}
+
+impl Default for PageRankConfig {
+    fn default() -> Self {
+        Self { damping: 0.85, max_iters: 100, tol: 1e-10 }
+    }
+}
+
+/// Weighted PageRank over the directed relationship graph: a walker follows
+/// outgoing edges with probability proportional to their BLEU weight.
+/// Returns one score per node (isolated nodes receive the teleport mass);
+/// scores sum to 1.
+///
+/// # Panics
+///
+/// Panics if `damping` is outside `[0, 1)`.
+pub fn pagerank(g: &RelGraph, cfg: &PageRankConfig) -> Vec<f64> {
+    assert!(
+        (0.0..1.0).contains(&cfg.damping),
+        "damping {} must be in [0, 1)",
+        cfg.damping
+    );
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    // Pre-compute outgoing weight sums.
+    let out_weight: Vec<f64> = (0..n)
+        .map(|i| (0..n).filter_map(|j| g.score(i, j)).sum())
+        .collect();
+    for _ in 0..cfg.max_iters {
+        let mut next = vec![(1.0 - cfg.damping) * uniform; n];
+        let mut dangling = 0.0;
+        for i in 0..n {
+            if out_weight[i] <= 0.0 {
+                dangling += rank[i];
+                continue;
+            }
+            for (j, slot) in next.iter_mut().enumerate() {
+                if let Some(w) = g.score(i, j) {
+                    *slot += cfg.damping * rank[i] * w / out_weight[i];
+                }
+            }
+        }
+        // Dangling mass is redistributed uniformly.
+        let share = cfg.damping * dangling * uniform;
+        for v in &mut next {
+            *v += share;
+        }
+        let delta: f64 = next.iter().zip(&rank).map(|(a, b)| (a - b).abs()).sum();
+        rank = next;
+        if delta < cfg.tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Statistics of the directional asymmetry between the two edges of each
+/// sensor pair.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Reciprocity {
+    /// Unordered pairs with edges in both directions.
+    pub mutual_pairs: usize,
+    /// Unordered pairs with an edge in exactly one direction.
+    pub one_way_pairs: usize,
+    /// Mean `|s(i,j) - s(j,i)|` over mutual pairs.
+    pub mean_abs_asymmetry: f64,
+    /// Maximum `|s(i,j) - s(j,i)|` over mutual pairs.
+    pub max_abs_asymmetry: f64,
+}
+
+/// Computes [`Reciprocity`] for the graph.
+pub fn reciprocity(g: &RelGraph) -> Reciprocity {
+    let n = g.len();
+    let mut r = Reciprocity::default();
+    let mut total_asym = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            match (g.score(i, j), g.score(j, i)) {
+                (Some(a), Some(b)) => {
+                    r.mutual_pairs += 1;
+                    let d = (a - b).abs();
+                    total_asym += d;
+                    r.max_abs_asymmetry = r.max_abs_asymmetry.max(d);
+                }
+                (Some(_), None) | (None, Some(_)) => r.one_way_pairs += 1,
+                (None, None) => {}
+            }
+        }
+    }
+    if r.mutual_pairs > 0 {
+        r.mean_abs_asymmetry = total_asym / r.mutual_pairs as f64;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("s{i}")).collect()
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favors_sinks() {
+        let mut g = RelGraph::new(names(4));
+        // Everyone points at node 3.
+        for src in 0..3 {
+            g.set_score(src, 3, 90.0);
+        }
+        g.set_score(3, 0, 90.0);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for other in [0, 1, 2] {
+            assert!(pr[3] > pr[other], "sink should rank highest: {pr:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_empty_graph() {
+        let g = RelGraph::new(names(4));
+        let pr = pagerank(&g, &PageRankConfig::default());
+        for v in pr {
+            assert!((v - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_respects_edge_weights() {
+        let mut g = RelGraph::new(names(3));
+        g.set_score(0, 1, 95.0);
+        g.set_score(0, 2, 5.0);
+        let pr = pagerank(&g, &PageRankConfig::default());
+        assert!(pr[1] > pr[2], "heavier edge should attract more rank: {pr:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn bad_damping_panics() {
+        let g = RelGraph::new(names(2));
+        let _ = pagerank(&g, &PageRankConfig { damping: 1.5, ..Default::default() });
+    }
+
+    #[test]
+    fn reciprocity_counts_and_asymmetry() {
+        let mut g = RelGraph::new(names(3));
+        g.set_score(0, 1, 90.0);
+        g.set_score(1, 0, 70.0);
+        g.set_score(1, 2, 60.0);
+        let r = reciprocity(&g);
+        assert_eq!(r.mutual_pairs, 1);
+        assert_eq!(r.one_way_pairs, 1);
+        assert!((r.mean_abs_asymmetry - 20.0).abs() < 1e-9);
+        assert!((r.max_abs_asymmetry - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reciprocity_of_empty_graph_is_default() {
+        let g = RelGraph::new(names(3));
+        assert_eq!(reciprocity(&g), Reciprocity::default());
+    }
+}

@@ -1,0 +1,275 @@
+//! Random-walk community detection (Walktrap, Pons & Latapy 2006).
+//!
+//! The paper (§II-B) suggests a random walk-based community detection
+//! algorithm to cluster the local subgraphs into sensor groups that likely
+//! originate from the same physical component. This module implements the
+//! Walktrap agglomerative scheme on the symmetrized weight matrix:
+//!
+//! 1. Self-loops are added and the transition matrix `P = D^-1 A` raised to
+//!    the `t`-th power; row `i` of `P^t` is node `i`'s walk profile.
+//! 2. Communities start as singletons; at each step the pair of *adjacent*
+//!    communities whose merger minimizes the Ward-like increase of squared
+//!    walk distance is merged.
+//! 3. The partition maximizing weighted modularity over the whole merge
+//!    sequence is returned.
+
+use crate::graph::RelGraph;
+
+/// Configuration for [`walktrap`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WalktrapConfig {
+    /// Random-walk length `t` (Pons & Latapy recommend 3–8).
+    pub walk_length: usize,
+}
+
+impl Default for WalktrapConfig {
+    fn default() -> Self {
+        Self { walk_length: 4 }
+    }
+}
+
+/// A partition of the graph's active nodes into communities.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Communities {
+    /// Each community is a sorted list of node indices.
+    pub groups: Vec<Vec<usize>>,
+    /// Weighted modularity of the partition.
+    pub modularity: f64,
+}
+
+struct Community {
+    nodes: Vec<usize>,
+    /// Mean walk profile over member nodes.
+    profile: Vec<f64>,
+}
+
+/// Runs Walktrap on the symmetrized weights of `g`, considering only active
+/// nodes. Isolated nodes are excluded (they have no walk profile).
+///
+/// Returns singleton communities (modularity 0) when the graph has no edges.
+pub fn walktrap(g: &RelGraph, cfg: &WalktrapConfig) -> Communities {
+    let active = g.active_nodes();
+    if active.is_empty() {
+        return Communities { groups: Vec::new(), modularity: 0.0 };
+    }
+    let w = g.undirected_weights();
+    let n = active.len();
+
+    // Dense adjacency over active nodes with self-loops (aperiodicity).
+    let mut adj = vec![vec![0.0f64; n]; n];
+    let mut max_w = 0.0f64;
+    for (a, &i) in active.iter().enumerate() {
+        for (b, &j) in active.iter().enumerate() {
+            adj[a][b] = w[i][j];
+            max_w = max_w.max(w[i][j]);
+        }
+    }
+    let self_loop = if max_w > 0.0 { max_w } else { 1.0 };
+    for (a, row) in adj.iter_mut().enumerate() {
+        row[a] += self_loop;
+    }
+    let degree: Vec<f64> = adj.iter().map(|row| row.iter().sum()).collect();
+
+    // P^t by repeated multiplication.
+    let mut p: Vec<Vec<f64>> = adj
+        .iter()
+        .enumerate()
+        .map(|(a, row)| row.iter().map(|&x| x / degree[a]).collect())
+        .collect();
+    let step = p.clone();
+    for _ in 1..cfg.walk_length.max(1) {
+        p = mat_mul(&p, &step);
+    }
+
+    let mut comms: Vec<Option<Community>> = (0..n)
+        .map(|a| Some(Community { nodes: vec![a], profile: p[a].clone() }))
+        .collect();
+
+    // Track the best partition by modularity across the merge sequence.
+    let total_weight: f64 = degree.iter().sum::<f64>() / 2.0;
+    let mut best = snapshot(&comms, &adj, total_weight, &active);
+
+    for _ in 0..n.saturating_sub(1) {
+        // Find adjacent pair with minimal Ward distance increase.
+        let alive: Vec<usize> = (0..comms.len()).filter(|&i| comms[i].is_some()).collect();
+        let mut best_pair: Option<(usize, usize, f64)> = None;
+        for (x, &i) in alive.iter().enumerate() {
+            for &j in &alive[x + 1..] {
+                let (ci, cj) = (comms[i].as_ref().unwrap(), comms[j].as_ref().unwrap());
+                if !communities_adjacent(ci, cj, &adj) {
+                    continue;
+                }
+                let d = ward_delta(ci, cj, &degree);
+                if best_pair.is_none_or(|(_, _, bd)| d < bd) {
+                    best_pair = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, _)) = best_pair else { break };
+        let cj = comms[j].take().expect("alive");
+        let ci = comms[i].as_mut().expect("alive");
+        let (si, sj) = (ci.nodes.len() as f64, cj.nodes.len() as f64);
+        for (pi, pj) in ci.profile.iter_mut().zip(&cj.profile) {
+            *pi = (*pi * si + *pj * sj) / (si + sj);
+        }
+        ci.nodes.extend(&cj.nodes);
+        ci.nodes.sort_unstable();
+
+        let snap = snapshot(&comms, &adj, total_weight, &active);
+        if snap.modularity > best.modularity {
+            best = snap;
+        }
+    }
+    best
+}
+
+fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    let mut out = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn communities_adjacent(a: &Community, b: &Community, adj: &[Vec<f64>]) -> bool {
+    a.nodes.iter().any(|&x| b.nodes.iter().any(|&y| adj[x][y] > 0.0))
+}
+
+/// Ward-like merge cost: `|C1||C2| / (|C1| + |C2|) * r^2(C1, C2)` with the
+/// degree-weighted squared profile distance.
+fn ward_delta(a: &Community, b: &Community, degree: &[f64]) -> f64 {
+    let r2: f64 = a
+        .profile
+        .iter()
+        .zip(&b.profile)
+        .enumerate()
+        .map(|(k, (pa, pb))| (pa - pb).powi(2) / degree[k].max(1e-12))
+        .sum();
+    let (sa, sb) = (a.nodes.len() as f64, b.nodes.len() as f64);
+    sa * sb / (sa + sb) * r2
+}
+
+/// Weighted modularity of the current partition, with groups mapped back to
+/// original node indices.
+fn snapshot(
+    comms: &[Option<Community>],
+    adj: &[Vec<f64>],
+    total_weight: f64,
+    active: &[usize],
+) -> Communities {
+    let mut groups = Vec::new();
+    let mut modularity = 0.0;
+    for c in comms.iter().flatten() {
+        let intra: f64 = c
+            .nodes
+            .iter()
+            .flat_map(|&x| c.nodes.iter().map(move |&y| (x, y)))
+            .filter(|(x, y)| x < y)
+            .map(|(x, y)| adj[x][y])
+            .sum();
+        let deg: f64 = c.nodes.iter().map(|&x| adj[x].iter().sum::<f64>()).sum();
+        if total_weight > 0.0 {
+            modularity += intra / total_weight - (deg / (2.0 * total_weight)).powi(2);
+        }
+        groups.push(c.nodes.iter().map(|&a| active[a]).collect());
+    }
+    groups.sort_by_key(|g: &Vec<usize>| g[0]);
+    Communities { groups, modularity }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("s{i}")).collect()
+    }
+
+    /// Two dense cliques joined by a single weak edge.
+    fn two_cliques() -> RelGraph {
+        let mut g = RelGraph::new(names(8));
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    g.set_score(a, b, 90.0);
+                }
+            }
+        }
+        for a in 4..8 {
+            for b in 4..8 {
+                if a != b {
+                    g.set_score(a, b, 90.0);
+                }
+            }
+        }
+        g.set_score(0, 4, 10.0);
+        g
+    }
+
+    #[test]
+    fn recovers_two_cliques() {
+        let comms = walktrap(&two_cliques(), &WalktrapConfig::default());
+        assert_eq!(comms.groups.len(), 2, "groups: {:?}", comms.groups);
+        assert_eq!(comms.groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(comms.groups[1], vec![4, 5, 6, 7]);
+        assert!(comms.modularity > 0.2, "modularity {}", comms.modularity);
+    }
+
+    #[test]
+    fn empty_graph_yields_no_communities() {
+        let g = RelGraph::new(names(5));
+        let comms = walktrap(&g, &WalktrapConfig::default());
+        assert!(comms.groups.is_empty());
+        assert_eq!(comms.modularity, 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_excluded() {
+        let mut g = RelGraph::new(names(4));
+        g.set_score(0, 1, 80.0);
+        g.set_score(1, 0, 80.0);
+        let comms = walktrap(&g, &WalktrapConfig::default());
+        let members: Vec<usize> = comms.groups.iter().flatten().copied().collect();
+        assert!(!members.contains(&2));
+        assert!(!members.contains(&3));
+    }
+
+    #[test]
+    fn partition_covers_active_nodes_once() {
+        let comms = walktrap(&two_cliques(), &WalktrapConfig::default());
+        let mut members: Vec<usize> = comms.groups.iter().flatten().copied().collect();
+        members.sort_unstable();
+        assert_eq!(members, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_components_three_communities() {
+        let mut g = RelGraph::new(names(9));
+        for base in [0, 3, 6] {
+            for a in base..base + 3 {
+                for b in base..base + 3 {
+                    if a != b {
+                        g.set_score(a, b, 85.0);
+                    }
+                }
+            }
+        }
+        let comms = walktrap(&g, &WalktrapConfig::default());
+        assert_eq!(comms.groups.len(), 3, "groups: {:?}", comms.groups);
+    }
+
+    #[test]
+    fn walk_length_one_still_works() {
+        let comms = walktrap(&two_cliques(), &WalktrapConfig { walk_length: 1 });
+        assert_eq!(comms.groups.len(), 2);
+    }
+}

@@ -1,0 +1,98 @@
+//! Graphviz DOT export for relationship graphs (Figures 6, 7 and 9).
+
+use crate::graph::RelGraph;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// Rendering options for [`to_dot`].
+#[derive(Clone, Debug, Default)]
+pub struct DotOptions {
+    /// Graph title rendered as a label.
+    pub title: String,
+    /// Nodes drawn larger (the paper's popular sensors).
+    pub highlight_nodes: HashSet<usize>,
+    /// Edges drawn red (the paper's broken relationships, Fig. 9).
+    pub broken_edges: HashSet<(usize, usize)>,
+    /// Include isolated nodes (default: omit, as in the paper's figures).
+    pub include_isolated: bool,
+}
+
+/// Renders the graph in Graphviz DOT format.
+///
+/// Edge weights become labels; highlighted nodes get a larger shape and
+/// broken edges are colored red, matching the paper's figure conventions.
+pub fn to_dot(g: &RelGraph, opts: &DotOptions) -> String {
+    let mut out = String::new();
+    out.push_str("digraph mvrg {\n");
+    if !opts.title.is_empty() {
+        let _ = writeln!(out, "  label=\"{}\";", escape(&opts.title));
+    }
+    out.push_str("  node [shape=circle, fontsize=10];\n");
+    let nodes: Vec<usize> =
+        if opts.include_isolated { (0..g.len()).collect() } else { g.active_nodes() };
+    for i in nodes {
+        let extra = if opts.highlight_nodes.contains(&i) {
+            ", width=1.2, style=filled, fillcolor=lightblue"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  n{i} [label=\"{}\"{extra}];", escape(g.name(i)));
+    }
+    for (s, d, w) in g.edges() {
+        let color = if opts.broken_edges.contains(&(s, d)) { ", color=red" } else { "" };
+        let _ = writeln!(out, "  n{s} -> n{d} [label=\"{w:.1}\"{color}];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RelGraph {
+        let mut g = RelGraph::new(vec!["a".into(), "b".into(), "c".into()]);
+        g.set_score(0, 1, 85.5);
+        g.set_score(1, 0, 60.0);
+        g
+    }
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(dot.starts_with("digraph mvrg {"));
+        assert!(dot.contains("n0 [label=\"a\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"85.5\"]"));
+        assert!(dot.contains("n1 -> n0 [label=\"60.0\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn isolated_nodes_omitted_by_default() {
+        let dot = to_dot(&sample(), &DotOptions::default());
+        assert!(!dot.contains("n2"));
+        let all = to_dot(&sample(), &DotOptions { include_isolated: true, ..Default::default() });
+        assert!(all.contains("n2"));
+    }
+
+    #[test]
+    fn highlight_and_broken_markup() {
+        let mut opts = DotOptions::default();
+        opts.highlight_nodes.insert(0);
+        opts.broken_edges.insert((0, 1));
+        let dot = to_dot(&sample(), &opts);
+        assert!(dot.contains("fillcolor=lightblue"));
+        assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn title_and_escaping() {
+        let opts = DotOptions { title: "range \"80-90\"".into(), ..Default::default() };
+        let dot = to_dot(&sample(), &opts);
+        assert!(dot.contains("label=\"range \\\"80-90\\\"\";"));
+    }
+}

@@ -1,0 +1,378 @@
+//! The multivariate relationship graph (MVRG).
+//!
+//! Nodes are sensors; a directed edge `i -> j` carries the BLEU score of
+//! translating sensor `i`'s language into sensor `j`'s (§II-A3). The full
+//! graph produced by Algorithm 1 is dense (every ordered pair has an edge);
+//! analysis works on *subgraphs* filtered by score range
+//! ([`RelGraph::subgraph`]), optionally with *popular* high-in-degree nodes
+//! removed ([`RelGraph::without_nodes`]) to expose local cluster structure.
+
+use crate::range::ScoreRange;
+use serde::{Deserialize, Serialize};
+
+/// A directed, weighted relationship graph over named sensors.
+///
+/// Node indices are stable across [`RelGraph::subgraph`] and
+/// [`RelGraph::without_nodes`], so a node keeps its identity (and name) in
+/// every derived view.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RelGraph {
+    names: Vec<String>,
+    /// Row-major `n x n`; entry `(i, j)` is the score of edge `i -> j`.
+    scores: Vec<Option<f64>>,
+}
+
+impl RelGraph {
+    /// Creates an edgeless graph over the given sensor names.
+    pub fn new(names: Vec<String>) -> Self {
+        let n = names.len();
+        Self { names, scores: vec![None; n * n] }
+    }
+
+    /// Number of nodes (including isolated ones).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// All node names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Index of the node with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Sets the score of edge `src -> dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, an index is out of bounds, or the score is
+    /// outside `[0, 100]`.
+    pub fn set_score(&mut self, src: usize, dst: usize, score: f64) {
+        assert_ne!(src, dst, "self-edges are not allowed");
+        assert!(src < self.len() && dst < self.len(), "edge ({src}, {dst}) out of bounds");
+        assert!((0.0..=100.0).contains(&score), "score {score} outside [0, 100]");
+        let n = self.len();
+        self.scores[src * n + dst] = Some(score);
+    }
+
+    /// Removes the edge `src -> dst`, returning its previous score.
+    pub fn remove_edge(&mut self, src: usize, dst: usize) -> Option<f64> {
+        let n = self.len();
+        self.scores[src * n + dst].take()
+    }
+
+    /// Score of edge `src -> dst`, if present.
+    pub fn score(&self, src: usize, dst: usize) -> Option<f64> {
+        let n = self.len();
+        self.scores[src * n + dst]
+    }
+
+    /// Iterates over `(src, dst, score)` for every edge.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let n = self.len();
+        self.scores
+            .iter()
+            .enumerate()
+            .filter_map(move |(k, s)| s.map(|score| (k / n, k % n, score)))
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.scores.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// In-degree of node `i` (edges arriving at `i`).
+    pub fn in_degree(&self, i: usize) -> usize {
+        (0..self.len()).filter(|&src| self.score(src, i).is_some()).count()
+    }
+
+    /// Out-degree of node `i` (edges leaving `i`).
+    pub fn out_degree(&self, i: usize) -> usize {
+        (0..self.len()).filter(|&dst| self.score(i, dst).is_some()).count()
+    }
+
+    /// Nodes that participate in at least one edge.
+    pub fn active_nodes(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.in_degree(i) > 0 || self.out_degree(i) > 0)
+            .collect()
+    }
+
+    /// The *global subgraph* for a score range: keeps exactly the edges whose
+    /// score falls in `range` (§III-B1).
+    pub fn subgraph(&self, range: &ScoreRange) -> RelGraph {
+        let mut g = RelGraph::new(self.names.clone());
+        for (s, d, w) in self.edges() {
+            if range.contains(w) {
+                g.set_score(s, d, w);
+            }
+        }
+        g
+    }
+
+    /// *Popular* sensors: nodes whose in-degree is at least `threshold`
+    /// (§III-B1 uses 100 with N = 128). These are broadly-translatable
+    /// sensors that act as system-health indicators.
+    pub fn popular(&self, threshold: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.in_degree(i) >= threshold).collect()
+    }
+
+    /// The threshold the paper's in-degree >= 100 criterion corresponds to,
+    /// scaled to this graph's node count (`ceil(0.79 * n)`).
+    pub fn scaled_popular_threshold(&self) -> usize {
+        (0.79 * self.len() as f64).ceil() as usize
+    }
+
+    /// Returns a copy with every edge incident to `nodes` removed — the
+    /// *local subgraph* construction (§III-B2).
+    pub fn without_nodes(&self, nodes: &[usize]) -> RelGraph {
+        let mut g = self.clone();
+        let n = g.len();
+        for &v in nodes {
+            assert!(v < n, "node {v} out of bounds");
+            for o in 0..n {
+                g.scores[v * n + o] = None;
+                g.scores[o * n + v] = None;
+            }
+        }
+        g
+    }
+
+    /// Weakly-connected components among active nodes, each sorted by index;
+    /// components are ordered by their smallest node.
+    pub fn weakly_connected_components(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut visited = vec![false; n];
+        let mut components = Vec::new();
+        for start in self.active_nodes() {
+            if visited[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            visited[start] = true;
+            let mut comp = Vec::new();
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for (o, vis) in visited.iter_mut().enumerate() {
+                    if !*vis && (self.score(v, o).is_some() || self.score(o, v).is_some()) {
+                        *vis = true;
+                        stack.push(o);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Symmetrized weight matrix `w(i,j) = w(j,i) = s(i->j) + s(j->i)` used
+    /// by community detection; rows/cols follow node indices.
+    pub fn undirected_weights(&self) -> Vec<Vec<f64>> {
+        let n = self.len();
+        let mut w = vec![vec![0.0; n]; n];
+        for (s, d, score) in self.edges() {
+            w[s][d] += score;
+            w[d][s] += score;
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("s{i}")).collect()
+    }
+
+    #[test]
+    fn set_and_get_scores() {
+        let mut g = RelGraph::new(names(3));
+        g.set_score(0, 1, 85.0);
+        g.set_score(1, 0, 42.0);
+        assert_eq!(g.score(0, 1), Some(85.0));
+        assert_eq!(g.score(1, 0), Some(42.0));
+        assert_eq!(g.score(0, 2), None);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-edges are not allowed")]
+    fn self_edge_panics() {
+        let mut g = RelGraph::new(names(2));
+        g.set_score(1, 1, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 100]")]
+    fn out_of_range_score_panics() {
+        let mut g = RelGraph::new(names(2));
+        g.set_score(0, 1, 150.0);
+    }
+
+    #[test]
+    fn degrees() {
+        let mut g = RelGraph::new(names(4));
+        g.set_score(0, 3, 80.0);
+        g.set_score(1, 3, 81.0);
+        g.set_score(2, 3, 82.0);
+        g.set_score(3, 0, 83.0);
+        assert_eq!(g.in_degree(3), 3);
+        assert_eq!(g.out_degree(3), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_degree(2), 1);
+    }
+
+    #[test]
+    fn subgraph_filters_by_range() {
+        let mut g = RelGraph::new(names(3));
+        g.set_score(0, 1, 85.0);
+        g.set_score(1, 2, 95.0);
+        g.set_score(2, 0, 55.0);
+        let sub = g.subgraph(&ScoreRange::half_open(80.0, 90.0));
+        assert_eq!(sub.edge_count(), 1);
+        assert_eq!(sub.score(0, 1), Some(85.0));
+        assert_eq!(sub.len(), 3, "node set unchanged");
+    }
+
+    #[test]
+    fn popular_nodes_by_in_degree() {
+        let mut g = RelGraph::new(names(5));
+        for src in 0..4 {
+            g.set_score(src, 4, 70.0 + src as f64);
+        }
+        g.set_score(0, 1, 75.0);
+        assert_eq!(g.popular(4), vec![4]);
+        assert_eq!(g.popular(1), vec![1, 4]);
+        assert!(g.popular(5).is_empty());
+    }
+
+    #[test]
+    fn without_nodes_removes_incident_edges() {
+        let mut g = RelGraph::new(names(4));
+        g.set_score(0, 1, 80.0);
+        g.set_score(1, 2, 80.0);
+        g.set_score(2, 3, 80.0);
+        let local = g.without_nodes(&[1]);
+        assert_eq!(local.edge_count(), 1);
+        assert_eq!(local.score(2, 3), Some(80.0));
+        assert_eq!(local.len(), 4);
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        let mut g = RelGraph::new(names(6));
+        g.set_score(0, 1, 80.0);
+        g.set_score(2, 1, 80.0);
+        g.set_score(3, 4, 80.0);
+        // node 5 isolated.
+        let comps = g.weakly_connected_components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let mut g = RelGraph::new(names(3));
+        g.set_score(0, 1, 80.0);
+        g.set_score(2, 1, 80.0);
+        assert_eq!(g.weakly_connected_components().len(), 1);
+    }
+
+    #[test]
+    fn undirected_weights_symmetrize() {
+        let mut g = RelGraph::new(names(2));
+        g.set_score(0, 1, 80.0);
+        g.set_score(1, 0, 60.0);
+        let w = g.undirected_weights();
+        assert_eq!(w[0][1], 140.0);
+        assert_eq!(w[1][0], 140.0);
+    }
+
+    #[test]
+    fn index_of_finds_names() {
+        let g = RelGraph::new(names(3));
+        assert_eq!(g.index_of("s2"), Some(2));
+        assert_eq!(g.index_of("nope"), None);
+    }
+
+    #[test]
+    fn scaled_popular_threshold_matches_paper() {
+        // With 128 sensors the paper's threshold is in-degree >= 100; 0.79 *
+        // 128 = 101.1 -> 102. Close to the paper's choice and scale-free.
+        let g = RelGraph::new(names(128));
+        let t = g.scaled_popular_threshold();
+        assert!((100..=104).contains(&t), "threshold {t}");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn buckets_partition_edges(edges in proptest::collection::vec(
+                (0usize..8, 0usize..8, 0f64..=100.0), 0..40)) {
+                let mut g = RelGraph::new(names(8));
+                for (s, d, w) in edges {
+                    if s != d {
+                        g.set_score(s, d, w);
+                    }
+                }
+                let total: usize = ScoreRange::paper_buckets()
+                    .iter()
+                    .map(|r| g.subgraph(r).edge_count())
+                    .sum();
+                prop_assert_eq!(total, g.edge_count());
+            }
+
+            #[test]
+            fn degree_sums_equal_edge_count(edges in proptest::collection::vec(
+                (0usize..6, 0usize..6, 0f64..=100.0), 0..30)) {
+                let mut g = RelGraph::new(names(6));
+                for (s, d, w) in edges {
+                    if s != d {
+                        g.set_score(s, d, w);
+                    }
+                }
+                let in_sum: usize = (0..6).map(|i| g.in_degree(i)).sum();
+                let out_sum: usize = (0..6).map(|i| g.out_degree(i)).sum();
+                prop_assert_eq!(in_sum, g.edge_count());
+                prop_assert_eq!(out_sum, g.edge_count());
+            }
+
+            #[test]
+            fn components_partition_active_nodes(edges in proptest::collection::vec(
+                (0usize..7, 0usize..7, 50f64..=100.0), 0..25)) {
+                let mut g = RelGraph::new(names(7));
+                for (s, d, w) in edges {
+                    if s != d {
+                        g.set_score(s, d, w);
+                    }
+                }
+                let comps = g.weakly_connected_components();
+                let mut all: Vec<usize> = comps.iter().flatten().copied().collect();
+                all.sort_unstable();
+                prop_assert_eq!(all, g.active_nodes());
+            }
+        }
+    }
+}

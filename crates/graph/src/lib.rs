@@ -1,0 +1,43 @@
+//! `mdes-graph` — the multivariate relationship graph (MVRG) substrate.
+//!
+//! The MVRG is a directed weighted graph whose nodes are sensors and whose
+//! edge `i -> j` carries the BLEU score of translating sensor `i`'s language
+//! into sensor `j`'s. This crate provides:
+//!
+//! * [`RelGraph`] — the graph itself, with degree queries, score-range
+//!   subgraphs (*global subgraphs*), popular-node identification and removal
+//!   (*local subgraphs*), and weakly-connected components;
+//! * [`walktrap`] — random-walk community detection (Pons & Latapy 2006) for
+//!   clustering sensors into physical components;
+//! * [`table_stats`] / degree helpers — the statistics behind Table I and
+//!   Figure 5 of the paper;
+//! * [`to_dot`] — Graphviz export matching the paper's figure conventions.
+//!
+//! # Example
+//!
+//! ```
+//! use mdes_graph::{RelGraph, ScoreRange};
+//!
+//! let mut g = RelGraph::new(vec!["pump".into(), "valve".into(), "fan".into()]);
+//! g.set_score(0, 1, 86.0);
+//! g.set_score(1, 0, 84.0);
+//! g.set_score(2, 0, 55.0);
+//! let strong = g.subgraph(&ScoreRange::best_detection());
+//! assert_eq!(strong.edge_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod centrality;
+pub mod community;
+pub mod dot;
+mod graph;
+mod range;
+pub mod stats;
+
+pub use centrality::{pagerank, reciprocity, PageRankConfig, Reciprocity};
+pub use community::{walktrap, Communities, WalktrapConfig};
+pub use dot::{to_dot, DotOptions};
+pub use graph::RelGraph;
+pub use range::ScoreRange;
+pub use stats::{ecdf, in_degrees, out_degrees, table_stats, SubgraphStats};

@@ -1,0 +1,120 @@
+//! BLEU score ranges used to partition the relationship graph.
+
+use serde::{Deserialize, Serialize};
+
+/// An interval of BLEU scores, half-open `[lo, hi)` by default with an
+/// optional inclusive upper bound (the paper's top bucket is `[90, 100]`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScoreRange {
+    lo: f64,
+    hi: f64,
+    inclusive_hi: bool,
+}
+
+impl ScoreRange {
+    /// Half-open range `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn half_open(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid score range [{lo}, {hi})");
+        Self { lo, hi, inclusive_hi: false }
+    }
+
+    /// Closed range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn closed(lo: f64, hi: f64) -> Self {
+        assert!(lo <= hi, "invalid score range [{lo}, {hi}]");
+        Self { lo, hi, inclusive_hi: true }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Whether `score` falls inside the range.
+    pub fn contains(&self, score: f64) -> bool {
+        if self.inclusive_hi {
+            score >= self.lo && score <= self.hi
+        } else {
+            score >= self.lo && score < self.hi
+        }
+    }
+
+    /// The paper's five global-subgraph buckets:
+    /// `[0,60) [60,70) [70,80) [80,90) [90,100]` (Table I).
+    pub fn paper_buckets() -> Vec<ScoreRange> {
+        vec![
+            ScoreRange::half_open(0.0, 60.0),
+            ScoreRange::half_open(60.0, 70.0),
+            ScoreRange::half_open(70.0, 80.0),
+            ScoreRange::half_open(80.0, 90.0),
+            ScoreRange::closed(90.0, 100.0),
+        ]
+    }
+
+    /// The `[80, 90)` bucket the paper finds best for anomaly detection.
+    pub fn best_detection() -> ScoreRange {
+        ScoreRange::half_open(80.0, 90.0)
+    }
+}
+
+impl std::fmt::Display for ScoreRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let close = if self.inclusive_hi { ']' } else { ')' };
+        write!(f, "[{:.0}, {:.0}{close}", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_open_excludes_upper() {
+        let r = ScoreRange::half_open(80.0, 90.0);
+        assert!(r.contains(80.0));
+        assert!(r.contains(89.999));
+        assert!(!r.contains(90.0));
+        assert!(!r.contains(79.999));
+    }
+
+    #[test]
+    fn closed_includes_upper() {
+        let r = ScoreRange::closed(90.0, 100.0);
+        assert!(r.contains(100.0));
+        assert!(r.contains(90.0));
+    }
+
+    #[test]
+    fn paper_buckets_partition_0_to_100() {
+        let buckets = ScoreRange::paper_buckets();
+        assert_eq!(buckets.len(), 5);
+        for score in [0.0, 12.5, 59.9, 60.0, 69.9, 70.0, 80.0, 89.9, 90.0, 100.0] {
+            let hits = buckets.iter().filter(|b| b.contains(score)).count();
+            assert_eq!(hits, 1, "score {score} in {hits} buckets");
+        }
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ScoreRange::half_open(80.0, 90.0).to_string(), "[80, 90)");
+        assert_eq!(ScoreRange::closed(90.0, 100.0).to_string(), "[90, 100]");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid score range")]
+    fn inverted_range_panics() {
+        let _ = ScoreRange::half_open(90.0, 80.0);
+    }
+}

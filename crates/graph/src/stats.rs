@@ -1,0 +1,138 @@
+//! Subgraph statistics reproducing the columns of Table I and the degree
+//! distributions of Figure 5.
+
+use crate::graph::RelGraph;
+use crate::range::ScoreRange;
+use serde::{Deserialize, Serialize};
+
+/// One row of Table I: statistics of a global subgraph at a score range.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SubgraphStats {
+    /// Human-readable range label, e.g. `"[80, 90)"`.
+    pub range: String,
+    /// Share of all relationships whose score falls in the range (percent).
+    pub pct_relationships: f64,
+    /// Number of sensors with at least one edge in the subgraph.
+    pub sensors: usize,
+    /// Number of popular sensors (in-degree >= threshold).
+    pub popular_sensors: usize,
+    /// Edges remaining after removing popular sensors.
+    pub relationships_without_popular: usize,
+}
+
+/// Computes one [`SubgraphStats`] row per score range (Table I).
+///
+/// `popular_threshold` is the in-degree cut-off; pass
+/// [`RelGraph::scaled_popular_threshold`] to mirror the paper's
+/// in-degree >= 100 at N = 128.
+pub fn table_stats(
+    g: &RelGraph,
+    ranges: &[ScoreRange],
+    popular_threshold: usize,
+) -> Vec<SubgraphStats> {
+    let total_edges = g.edge_count().max(1);
+    ranges
+        .iter()
+        .map(|r| {
+            let sub = g.subgraph(r);
+            let popular = sub.popular(popular_threshold);
+            let local = sub.without_nodes(&popular);
+            SubgraphStats {
+                range: r.to_string(),
+                pct_relationships: 100.0 * sub.edge_count() as f64 / total_edges as f64,
+                sensors: sub.active_nodes().len(),
+                popular_sensors: popular.len(),
+                relationships_without_popular: local.edge_count(),
+            }
+        })
+        .collect()
+}
+
+/// In-degrees of all active nodes (for the CDF of Fig. 5a).
+pub fn in_degrees(g: &RelGraph) -> Vec<usize> {
+    g.active_nodes().into_iter().map(|i| g.in_degree(i)).collect()
+}
+
+/// Out-degrees of all active nodes (for the CDF of Fig. 5b).
+pub fn out_degrees(g: &RelGraph) -> Vec<usize> {
+    g.active_nodes().into_iter().map(|i| g.out_degree(i)).collect()
+}
+
+/// Empirical CDF over integer observations: returns `(value, fraction <= value)`
+/// pairs at each distinct value, suitable for plotting.
+pub fn ecdf(values: &[usize]) -> Vec<(usize, f64)> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let mut out: Vec<(usize, f64)> = Vec::new();
+    for (i, v) in sorted.iter().enumerate() {
+        let frac = (i + 1) as f64 / n;
+        match out.last_mut() {
+            Some(last) if last.0 == *v => last.1 = frac,
+            _ => out.push((*v, frac)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> RelGraph {
+        let names: Vec<String> = (0..5).map(|i| format!("s{i}")).collect();
+        let mut g = RelGraph::new(names);
+        g.set_score(0, 1, 85.0);
+        g.set_score(1, 0, 85.0);
+        g.set_score(2, 0, 85.0);
+        g.set_score(3, 0, 85.0);
+        g.set_score(0, 2, 95.0);
+        g.set_score(3, 4, 55.0);
+        g
+    }
+
+    #[test]
+    fn table_rows_match_manual_counts() {
+        let ranges = ScoreRange::paper_buckets();
+        let rows = table_stats(&graph(), &ranges, 3);
+        // [80,90): 4 edges, sensors {0,1,2,3}, popular = {0} (in-degree 3),
+        // removing 0 leaves no edges.
+        let row = &rows[3];
+        assert_eq!(row.range, "[80, 90)");
+        assert!((row.pct_relationships - 100.0 * 4.0 / 6.0).abs() < 1e-9);
+        assert_eq!(row.sensors, 4);
+        assert_eq!(row.popular_sensors, 1);
+        assert_eq!(row.relationships_without_popular, 0);
+        // [90,100]: single edge 0->2.
+        assert_eq!(rows[4].sensors, 2);
+        assert_eq!(rows[4].popular_sensors, 0);
+        assert_eq!(rows[4].relationships_without_popular, 1);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let rows = table_stats(&graph(), &ScoreRange::paper_buckets(), 3);
+        let total: f64 = rows.iter().map(|r| r.pct_relationships).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degree_vectors() {
+        let g = graph();
+        let ins = in_degrees(&g);
+        let outs = out_degrees(&g);
+        assert_eq!(ins.len(), outs.len());
+        assert_eq!(ins.iter().sum::<usize>(), g.edge_count());
+        assert_eq!(outs.iter().sum::<usize>(), g.edge_count());
+    }
+
+    #[test]
+    fn ecdf_properties() {
+        let cdf = ecdf(&[3, 1, 3, 2]);
+        assert_eq!(cdf, vec![(1, 0.25), (2, 0.5), (3, 1.0)]);
+        assert!(ecdf(&[]).is_empty());
+    }
+}

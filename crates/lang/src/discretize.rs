@@ -1,0 +1,230 @@
+//! Discretization of continuous features into categorical records
+//! (§IV-C of the paper, used for the Backblaze HDD case study).
+//!
+//! Two schemes are supported, chosen per feature from its training
+//! distribution:
+//!
+//! 1. **Binary** — if most observations equal zero (typical for error
+//!    counters), the feature becomes a zero/non-zero indicator.
+//! 2. **Percentile** — otherwise the 20th/40th/60th/80th percentiles of the
+//!    training distribution become decision boundaries, yielding five
+//!    quintile categories.
+//!
+//! Cumulative (monotonically non-decreasing) counters should first be
+//! converted to daily deltas with [`first_difference`].
+
+use serde::{Deserialize, Serialize};
+
+/// A fitted per-feature discretization scheme.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Zero / non-zero indicator.
+    Binary,
+    /// Quintile boundaries (20th, 40th, 60th, 80th percentiles).
+    Percentile {
+        /// Ascending decision boundaries.
+        boundaries: Vec<f64>,
+    },
+}
+
+impl Scheme {
+    /// Fits a scheme from training observations: binary when at least
+    /// `zero_fraction` of the values are exactly zero, otherwise quintiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or `zero_fraction` is outside `(0, 1]`.
+    pub fn fit(values: &[f64], zero_fraction: f64) -> Self {
+        assert!(!values.is_empty(), "cannot fit a scheme on no observations");
+        assert!(
+            zero_fraction > 0.0 && zero_fraction <= 1.0,
+            "zero_fraction must be in (0, 1], got {zero_fraction}"
+        );
+        let zeros = values.iter().filter(|&&v| v == 0.0).count();
+        if zeros as f64 / values.len() as f64 >= zero_fraction {
+            return Scheme::Binary;
+        }
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in feature values"));
+        let boundaries = [0.2, 0.4, 0.6, 0.8]
+            .iter()
+            .map(|&q| percentile(&sorted, q))
+            .collect();
+        Scheme::Percentile { boundaries }
+    }
+
+    /// Fits with the conventional threshold of 50 % zeros.
+    pub fn fit_default(values: &[f64]) -> Self {
+        Self::fit(values, 0.5)
+    }
+
+    /// Discretizes one value into a categorical record.
+    pub fn apply(&self, v: f64) -> String {
+        match self {
+            Scheme::Binary => if v == 0.0 { "zero" } else { "nonzero" }.to_owned(),
+            Scheme::Percentile { boundaries } => {
+                let bucket = boundaries.iter().filter(|&&b| v > b).count();
+                format!("q{bucket}")
+            }
+        }
+    }
+
+    /// Discretizes a whole series.
+    pub fn apply_all(&self, values: &[f64]) -> Vec<String> {
+        values.iter().map(|&v| self.apply(v)).collect()
+    }
+
+    /// Number of categories this scheme can produce.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            Scheme::Binary => 2,
+            Scheme::Percentile { boundaries } => boundaries.len() + 1,
+        }
+    }
+}
+
+/// Linear-interpolation percentile of an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// First-order difference of a cumulative counter: `out[t] = x[t] - x[t-1]`,
+/// with `out[0] = 0`. Converts lifetime counts into daily deltas.
+pub fn first_difference(values: &[f64]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(values.len());
+    out.push(0.0);
+    for w in values.windows(2) {
+        out.push(w[1] - w[0]);
+    }
+    out
+}
+
+/// Returns `true` if the series is monotonically non-decreasing — the
+/// heuristic used to recognize cumulative SMART counters.
+pub fn is_cumulative(values: &[f64]) -> bool {
+    values.windows(2).all(|w| w[1] >= w[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mostly_zero_feature_becomes_binary() {
+        let mut values = vec![0.0; 90];
+        values.extend([1.0, 3.0, 7.0, 2.0, 1.0, 5.0, 2.0, 1.0, 4.0, 9.0]);
+        let s = Scheme::fit_default(&values);
+        assert_eq!(s, Scheme::Binary);
+        assert_eq!(s.apply(0.0), "zero");
+        assert_eq!(s.apply(3.5), "nonzero");
+        assert_eq!(s.cardinality(), 2);
+    }
+
+    #[test]
+    fn spread_feature_becomes_quintiles() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = Scheme::fit_default(&values);
+        match &s {
+            Scheme::Percentile { boundaries } => {
+                assert_eq!(boundaries.len(), 4);
+                assert!(boundaries.windows(2).all(|w| w[0] < w[1]));
+            }
+            other => panic!("expected percentile scheme, got {other:?}"),
+        }
+        assert_eq!(s.cardinality(), 5);
+        assert_eq!(s.apply(1.0), "q0");
+        assert_eq!(s.apply(100.0), "q4");
+    }
+
+    #[test]
+    fn quintile_buckets_are_roughly_even() {
+        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 50.0 + 50.0).collect();
+        let s = Scheme::fit_default(&values);
+        let cats = s.apply_all(&values);
+        for q in 0..5 {
+            let label = format!("q{q}");
+            let count = cats.iter().filter(|c| **c == label).count();
+            assert!(
+                (120..=280).contains(&count),
+                "bucket {label} has {count} of 1000 observations"
+            );
+        }
+    }
+
+    #[test]
+    fn first_difference_of_cumulative_counter() {
+        let values = vec![10.0, 10.0, 12.0, 15.0, 15.0];
+        assert_eq!(first_difference(&values), vec![0.0, 0.0, 2.0, 3.0, 0.0]);
+        assert!(is_cumulative(&values));
+        assert!(!is_cumulative(&[3.0, 1.0]));
+    }
+
+    #[test]
+    fn first_difference_preserves_length() {
+        assert_eq!(first_difference(&[]).len(), 0);
+        assert_eq!(first_difference(&[5.0]).len(), 1);
+        assert_eq!(first_difference(&[1.0, 2.0, 3.0]).len(), 3);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = vec![0.0, 10.0];
+        assert!((percentile(&sorted, 0.5) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile(&[7.0], 0.4), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit a scheme on no observations")]
+    fn fit_rejects_empty() {
+        let _ = Scheme::fit_default(&[]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn apply_is_monotone_for_percentile(values in proptest::collection::vec(-1e3..1e3f64, 10..100),
+                                                a in -1e3..1e3f64, b in -1e3..1e3f64) {
+                let s = Scheme::fit(&values, 0.99);
+                if let Scheme::Percentile { .. } = s {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    let ca = s.apply(lo);
+                    let cb = s.apply(hi);
+                    // Bucket labels q0..q4 compare lexicographically in order.
+                    prop_assert!(ca <= cb, "{} > {}", ca, cb);
+                }
+            }
+
+            #[test]
+            fn bucket_count_bounded(values in proptest::collection::vec(-100.0..100.0f64, 5..80)) {
+                let s = Scheme::fit_default(&values);
+                let cats = s.apply_all(&values);
+                let distinct: std::collections::HashSet<_> = cats.iter().collect();
+                prop_assert!(distinct.len() <= s.cardinality());
+            }
+
+            #[test]
+            fn difference_then_cumsum_roundtrip(values in proptest::collection::vec(0.0..1e4f64, 1..50)) {
+                let diff = first_difference(&values);
+                let mut acc = values[0];
+                for (t, &d) in diff.iter().enumerate().skip(1) {
+                    acc += d;
+                    prop_assert!((acc - values[t]).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

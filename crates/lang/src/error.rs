@@ -1,0 +1,84 @@
+//! Error type for the language pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by the sensor-language pipeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LangError {
+    /// An input sequence or corpus was empty.
+    EmptyInput,
+    /// A sensor reported more distinct categories than the encryption
+    /// alphabet supports.
+    TooManyCategories {
+        /// Distinct categories observed.
+        found: usize,
+        /// Maximum supported by the alphabet.
+        max: usize,
+    },
+    /// A requested sample range exceeded the trace length.
+    RangeOutOfBounds {
+        /// End of the requested range.
+        end: usize,
+        /// Trace length.
+        len: usize,
+    },
+    /// The segment is too short to produce a single word or sentence under
+    /// the configured window sizes.
+    SegmentTooShort {
+        /// Samples available.
+        available: usize,
+        /// Samples required for one sentence.
+        required: usize,
+    },
+    /// Every training sequence was constant, so no language can be built.
+    AllSequencesConstant,
+    /// A window parameter (length or stride) was zero.
+    ZeroWindowParameter,
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::EmptyInput => write!(f, "empty input sequence or corpus"),
+            LangError::TooManyCategories { found, max } => {
+                write!(f, "sensor reports {found} distinct categories, alphabet supports {max}")
+            }
+            LangError::RangeOutOfBounds { end, len } => {
+                write!(f, "sample range end {end} exceeds trace length {len}")
+            }
+            LangError::SegmentTooShort { available, required } => {
+                write!(f, "segment of {available} samples cannot produce a sentence needing {required}")
+            }
+            LangError::AllSequencesConstant => {
+                write!(f, "all training sequences are constant; nothing to model")
+            }
+            LangError::ZeroWindowParameter => {
+                write!(f, "word/sentence lengths and strides must be positive")
+            }
+        }
+    }
+}
+
+impl Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_nonempty() {
+        let errs = [
+            LangError::EmptyInput,
+            LangError::TooManyCategories { found: 99, max: 52 },
+            LangError::RangeOutOfBounds { end: 10, len: 5 },
+            LangError::SegmentTooShort { available: 3, required: 30 },
+            LangError::AllSequencesConstant,
+            LangError::ZeroWindowParameter,
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! `mdes-lang` — the sensor-language pipeline of the `mdes` framework.
+//!
+//! Implements §II-A of the paper: multivariate discrete event sequences are
+//! turned into per-sensor "languages" by
+//!
+//! 1. **sequence filtering** — constant sequences are discarded,
+//! 2. **discrete event encryption** — each distinct record becomes a letter
+//!    ([`Alphabet`]),
+//! 3. **word generation** — letters are grouped into fixed-length words by a
+//!    sliding window ([`window`]), with word ids assigned by a [`Vocab`],
+//! 4. **sentence generation** — words are grouped into fixed-length
+//!    sentences, each covering a known time window.
+//!
+//! The [`LanguagePipeline`] orchestrates all four steps and guarantees that
+//! sentence `k` is time-aligned across sensors, which is what makes
+//! simultaneous sentences usable as translation pairs.
+//!
+//! For continuous telemetry (the HDD case study, §IV-C), [`discretize`]
+//! converts features to categorical records first.
+//!
+//! # Example
+//!
+//! ```
+//! use mdes_lang::{LanguagePipeline, RawTrace, WindowConfig};
+//!
+//! # fn main() -> Result<(), mdes_lang::LangError> {
+//! let trace = RawTrace::new(
+//!     "valve",
+//!     (0..60).map(|t| if t % 6 < 3 { "open" } else { "closed" }.to_owned()).collect(),
+//! );
+//! let cfg = WindowConfig { word_len: 3, word_stride: 1, sent_len: 4, sent_stride: 4 };
+//! let pipeline = LanguagePipeline::fit(&[trace.clone()], 0..30, cfg)?;
+//! let sentences = pipeline.encode_segment(&[trace], 30..60)?;
+//! assert!(!sentences[0].is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod corpus;
+pub mod dedup;
+pub mod discretize;
+mod encrypt;
+mod error;
+pub mod resample;
+pub mod stats;
+mod vocab;
+pub mod window;
+
+pub use corpus::{LanguagePipeline, RawTrace, SensorLanguage, SentenceSet};
+pub use dedup::{dedupe_sensors, representative_traces, DedupResult};
+pub use encrypt::{is_constant, Alphabet};
+pub use error::LangError;
+pub use resample::{resample, resample_all, Event};
+pub use stats::{all_corpus_stats, corpus_stats, CorpusStats};
+pub use vocab::Vocab;
+pub use window::WindowConfig;

@@ -1,0 +1,179 @@
+//! Resampling irregular event logs onto the even grid the framework needs.
+//!
+//! The paper assumes "the sensor output is evenly sampled" (§II-A). Real
+//! controllers usually log *state changes* with timestamps instead; this
+//! module converts such change logs into evenly-sampled [`RawTrace`]s via
+//! last-observation-carried-forward.
+
+use crate::error::LangError;
+use crate::RawTrace;
+use serde::{Deserialize, Serialize};
+
+/// A timestamped state-change record.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// Event time (arbitrary integer units, e.g. epoch seconds).
+    pub time: u64,
+    /// The state the sensor switched to.
+    pub state: String,
+}
+
+impl Event {
+    /// Convenience constructor.
+    pub fn new(time: u64, state: impl Into<String>) -> Self {
+        Self { time, state: state.into() }
+    }
+}
+
+/// Resamples a change log onto an even grid covering `[start, end)` with
+/// the given `period`, holding the last observed state between changes
+/// (LOCF). Samples before the first event take the first event's state.
+///
+/// # Errors
+///
+/// Returns [`LangError::EmptyInput`] when `events` is empty or the grid is
+/// empty, and [`LangError::ZeroWindowParameter`] when `period` is zero.
+/// Events must be sorted by time; out-of-order input is an error
+/// ([`LangError::RangeOutOfBounds`] with the offending position).
+pub fn resample(
+    name: &str,
+    events: &[Event],
+    start: u64,
+    end: u64,
+    period: u64,
+) -> Result<RawTrace, LangError> {
+    if period == 0 {
+        return Err(LangError::ZeroWindowParameter);
+    }
+    if events.is_empty() || end <= start {
+        return Err(LangError::EmptyInput);
+    }
+    for (i, w) in events.windows(2).enumerate() {
+        if w[1].time < w[0].time {
+            return Err(LangError::RangeOutOfBounds { end: i + 1, len: events.len() });
+        }
+    }
+    let mut out = Vec::with_capacity(((end - start) / period) as usize);
+    let mut idx = 0usize;
+    let mut current = events[0].state.as_str();
+    let mut t = start;
+    while t < end {
+        while idx < events.len() && events[idx].time <= t {
+            current = events[idx].state.as_str();
+            idx += 1;
+        }
+        out.push(current.to_owned());
+        t += period;
+    }
+    Ok(RawTrace::new(name, out))
+}
+
+/// Resamples several change logs onto one shared grid (the intersection
+/// grid every sensor can serve), producing aligned [`RawTrace`]s.
+///
+/// # Errors
+///
+/// Propagates per-sensor errors from [`resample`].
+pub fn resample_all(
+    logs: &[(String, Vec<Event>)],
+    start: u64,
+    end: u64,
+    period: u64,
+) -> Result<Vec<RawTrace>, LangError> {
+    logs.iter().map(|(name, events)| resample(name, events, start, end, period)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_last_observation() {
+        let events = vec![Event::new(0, "off"), Event::new(25, "on"), Event::new(40, "off")];
+        let trace = resample("s", &events, 0, 60, 10).expect("resample");
+        assert_eq!(trace.events, vec!["off", "off", "off", "on", "off", "off"]);
+    }
+
+    #[test]
+    fn samples_before_first_event_use_first_state() {
+        let events = vec![Event::new(35, "on")];
+        let trace = resample("s", &events, 0, 40, 10).expect("resample");
+        assert_eq!(trace.events, vec!["on", "on", "on", "on"]);
+    }
+
+    #[test]
+    fn grid_length_matches_span() {
+        let events = vec![Event::new(0, "x")];
+        let trace = resample("s", &events, 100, 160, 15).expect("resample");
+        assert_eq!(trace.events.len(), 4);
+    }
+
+    #[test]
+    fn event_exactly_on_grid_takes_effect_at_that_sample() {
+        let events = vec![Event::new(0, "a"), Event::new(10, "b")];
+        let trace = resample("s", &events, 0, 30, 10).expect("resample");
+        assert_eq!(trace.events, vec!["a", "b", "b"]);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let ev = vec![Event::new(0, "x")];
+        assert_eq!(resample("s", &ev, 0, 10, 0), Err(LangError::ZeroWindowParameter));
+        assert_eq!(resample("s", &[], 0, 10, 1), Err(LangError::EmptyInput));
+        assert_eq!(resample("s", &ev, 10, 10, 1), Err(LangError::EmptyInput));
+        let unsorted = vec![Event::new(5, "a"), Event::new(1, "b")];
+        assert!(matches!(
+            resample("s", &unsorted, 0, 10, 1),
+            Err(LangError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn resample_all_aligns_sensors() {
+        let logs = vec![
+            ("a".to_owned(), vec![Event::new(0, "x"), Event::new(12, "y")]),
+            ("b".to_owned(), vec![Event::new(3, "p")]),
+        ];
+        let traces = resample_all(&logs, 0, 30, 5).expect("resample all");
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].events.len(), traces[1].events.len());
+        assert_eq!(traces[0].name, "a");
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn output_length_is_grid_size(
+                times in proptest::collection::vec(0u64..500, 1..20),
+                period in 1u64..50,
+                span in 1u64..300,
+            ) {
+                let mut times = times;
+                times.sort_unstable();
+                let events: Vec<Event> =
+                    times.iter().map(|&t| Event::new(t, format!("s{}", t % 3))).collect();
+                let trace = resample("s", &events, 0, span, period).expect("resample");
+                prop_assert_eq!(trace.events.len() as u64, span.div_ceil(period));
+            }
+
+            #[test]
+            fn every_sample_is_a_known_state(
+                times in proptest::collection::vec(0u64..100, 1..10),
+            ) {
+                let mut times = times;
+                times.sort_unstable();
+                let events: Vec<Event> =
+                    times.iter().map(|&t| Event::new(t, format!("s{}", t % 2))).collect();
+                let trace = resample("s", &events, 0, 120, 7).expect("resample");
+                let states: std::collections::HashSet<&str> =
+                    events.iter().map(|e| e.state.as_str()).collect();
+                for s in &trace.events {
+                    prop_assert!(states.contains(s.as_str()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Corpus diagnostics: sentence counts, out-of-vocabulary rates and word
+//! frequency summaries.
+//!
+//! At test time, unseen system states and unseen words surface as `<unk>`
+//! tokens; an elevated OOV rate is itself an anomaly indicator, and the
+//! paper's Fig. 3(b) vocabulary-size discussion is reproduced from the
+//! summaries here.
+
+use crate::corpus::SentenceSet;
+use crate::vocab::Vocab;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of one sensor's encoded sentence set.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CorpusStats {
+    /// Number of sentences.
+    pub sentences: usize,
+    /// Total word tokens.
+    pub tokens: usize,
+    /// Distinct word ids observed (including reserved ids if present).
+    pub distinct_words: usize,
+    /// Fraction of tokens that are `<unk>`.
+    pub oov_rate: f64,
+    /// Fraction of sentences containing at least one `<unk>`.
+    pub oov_sentence_rate: f64,
+}
+
+/// Computes [`CorpusStats`] for one sentence set.
+pub fn corpus_stats(set: &SentenceSet) -> CorpusStats {
+    let mut tokens = 0usize;
+    let mut unk = 0usize;
+    let mut oov_sentences = 0usize;
+    let mut seen = std::collections::HashSet::new();
+    for sentence in &set.sentences {
+        let mut has_unk = false;
+        for &w in sentence {
+            tokens += 1;
+            seen.insert(w);
+            if w == Vocab::UNK {
+                unk += 1;
+                has_unk = true;
+            }
+        }
+        if has_unk {
+            oov_sentences += 1;
+        }
+    }
+    CorpusStats {
+        sentences: set.sentences.len(),
+        tokens,
+        distinct_words: seen.len(),
+        oov_rate: if tokens == 0 { 0.0 } else { unk as f64 / tokens as f64 },
+        oov_sentence_rate: if set.sentences.is_empty() {
+            0.0
+        } else {
+            oov_sentences as f64 / set.sentences.len() as f64
+        },
+    }
+}
+
+/// Computes stats per sensor for a full aligned corpus.
+pub fn all_corpus_stats(sets: &[SentenceSet]) -> Vec<CorpusStats> {
+    sets.iter().map(corpus_stats).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(sentences: Vec<Vec<u32>>) -> SentenceSet {
+        let starts = (0..sentences.len()).collect();
+        SentenceSet { sentences, starts }
+    }
+
+    #[test]
+    fn counts_tokens_and_oov() {
+        let s = set(vec![vec![2, 3, 0], vec![2, 2, 2]]);
+        let stats = corpus_stats(&s);
+        assert_eq!(stats.sentences, 2);
+        assert_eq!(stats.tokens, 6);
+        assert_eq!(stats.distinct_words, 3);
+        assert!((stats.oov_rate - 1.0 / 6.0).abs() < 1e-12);
+        assert!((stats.oov_sentence_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clean_corpus_has_zero_oov() {
+        let s = set(vec![vec![2, 3], vec![4, 5]]);
+        let stats = corpus_stats(&s);
+        assert_eq!(stats.oov_rate, 0.0);
+        assert_eq!(stats.oov_sentence_rate, 0.0);
+    }
+
+    #[test]
+    fn empty_set_is_all_zero() {
+        let stats = corpus_stats(&set(vec![]));
+        assert_eq!(stats, CorpusStats::default());
+    }
+
+    #[test]
+    fn per_sensor_batch() {
+        let sets = vec![set(vec![vec![0, 0]]), set(vec![vec![2, 3]])];
+        let all = all_corpus_stats(&sets);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].oov_rate, 1.0);
+        assert_eq!(all[1].oov_rate, 0.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn rates_are_bounded(sentences in proptest::collection::vec(
+                proptest::collection::vec(0u32..6, 1..8), 0..12)) {
+                let stats = corpus_stats(&set(sentences));
+                prop_assert!((0.0..=1.0).contains(&stats.oov_rate));
+                prop_assert!((0.0..=1.0).contains(&stats.oov_sentence_rate));
+                prop_assert!(stats.distinct_words <= stats.tokens.max(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Word vocabularies over encrypted character sequences.
+//!
+//! A *word* is a fixed-length run of letter codes (see
+//! [`crate::encrypt::Alphabet`]). The [`Vocab`] assigns dense integer ids to
+//! the distinct words observed during training; two ids are reserved:
+//! [`Vocab::UNK`] for unseen words (including any word containing the unknown
+//! letter) and [`Vocab::BOS`] for the decoder's begin-of-sentence token.
+
+use crate::encrypt::Alphabet;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A mapping between words (letter-code vectors) and dense integer ids.
+///
+/// The lookup index is rebuilt automatically on deserialization.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(from = "VocabShadow")]
+pub struct Vocab {
+    words: Vec<Vec<u8>>,
+    #[serde(skip)]
+    index: HashMap<Vec<u8>, u32>,
+}
+
+#[derive(Deserialize)]
+struct VocabShadow {
+    words: Vec<Vec<u8>>,
+}
+
+impl From<VocabShadow> for Vocab {
+    fn from(shadow: VocabShadow) -> Self {
+        let mut v = Vocab { words: shadow.words, index: HashMap::new() };
+        v.rebuild_index();
+        v
+    }
+}
+
+impl Vocab {
+    /// Id of the unknown-word token.
+    pub const UNK: u32 = 0;
+    /// Id of the begin-of-sentence token.
+    pub const BOS: u32 = 1;
+    /// Number of reserved ids preceding real words.
+    pub const RESERVED: u32 = 2;
+
+    /// Builds a vocabulary from training words (insertion order determines
+    /// ids; duplicates are ignored).
+    pub fn fit<'a>(words: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let mut v = Vocab::default();
+        for w in words {
+            v.insert(w);
+        }
+        v
+    }
+
+    fn insert(&mut self, word: &[u8]) -> u32 {
+        if let Some(&id) = self.index.get(word) {
+            return id;
+        }
+        let id = self.words.len() as u32 + Self::RESERVED;
+        self.words.push(word.to_vec());
+        self.index.insert(word.to_vec(), id);
+        id
+    }
+
+    /// Rebuilds the lookup index. Deserialization already does this
+    /// automatically; the method is public for hand-constructed states.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (w.clone(), i as u32 + Self::RESERVED))
+            .collect();
+    }
+
+    /// Total vocabulary size including the reserved tokens.
+    pub fn size(&self) -> usize {
+        self.words.len() + Self::RESERVED as usize
+    }
+
+    /// Number of real (non-reserved) words.
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Encodes a word: unknown words — and any word containing the unknown
+    /// letter — map to [`Vocab::UNK`].
+    pub fn encode(&self, word: &[u8]) -> u32 {
+        if word.contains(&Alphabet::UNKNOWN) {
+            return Self::UNK;
+        }
+        self.index.get(word).copied().unwrap_or(Self::UNK)
+    }
+
+    /// Decodes an id back to its word, or `None` for reserved/invalid ids.
+    pub fn decode(&self, id: u32) -> Option<&[u8]> {
+        if id < Self::RESERVED {
+            return None;
+        }
+        self.words.get((id - Self::RESERVED) as usize).map(Vec::as_slice)
+    }
+
+    /// Renders an id as a human-readable string of letters (`<unk>`/`<s>` for
+    /// the reserved tokens).
+    pub fn render(&self, id: u32) -> String {
+        match id {
+            Self::UNK => "<unk>".to_owned(),
+            Self::BOS => "<s>".to_owned(),
+            _ => self
+                .decode(id)
+                .map(|w| w.iter().map(|&c| Alphabet::letter(c)).collect())
+                .unwrap_or_else(|| "<invalid>".to_owned()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_assigns_dense_ids_after_reserved() {
+        let words: Vec<Vec<u8>> = vec![vec![0, 1], vec![1, 1], vec![0, 1]];
+        let v = Vocab::fit(words.iter().map(Vec::as_slice));
+        assert_eq!(v.word_count(), 2);
+        assert_eq!(v.size(), 4);
+        assert_eq!(v.encode(&[0, 1]), 2);
+        assert_eq!(v.encode(&[1, 1]), 3);
+    }
+
+    #[test]
+    fn unknown_word_maps_to_unk() {
+        let v = Vocab::fit([vec![0u8, 1]].iter().map(Vec::as_slice));
+        assert_eq!(v.encode(&[9, 9]), Vocab::UNK);
+    }
+
+    #[test]
+    fn word_with_unknown_letter_maps_to_unk() {
+        let v = Vocab::fit([vec![0u8, 1]].iter().map(Vec::as_slice));
+        assert_eq!(v.encode(&[0, Alphabet::UNKNOWN]), Vocab::UNK);
+    }
+
+    #[test]
+    fn decode_and_render() {
+        let v = Vocab::fit([vec![0u8, 1, 2]].iter().map(Vec::as_slice));
+        assert_eq!(v.decode(2), Some(&[0u8, 1, 2][..]));
+        assert_eq!(v.decode(Vocab::UNK), None);
+        assert_eq!(v.render(2), "abc");
+        assert_eq!(v.render(Vocab::UNK), "<unk>");
+        assert_eq!(v.render(Vocab::BOS), "<s>");
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_index() {
+        let v = Vocab::fit([vec![0u8, 1], vec![2u8, 2]].iter().map(Vec::as_slice));
+        let json = serde_json::to_string(&v).expect("serialize");
+        let mut restored: Vocab = serde_json::from_str(&json).expect("deserialize");
+        restored.rebuild_index();
+        assert_eq!(restored.encode(&[2, 2]), v.encode(&[2, 2]));
+        assert_eq!(restored.size(), v.size());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn encode_decode_consistent(words in proptest::collection::vec(
+                proptest::collection::vec(0u8..5, 3), 1..30)) {
+                let v = Vocab::fit(words.iter().map(Vec::as_slice));
+                for w in &words {
+                    let id = v.encode(w);
+                    prop_assert!(id >= Vocab::RESERVED);
+                    prop_assert_eq!(v.decode(id), Some(w.as_slice()));
+                }
+            }
+
+            #[test]
+            fn ids_below_size(words in proptest::collection::vec(
+                proptest::collection::vec(0u8..5, 2), 1..30)) {
+                let v = Vocab::fit(words.iter().map(Vec::as_slice));
+                for w in &words {
+                    prop_assert!((v.encode(w) as usize) < v.size());
+                }
+            }
+        }
+    }
+}

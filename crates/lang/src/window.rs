@@ -1,0 +1,216 @@
+//! Sliding-window word and sentence generation (§II-A2 of the paper).
+//!
+//! Characters are grouped into *words* of `word_len` letters advancing by
+//! `word_stride`; words are grouped into *sentences* of `sent_len` words
+//! advancing by `sent_stride`. Only full windows are produced. With the
+//! paper's plant settings (`word_len = 10`, `word_stride = 1`,
+//! `sent_len = 20`, `sent_stride = 20`) each sentence covers 20 consecutive
+//! minutes and detection runs every 20 minutes.
+
+use crate::error::LangError;
+use serde::{Deserialize, Serialize};
+
+/// Window parameters for turning character streams into sentences.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowConfig {
+    /// Characters per word (`i` in the paper).
+    pub word_len: usize,
+    /// Characters the word window advances by (`j`).
+    pub word_stride: usize,
+    /// Words per sentence (`m`).
+    pub sent_len: usize,
+    /// Words the sentence window advances by (`n`).
+    pub sent_stride: usize,
+}
+
+impl Default for WindowConfig {
+    /// The paper's physical-plant settings.
+    fn default() -> Self {
+        Self { word_len: 10, word_stride: 1, sent_len: 20, sent_stride: 20 }
+    }
+}
+
+impl WindowConfig {
+    /// The paper's HDD settings (daily sampling): 5-character words, 7-word
+    /// sentences, both strides 1.
+    pub fn hdd() -> Self {
+        Self { word_len: 5, word_stride: 1, sent_len: 7, sent_stride: 1 }
+    }
+
+    /// Validates that all lengths and strides are positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LangError::ZeroWindowParameter`] when any field is zero.
+    pub fn validate(&self) -> Result<(), LangError> {
+        if self.word_len == 0 || self.word_stride == 0 || self.sent_len == 0 || self.sent_stride == 0
+        {
+            return Err(LangError::ZeroWindowParameter);
+        }
+        Ok(())
+    }
+
+    /// Number of words generated from `samples` characters.
+    pub fn word_count(&self, samples: usize) -> usize {
+        if samples < self.word_len {
+            0
+        } else {
+            (samples - self.word_len) / self.word_stride + 1
+        }
+    }
+
+    /// Number of sentences generated from `samples` characters.
+    pub fn sentence_count(&self, samples: usize) -> usize {
+        let words = self.word_count(samples);
+        if words < self.sent_len {
+            0
+        } else {
+            (words - self.sent_len) / self.sent_stride + 1
+        }
+    }
+
+    /// Minimum characters needed to produce one sentence.
+    pub fn min_samples(&self) -> usize {
+        self.word_len + (self.sent_len - 1) * self.word_stride
+    }
+
+    /// The first character index covered by sentence `s` (its timestamp
+    /// within the segment).
+    pub fn sentence_start(&self, s: usize) -> usize {
+        s * self.sent_stride * self.word_stride
+    }
+}
+
+/// Extracts fixed-length words from a character stream.
+pub fn words<'a>(chars: &'a [u8], cfg: &WindowConfig) -> Vec<&'a [u8]> {
+    let n = cfg.word_count(chars.len());
+    (0..n).map(|w| &chars[w * cfg.word_stride..w * cfg.word_stride + cfg.word_len]).collect()
+}
+
+/// Groups a stream of word ids into fixed-length sentences.
+pub fn sentences(word_ids: &[u32], cfg: &WindowConfig) -> Vec<Vec<u32>> {
+    let count = if word_ids.len() < cfg.sent_len {
+        0
+    } else {
+        (word_ids.len() - cfg.sent_len) / cfg.sent_stride + 1
+    };
+    (0..count)
+        .map(|s| word_ids[s * cfg.sent_stride..s * cfg.sent_stride + cfg.sent_len].to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_plant_settings() {
+        let cfg = WindowConfig::default();
+        assert_eq!((cfg.word_len, cfg.word_stride, cfg.sent_len, cfg.sent_stride), (10, 1, 20, 20));
+    }
+
+    #[test]
+    fn paper_sentence_arithmetic() {
+        // §III-A1: 1440 characters/day with non-overlapping 20-word sentences
+        // of 10-char words (stride 1) -> 71 full sentences from the word
+        // stream of 1431 words; the paper rounds to 72 by padding the last
+        // day boundary, we produce exactly floor arithmetic.
+        let cfg = WindowConfig::default();
+        assert_eq!(cfg.word_count(1440), 1431);
+        assert_eq!(cfg.sentence_count(1440), 71);
+    }
+
+    #[test]
+    fn words_overlap_by_stride() {
+        let chars = vec![0u8, 1, 2, 3, 4];
+        let cfg = WindowConfig { word_len: 3, word_stride: 1, sent_len: 1, sent_stride: 1 };
+        let ws = words(&chars, &cfg);
+        assert_eq!(ws, vec![&[0u8, 1, 2][..], &[1, 2, 3], &[2, 3, 4]]);
+    }
+
+    #[test]
+    fn words_with_larger_stride() {
+        let chars = vec![0u8, 1, 2, 3, 4, 5];
+        let cfg = WindowConfig { word_len: 2, word_stride: 2, sent_len: 1, sent_stride: 1 };
+        let ws = words(&chars, &cfg);
+        assert_eq!(ws, vec![&[0u8, 1][..], &[2, 3], &[4, 5]]);
+    }
+
+    #[test]
+    fn sentences_non_overlapping() {
+        let ids: Vec<u32> = (0..10).collect();
+        let cfg = WindowConfig { word_len: 1, word_stride: 1, sent_len: 3, sent_stride: 3 };
+        let ss = sentences(&ids, &cfg);
+        assert_eq!(ss, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]]);
+    }
+
+    #[test]
+    fn sentences_sliding() {
+        let ids: Vec<u32> = (0..5).collect();
+        let cfg = WindowConfig { word_len: 1, word_stride: 1, sent_len: 3, sent_stride: 1 };
+        let ss = sentences(&ids, &cfg);
+        assert_eq!(ss.len(), 3);
+        assert_eq!(ss[2], vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn too_short_produces_nothing() {
+        let cfg = WindowConfig::default();
+        assert_eq!(words(&[0u8; 5], &cfg).len(), 0);
+        assert_eq!(sentences(&[0u32; 5], &cfg).len(), 0);
+    }
+
+    #[test]
+    fn min_samples_is_tight() {
+        let cfg = WindowConfig { word_len: 4, word_stride: 2, sent_len: 3, sent_stride: 1 };
+        let min = cfg.min_samples();
+        assert_eq!(cfg.sentence_count(min), 1);
+        assert_eq!(cfg.sentence_count(min - 1), 0);
+    }
+
+    #[test]
+    fn zero_parameter_rejected() {
+        let cfg = WindowConfig { word_len: 0, ..WindowConfig::default() };
+        assert_eq!(cfg.validate(), Err(LangError::ZeroWindowParameter));
+        assert!(WindowConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn sentence_start_maps_to_characters() {
+        let cfg = WindowConfig::default();
+        // Sentence s starts at word s*20, each word starts at its index.
+        assert_eq!(cfg.sentence_start(0), 0);
+        assert_eq!(cfg.sentence_start(3), 60);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn word_count_matches(chars in proptest::collection::vec(0u8..3, 0..200),
+                                  wl in 1usize..8, ws in 1usize..4) {
+                let cfg = WindowConfig { word_len: wl, word_stride: ws, sent_len: 1, sent_stride: 1 };
+                let got = words(&chars, &cfg);
+                prop_assert_eq!(got.len(), cfg.word_count(chars.len()));
+                for w in got {
+                    prop_assert_eq!(w.len(), wl);
+                }
+            }
+
+            #[test]
+            fn sentences_cover_contiguous_words(n in 0usize..100, sl in 1usize..6, ss in 1usize..6) {
+                let ids: Vec<u32> = (0..n as u32).collect();
+                let cfg = WindowConfig { word_len: 1, word_stride: 1, sent_len: sl, sent_stride: ss };
+                for (k, s) in sentences(&ids, &cfg).iter().enumerate() {
+                    prop_assert_eq!(s.len(), sl);
+                    let start = (k * ss) as u32;
+                    for (off, &w) in s.iter().enumerate() {
+                        prop_assert_eq!(w, start + off as u32);
+                    }
+                }
+            }
+        }
+    }
+}

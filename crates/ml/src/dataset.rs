@@ -1,0 +1,182 @@
+//! Tabular datasets and resampling utilities for the baseline models.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense tabular dataset with integer class labels.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Row-major feature matrix; every row has the same length.
+    pub x: Vec<Vec<f64>>,
+    /// Class label per row.
+    pub y: Vec<usize>,
+    /// Optional feature names (empty = unnamed).
+    pub feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating that rows are rectangular and labels
+    /// match rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row lengths differ or `x.len() != y.len()`.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<usize>) -> Self {
+        assert_eq!(x.len(), y.len(), "feature rows and labels must match");
+        if let Some(first) = x.first() {
+            let d = first.len();
+            assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        }
+        Self { x, y, feature_names: Vec::new() }
+    }
+
+    /// Attaches feature names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name count differs from the feature count.
+    pub fn with_feature_names(mut self, names: Vec<String>) -> Self {
+        assert_eq!(names.len(), self.n_features(), "feature name count mismatch");
+        self.feature_names = names;
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Number of features per row (0 when empty).
+    pub fn n_features(&self) -> usize {
+        self.x.first().map_or(0, Vec::len)
+    }
+
+    /// Number of distinct classes (max label + 1).
+    pub fn n_classes(&self) -> usize {
+        self.y.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Splits rows into `(train, test)` with `train_fraction` of rows in the
+    /// training set, after shuffling with `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn train_test_split(&self, train_fraction: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1), got {train_fraction}"
+        );
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        let cut = ((self.len() as f64) * train_fraction).round() as usize;
+        let take = |ids: &[usize]| Dataset {
+            x: ids.iter().map(|&i| self.x[i].clone()).collect(),
+            y: ids.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+        };
+        (take(&idx[..cut]), take(&idx[cut..]))
+    }
+
+    /// Under-samples the majority class to a 1-to-1 ratio with the minority
+    /// class (the paper's RF training protocol, §IV-B).
+    pub fn undersample_balanced(&self, rng: &mut impl Rng) -> Dataset {
+        let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for (i, &c) in self.y.iter().enumerate() {
+            by_class[c].push(i);
+        }
+        let min = by_class.iter().filter(|v| !v.is_empty()).map(Vec::len).min().unwrap_or(0);
+        let mut keep: Vec<usize> = Vec::new();
+        for ids in &mut by_class {
+            ids.shuffle(rng);
+            keep.extend(ids.iter().take(min));
+        }
+        keep.sort_unstable();
+        Dataset {
+            x: keep.iter().map(|&i| self.x[i].clone()).collect(),
+            y: keep.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Rows belonging to one class (e.g. the healthy majority for OC-SVM).
+    pub fn filter_class(&self, class: usize) -> Dataset {
+        let ids: Vec<usize> =
+            (0..self.len()).filter(|&i| self.y[i] == class).collect();
+        Dataset {
+            x: ids.iter().map(|&i| self.x[i].clone()).collect(),
+            y: ids.iter().map(|&i| self.y[i]).collect(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Dataset {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, (i * 2) as f64]).collect();
+        let y = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = sample();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged feature rows")]
+    fn ragged_rows_rejected() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn split_preserves_rows() {
+        let d = sample();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = d.train_test_split(0.8, &mut rng);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.len() + test.len(), d.len());
+    }
+
+    #[test]
+    fn undersample_balances_classes() {
+        let d = sample();
+        let mut rng = StdRng::seed_from_u64(2);
+        let b = d.undersample_balanced(&mut rng);
+        let zeros = b.y.iter().filter(|&&c| c == 0).count();
+        let ones = b.y.iter().filter(|&&c| c == 1).count();
+        assert_eq!(zeros, 3);
+        assert_eq!(ones, 3);
+    }
+
+    #[test]
+    fn filter_class_selects_only_that_class() {
+        let d = sample();
+        let healthy = d.filter_class(0);
+        assert_eq!(healthy.len(), 7);
+        assert!(healthy.y.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn feature_names_carried_through() {
+        let d = sample().with_feature_names(vec!["a".into(), "b".into()]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (train, _) = d.train_test_split(0.5, &mut rng);
+        assert_eq!(train.feature_names, vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

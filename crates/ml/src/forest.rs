@@ -1,0 +1,197 @@
+//! Random forest classifier (Breiman 2001) with Gini feature importance.
+//!
+//! The paper uses a random forest as the supervised baseline on the
+//! Backblaze data (§IV-B) and its feature-importance ranking as the
+//! reference for the graph-based ranking (Fig. 11b).
+
+use crate::dataset::Dataset;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`RandomForest`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree induction parameters; `max_features = None` here means
+    /// `sqrt(n_features)` is chosen automatically.
+    pub tree: TreeConfig,
+    /// RNG seed for bootstrapping and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self { n_trees: 50, tree: TreeConfig::default(), seed: 42 }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_classes: usize,
+    importances: Vec<f64>,
+}
+
+impl RandomForest {
+    /// Fits `cfg.n_trees` trees on bootstrap resamples of `data`, each split
+    /// considering `sqrt(n_features)` random features (unless overridden).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or `cfg.n_trees == 0`.
+    pub fn fit(data: &Dataset, cfg: &ForestConfig) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(cfg.n_trees > 0, "forest needs at least one tree");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = data.len();
+        let d = data.n_features();
+        let tree_cfg = TreeConfig {
+            max_features: cfg
+                .tree
+                .max_features
+                .or(Some(((d as f64).sqrt().round() as usize).max(1))),
+            ..cfg.tree
+        };
+        let mut trees = Vec::with_capacity(cfg.n_trees);
+        let mut importances = vec![0.0; d];
+        for _ in 0..cfg.n_trees {
+            let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+            let boot = Dataset {
+                x: rows.iter().map(|&r| data.x[r].clone()).collect(),
+                y: rows.iter().map(|&r| data.y[r]).collect(),
+                feature_names: data.feature_names.clone(),
+            };
+            let tree = DecisionTree::fit(&boot, &tree_cfg, &mut rng);
+            for (acc, &imp) in importances.iter_mut().zip(tree.importances()) {
+                *acc += imp;
+            }
+            trees.push(tree);
+        }
+        let total: f64 = importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut importances {
+                *imp /= total;
+            }
+        }
+        Self { trees, n_classes: data.n_classes(), importances }
+    }
+
+    /// Majority-vote prediction for one row.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        for t in &self.trees {
+            votes[t.predict_one(row)] += 1;
+        }
+        votes.iter().enumerate().max_by_key(|&(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
+    }
+
+    /// Majority-vote predictions for a matrix of rows.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Fraction of trees voting for `class` on `row`.
+    pub fn predict_proba(&self, row: &[f64], class: usize) -> f64 {
+        let votes = self.trees.iter().filter(|t| t.predict_one(row) == class).count();
+        votes as f64 / self.trees.len() as f64
+    }
+
+    /// Normalized Gini feature importances (sum to 1 when any split
+    /// happened).
+    pub fn feature_importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Features sorted by decreasing importance: `(feature index, weight)`.
+    pub fn ranked_features(&self) -> Vec<(usize, f64)> {
+        let mut ranked: Vec<(usize, f64)> =
+            self.importances.iter().copied().enumerate().collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("importances are finite"));
+        ranked
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest has no trees (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two informative features out of four; labels from a noisy XOR-ish rule
+    /// a single stump cannot capture.
+    fn dataset(n: usize) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(99);
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen::<f64>()).collect())
+            .collect();
+        let y = x
+            .iter()
+            .map(|r| usize::from((r[0] > 0.5) ^ (r[1] > 0.5)))
+            .collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn forest_learns_xor_rule() {
+        let data = dataset(400);
+        let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 30, ..Default::default() });
+        let preds = forest.predict(&data.x);
+        let acc =
+            preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64 / data.len() as f64;
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn importances_identify_informative_features() {
+        let data = dataset(400);
+        let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 30, ..Default::default() });
+        let imp = forest.feature_importances();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let ranked = forest.ranked_features();
+        let top2: Vec<usize> = ranked[..2].iter().map(|&(f, _)| f).collect();
+        assert!(top2.contains(&0) && top2.contains(&1), "ranked {ranked:?}");
+    }
+
+    #[test]
+    fn proba_bounded_and_consistent() {
+        let data = dataset(100);
+        let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 15, ..Default::default() });
+        for row in data.x.iter().take(10) {
+            let p0 = forest.predict_proba(row, 0);
+            let p1 = forest.predict_proba(row, 1);
+            assert!((p0 + p1 - 1.0).abs() < 1e-9);
+            let pred = forest.predict_one(row);
+            let p_pred = forest.predict_proba(row, pred);
+            assert!(p_pred >= 0.5 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = dataset(100);
+        let cfg = ForestConfig { n_trees: 10, ..Default::default() };
+        let a = RandomForest::fit(&data, &cfg);
+        let b = RandomForest::fit(&data, &cfg);
+        assert_eq!(a.predict(&data.x), b.predict(&data.x));
+        assert_eq!(a.feature_importances(), b.feature_importances());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_rejected() {
+        let data = dataset(10);
+        let _ = RandomForest::fit(&data, &ForestConfig { n_trees: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,196 @@
+//! Lloyd's k-means with k-means++ initialization — the classic unsupervised
+//! clustering alternative cited by the paper's introduction.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`KMeans`].
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        Self { k: 2, max_iters: 100, tol: 1e-6 }
+    }
+}
+
+/// A fitted k-means model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KMeans {
+    centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Fits `cfg.k` clusters to `x` with k-means++ seeding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty, rows are ragged, or `k` is zero or larger
+    /// than the number of rows.
+    pub fn fit(x: &[Vec<f64>], cfg: &KMeansConfig, rng: &mut impl Rng) -> Self {
+        assert!(!x.is_empty(), "cannot cluster an empty dataset");
+        assert!(
+            cfg.k > 0 && cfg.k <= x.len(),
+            "k = {} must be in 1..={}",
+            cfg.k,
+            x.len()
+        );
+        let d = x[0].len();
+        assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(cfg.k);
+        centroids.push(x[rng.gen_range(0..x.len())].clone());
+        while centroids.len() < cfg.k {
+            let d2: Vec<f64> = x
+                .iter()
+                .map(|r| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(r, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            let next = if total <= 0.0 {
+                rng.gen_range(0..x.len())
+            } else {
+                let mut pick = rng.gen::<f64>() * total;
+                let mut chosen = x.len() - 1;
+                for (i, &w) in d2.iter().enumerate() {
+                    pick -= w;
+                    if pick <= 0.0 {
+                        chosen = i;
+                        break;
+                    }
+                }
+                chosen
+            };
+            centroids.push(x[next].clone());
+        }
+
+        // Lloyd iterations.
+        for _ in 0..cfg.max_iters {
+            let assign: Vec<usize> = x.iter().map(|r| nearest(r, &centroids).0).collect();
+            let mut sums = vec![vec![0.0; d]; cfg.k];
+            let mut counts = vec![0usize; cfg.k];
+            for (r, &a) in x.iter().zip(&assign) {
+                counts[a] += 1;
+                for (s, v) in sums[a].iter_mut().zip(r) {
+                    *s += v;
+                }
+            }
+            let mut movement = 0.0;
+            for (c, (sum, &count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+                if count == 0 {
+                    continue; // keep empty centroid in place
+                }
+                let new: Vec<f64> = sum.iter().map(|s| s / count as f64).collect();
+                movement += sq_dist(c, &new).sqrt();
+                *c = new;
+            }
+            if movement < cfg.tol {
+                break;
+            }
+        }
+        Self { centroids }
+    }
+
+    /// Cluster index of the nearest centroid.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        nearest(row, &self.centroids).0
+    }
+
+    /// Cluster indices for a matrix of rows.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Euclidean distance from `row` to its nearest centroid — usable as an
+    /// anomaly score.
+    pub fn distance_to_nearest(&self, row: &[f64]) -> f64 {
+        nearest(row, &self.centroids).1.sqrt()
+    }
+
+    /// The fitted centroids.
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
+}
+
+fn nearest(row: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0, f64::INFINITY);
+    for (i, c) in centroids.iter().enumerate() {
+        let d = sq_dist(row, c);
+        if d < best.1 {
+            best = (i, d);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut x = Vec::new();
+        for center in [0.0, 10.0] {
+            for _ in 0..50 {
+                x.push(vec![center + rng.gen::<f64>(), center + rng.gen::<f64>()]);
+            }
+        }
+        x
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let x = blobs();
+        let mut rng = StdRng::seed_from_u64(1);
+        let km = KMeans::fit(&x, &KMeansConfig::default(), &mut rng);
+        let labels = km.predict(&x);
+        // All of blob 1 in one cluster, all of blob 2 in the other.
+        let first = labels[0];
+        assert!(labels[..50].iter().all(|&l| l == first));
+        assert!(labels[50..].iter().all(|&l| l != first));
+    }
+
+    #[test]
+    fn distance_score_flags_outliers() {
+        let x = blobs();
+        let mut rng = StdRng::seed_from_u64(2);
+        let km = KMeans::fit(&x, &KMeansConfig::default(), &mut rng);
+        let inlier = km.distance_to_nearest(&[0.5, 0.5]);
+        let outlier = km.distance_to_nearest(&[50.0, 50.0]);
+        assert!(outlier > inlier * 10.0);
+    }
+
+    #[test]
+    fn k_equals_one_gives_mean_centroid() {
+        let x = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let mut rng = StdRng::seed_from_u64(3);
+        let km = KMeans::fit(&x, &KMeansConfig { k: 1, ..Default::default() }, &mut rng);
+        assert!((km.centroids()[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=")]
+    fn k_larger_than_points_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = KMeans::fit(&[vec![0.0]], &KMeansConfig { k: 5, ..Default::default() }, &mut rng);
+    }
+}

@@ -1,0 +1,45 @@
+//! `mdes-ml` — baseline machine-learning models and evaluation metrics.
+//!
+//! The paper compares its translation-graph framework against two
+//! conventional models on the HDD dataset (§IV-B, Table II):
+//!
+//! * [`RandomForest`] — the supervised baseline, also supplying the
+//!   feature-importance ranking of Fig. 11(b);
+//! * [`OneClassSvm`] — the unsupervised baseline (RBF kernel, ν-form);
+//!
+//! plus [`KMeans`], the classic unsupervised clustering alternative cited in
+//! the introduction. [`Dataset`] provides splitting/under-sampling and
+//! [`Confusion`] the recall/precision metrics Table II reports.
+//!
+//! # Example
+//!
+//! ```
+//! use mdes_ml::{Dataset, ForestConfig, RandomForest};
+//!
+//! let x = vec![vec![0.0], vec![0.1], vec![5.0], vec![5.1]];
+//! let y = vec![0, 0, 1, 1];
+//! let forest = RandomForest::fit(&Dataset::new(x, y), &ForestConfig::default());
+//! assert_eq!(forest.predict_one(&[5.05]), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dataset;
+mod forest;
+pub mod hawkes;
+mod kmeans;
+mod metrics;
+mod roc;
+mod scale;
+mod svm;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use forest::{ForestConfig, RandomForest};
+pub use hawkes::{Hawkes, HawkesConfig, HawkesEvent};
+pub use kmeans::{KMeans, KMeansConfig};
+pub use metrics::Confusion;
+pub use roc::{auc, roc_curve, RocPoint};
+pub use scale::Scaler;
+pub use svm::{Gamma, OneClassSvm, SvmConfig};
+pub use tree::{DecisionTree, TreeConfig};

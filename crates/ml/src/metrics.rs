@@ -1,0 +1,124 @@
+//! Classification evaluation metrics (recall is Table II's headline number).
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix with class `1` treated as positive (anomaly).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Builds the matrix from prediction/truth pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(pred: &[usize], truth: &[usize]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+        let mut c = Confusion::default();
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p != 0, t != 0) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Recall (true-positive rate): `tp / (tp + fn)`; 0 when undefined.
+    pub fn recall(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// Precision: `tp / (tp + fp)`; 0 when undefined.
+    pub fn precision(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// F1 score (harmonic mean of precision and recall); 0 when undefined.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy over all predictions; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.tp + self.tn + self.fp + self.fn_)
+    }
+
+    /// False-positive rate: `fp / (fp + tn)`; 0 when undefined.
+    pub fn false_positive_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_from_predictions() {
+        let pred = [1, 1, 0, 0, 1];
+        let truth = [1, 0, 0, 1, 1];
+        let c = Confusion::from_predictions(&pred, &truth);
+        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn metric_values() {
+        let c = Confusion { tp: 8, fp: 2, tn: 85, fn_: 5 };
+        assert!((c.recall() - 8.0 / 13.0).abs() < 1e-12);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.accuracy() - 0.93).abs() < 1e-12);
+        assert!((c.false_positive_rate() - 2.0 / 87.0).abs() < 1e-12);
+        let f1 = c.f1();
+        assert!(f1 > 0.0 && f1 < 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = Confusion::default();
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let c = Confusion::from_predictions(&[1, 0, 1], &[1, 0, 1]);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = Confusion::from_predictions(&[1], &[1, 0]);
+    }
+}

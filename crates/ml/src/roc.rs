@@ -1,0 +1,145 @@
+//! Threshold-free evaluation: ROC curves and AUC for continuous anomaly
+//! scores (e.g. OC-SVM decision values, k-means distances, or the
+//! framework's `a_t`).
+
+/// One point of a ROC curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RocPoint {
+    /// Score threshold producing this point (predict positive when
+    /// `score >= threshold`).
+    pub threshold: f64,
+    /// True-positive rate at the threshold.
+    pub tpr: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+}
+
+/// Computes the ROC curve of `scores` against binary `labels` (1 =
+/// positive). Higher scores should indicate positives. Points are ordered
+/// by increasing FPR, starting at `(0, 0)` and ending at `(1, 1)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or either class is absent.
+pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos = labels.iter().filter(|&&l| l != 0).count();
+    let neg = labels.len() - pos;
+    assert!(pos > 0 && neg > 0, "roc needs both classes present");
+
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+    let mut points = vec![RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 }];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0;
+    while i < order.len() {
+        // Consume all observations tied at this score before emitting.
+        let score = scores[order[i]];
+        while i < order.len() && scores[order[i]] == score {
+            if labels[order[i]] != 0 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        points.push(RocPoint {
+            threshold: score,
+            tpr: tp as f64 / pos as f64,
+            fpr: fp as f64 / neg as f64,
+        });
+    }
+    points
+}
+
+/// Area under the ROC curve via trapezoidal integration.
+///
+/// # Panics
+///
+/// Same conditions as [`roc_curve`].
+pub fn auc(scores: &[f64], labels: &[usize]) -> f64 {
+    let curve = roc_curve(scores, labels);
+    curve
+        .windows(2)
+        .map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1, 1, 0, 0];
+        assert!((auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_scores_give_auc_zero() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1, 1, 0, 0];
+        assert!(auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_ordering_auc() {
+        // Positives {4, 2} vs negatives {3, 1}: 3 of 4 pairwise orderings
+        // favor the positive -> AUC = 0.75.
+        let scores = [4.0, 3.0, 2.0, 1.0];
+        let labels = [1, 0, 1, 0];
+        let a = auc(&scores, &labels);
+        assert!((a - 0.75).abs() < 1e-12, "auc {a}");
+    }
+
+    #[test]
+    fn ties_are_averaged() {
+        let scores = [0.5, 0.5];
+        let labels = [1, 0];
+        // A single tied group: trapezoid through (0,0)-(1,1) = 0.5.
+        assert!((auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_endpoints() {
+        let scores = [0.9, 0.1, 0.8, 0.3];
+        let labels = [1, 0, 0, 1];
+        let curve = roc_curve(&scores, &labels);
+        let first = curve.first().expect("non-empty");
+        let last = curve.last().expect("non-empty");
+        assert_eq!((first.tpr, first.fpr), (0.0, 0.0));
+        assert_eq!((last.tpr, last.fpr), (1.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn single_class_panics() {
+        let _ = auc(&[0.1, 0.2], &[1, 1]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn auc_is_bounded(scores in proptest::collection::vec(-10.0..10.0f64, 4..40)) {
+                // Assign alternating labels so both classes exist.
+                let labels: Vec<usize> = (0..scores.len()).map(|i| i % 2).collect();
+                let a = auc(&scores, &labels);
+                prop_assert!((0.0..=1.0).contains(&a), "auc {}", a);
+            }
+
+            #[test]
+            fn monotone_transform_preserves_auc(scores in proptest::collection::vec(0.1..10.0f64, 4..30)) {
+                let labels: Vec<usize> = (0..scores.len()).map(|i| usize::from(i % 3 == 0)).collect();
+                let transformed: Vec<f64> = scores.iter().map(|s| s.ln() * 2.0 + 1.0).collect();
+                let a = auc(&scores, &labels);
+                let b = auc(&transformed, &labels);
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Feature standardization (z-scoring) — required by kernel methods on
+//! telemetry whose raw features span many orders of magnitude.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-feature standardizer fitted on training data.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits means and standard deviations per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is empty or rows are ragged.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "cannot fit a scaler on no rows");
+        let d = x[0].len();
+        assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature: map to zero rather than NaN
+            }
+        }
+        Self { mean, std }
+    }
+
+    /// Standardizes one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the fitted dimension.
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        assert_eq!(row.len(), self.mean.len(), "feature count mismatch");
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a whole matrix.
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+
+    /// Fits on `x` and immediately transforms it.
+    pub fn fit_transform(x: &[Vec<f64>]) -> (Self, Vec<Vec<f64>>) {
+        let s = Self::fit(x);
+        let t = s.transform(x);
+        (s, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let x = vec![vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]];
+        let (_, t) = Scaler::fit_transform(&x);
+        for c in 0..2 {
+            let mean: f64 = t.iter().map(|r| r[c]).sum::<f64>() / 3.0;
+            let var: f64 = t.iter().map(|r| r[c].powi(2)).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn constant_features_become_zero() {
+        let x = vec![vec![7.0], vec![7.0], vec![7.0]];
+        let (s, t) = Scaler::fit_transform(&x);
+        assert!(t.iter().all(|r| r[0] == 0.0));
+        // Unseen values still map finitely.
+        assert!(s.transform_row(&[9.0])[0].is_finite());
+    }
+
+    #[test]
+    fn transform_consistent_with_fit() {
+        let x = vec![vec![0.0, 2.0], vec![4.0, 6.0]];
+        let s = Scaler::fit(&x);
+        assert_eq!(s.transform(&x), Scaler::fit_transform(&x).1);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn wrong_width_panics() {
+        let s = Scaler::fit(&[vec![1.0, 2.0]]);
+        let _ = s.transform_row(&[1.0]);
+    }
+}

@@ -1,0 +1,311 @@
+//! CART decision trees with Gini impurity.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for decision-tree induction.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Features considered per split (`None` = all; forests pass `sqrt(d)`).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, max_features: None }
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted CART classifier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    /// Total Gini decrease attributed to each feature during induction.
+    importances: Vec<f64>,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty.
+    pub fn fit(data: &Dataset, cfg: &TreeConfig, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let n_classes = data.n_classes().max(1);
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            n_features: data.n_features(),
+            importances: vec![0.0; data.n_features()],
+        };
+        let rows: Vec<usize> = (0..data.len()).collect();
+        tree.grow(data, &rows, n_classes, cfg, 0, rng);
+        tree
+    }
+
+    fn grow(
+        &mut self,
+        data: &Dataset,
+        rows: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        depth: usize,
+        rng: &mut impl Rng,
+    ) -> usize {
+        let counts = class_counts(data, rows, n_classes);
+        let majority = argmax(&counts);
+        let node_gini = gini(&counts, rows.len());
+        let stop = depth >= cfg.max_depth
+            || rows.len() < cfg.min_samples_split
+            || node_gini == 0.0;
+        if stop {
+            self.nodes.push(Node::Leaf { class: majority });
+            return self.nodes.len() - 1;
+        }
+        let split = self.best_split(data, rows, n_classes, cfg, node_gini, rng);
+        match split {
+            None => {
+                self.nodes.push(Node::Leaf { class: majority });
+                self.nodes.len() - 1
+            }
+            Some(s) => {
+                self.importances[s.feature] += s.gain * rows.len() as f64;
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+                    rows.iter().partition(|&&r| data.x[r][s.feature] <= s.threshold);
+                // Reserve our slot before growing children.
+                self.nodes.push(Node::Leaf { class: majority });
+                let slot = self.nodes.len() - 1;
+                let left = self.grow(data, &left_rows, n_classes, cfg, depth + 1, rng);
+                let right = self.grow(data, &right_rows, n_classes, cfg, depth + 1, rng);
+                self.nodes[slot] =
+                    Node::Split { feature: s.feature, threshold: s.threshold, left, right };
+                slot
+            }
+        }
+    }
+
+    fn best_split(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        node_gini: f64,
+        rng: &mut impl Rng,
+    ) -> Option<SplitChoice> {
+        let mut features: Vec<usize> = (0..data.n_features()).collect();
+        if let Some(k) = cfg.max_features {
+            features.shuffle(rng);
+            features.truncate(k.clamp(1, data.n_features()));
+        }
+        let n = rows.len() as f64;
+        let mut best: Option<SplitChoice> = None;
+        for &f in &features {
+            let mut vals: Vec<(f64, usize)> =
+                rows.iter().map(|&r| (data.x[r][f], data.y[r])).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN features"));
+            let mut left_counts = vec![0usize; n_classes];
+            let total_counts = {
+                let mut c = vec![0usize; n_classes];
+                for &(_, y) in &vals {
+                    c[y] += 1;
+                }
+                c
+            };
+            for i in 0..vals.len() - 1 {
+                left_counts[vals[i].1] += 1;
+                if vals[i].0 == vals[i + 1].0 {
+                    continue;
+                }
+                let left_n = i + 1;
+                let right_n = vals.len() - left_n;
+                let right_counts: Vec<usize> = total_counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&t, &l)| t - l)
+                    .collect();
+                let weighted = (left_n as f64 / n) * gini(&left_counts, left_n)
+                    + (right_n as f64 / n) * gini(&right_counts, right_n);
+                let gain = node_gini - weighted;
+                if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
+                    best = Some(SplitChoice {
+                        feature: f,
+                        threshold: (vals[i].0 + vals[i + 1].0) / 2.0,
+                        gain,
+                    });
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts the class of one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has the wrong feature count.
+    pub fn predict_one(&self, row: &[f64]) -> usize {
+        assert_eq!(row.len(), self.n_features, "feature count mismatch");
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { class } => return *class,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicts classes for every row of `x`.
+    pub fn predict(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|r| self.predict_one(r)).collect()
+    }
+
+    /// Raw (unnormalized) per-feature importance: total weighted Gini
+    /// decrease.
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+struct SplitChoice {
+    feature: usize,
+    threshold: f64,
+    gain: f64,
+}
+
+fn class_counts(data: &Dataset, rows: &[usize], n_classes: usize) -> Vec<usize> {
+    let mut c = vec![0usize; n_classes];
+    for &r in rows {
+        c[data.y[r]] += 1;
+    }
+    c
+}
+
+fn argmax(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn gini(counts: &[usize], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn axis_separable(n: usize) -> Dataset {
+        // Class determined by x0 > 0.5; x1 is noise.
+        let mut rng = StdRng::seed_from_u64(7);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let y = x.iter().map(|r| usize::from(r[0] > 0.5)).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn learns_axis_aligned_boundary() {
+        let data = axis_separable(200);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        let preds = tree.predict(&data.x);
+        let acc =
+            preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64 / data.len() as f64;
+        assert!(acc > 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn importance_concentrates_on_informative_feature() {
+        let data = axis_separable(300);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        let imp = tree.importances();
+        assert!(imp[0] > imp[1] * 5.0, "importances {imp:?}");
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let data = axis_separable(200);
+        let mut rng = StdRng::seed_from_u64(3);
+        let stump = DecisionTree::fit(
+            &data,
+            &TreeConfig { max_depth: 1, ..TreeConfig::default() },
+            &mut rng,
+        );
+        // A depth-1 tree has at most 3 nodes.
+        assert!(stump.node_count() <= 3);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![1, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_one(&[5.0]), 1);
+    }
+
+    #[test]
+    fn constant_features_yield_majority_leaf() {
+        let data = Dataset::new(vec![vec![1.0], vec![1.0], vec![1.0]], vec![0, 1, 1]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.predict_one(&[1.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = DecisionTree::fit(&Dataset::default(), &TreeConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn multiclass_works() {
+        // Three bands on one axis.
+        let x: Vec<Vec<f64>> = (0..90).map(|i| vec![i as f64]).collect();
+        let y: Vec<usize> = (0..90).map(|i| i / 30).collect();
+        let data = Dataset::new(x, y);
+        let mut rng = StdRng::seed_from_u64(8);
+        let tree = DecisionTree::fit(&data, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.predict_one(&[5.0]), 0);
+        assert_eq!(tree.predict_one(&[45.0]), 1);
+        assert_eq!(tree.predict_one(&[85.0]), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the neural substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by model training and inference entry points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A training corpus contained no sentence pairs.
+    EmptyCorpus,
+    /// Sequences in one batch had inconsistent lengths.
+    RaggedSequences {
+        /// Length of the first sequence in the batch.
+        expected: usize,
+        /// Offending length encountered later in the batch.
+        found: usize,
+    },
+    /// A token id was outside the configured vocabulary.
+    TokenOutOfRange {
+        /// The offending token id.
+        token: usize,
+        /// The vocabulary size it must be below.
+        vocab: usize,
+    },
+    /// A sequence of length zero was provided.
+    EmptySequence,
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::EmptyCorpus => write!(f, "training corpus contains no sentence pairs"),
+            NnError::RaggedSequences { expected, found } => {
+                write!(f, "inconsistent sequence lengths in batch: expected {expected}, found {found}")
+            }
+            NnError::TokenOutOfRange { token, vocab } => {
+                write!(f, "token id {token} out of vocabulary range {vocab}")
+            }
+            NnError::EmptySequence => write!(f, "sequence of length zero provided"),
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            NnError::EmptyCorpus,
+            NnError::RaggedSequences { expected: 3, found: 5 },
+            NnError::TokenOutOfRange { token: 9, vocab: 4 },
+            NnError::EmptySequence,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

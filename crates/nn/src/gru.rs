@@ -1,0 +1,338 @@
+//! Gated Recurrent Unit layers (Cho et al., 2014) on the autodiff [`Tape`].
+//!
+//! Provided as an alternative recurrent cell for the seq2seq model
+//! ([`crate::seq2seq::CellKind`]): GRUs use ~25 % fewer parameters than
+//! LSTMs, which matters when thousands of pair models are trained.
+
+use crate::matrix::Matrix;
+use crate::tape::{ParamSet, Tape, TensorId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameter slots of a single GRU layer. Gate weights are laid out as
+/// `[r | z]` (reset, update) along the columns, with a separate candidate
+/// block.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GruLayer {
+    /// Input weights for reset and update gates (`input x 2H`).
+    wx_gates: usize,
+    /// Hidden weights for reset and update gates (`H x 2H`).
+    wh_gates: usize,
+    /// Gate bias (`1 x 2H`).
+    b_gates: usize,
+    /// Input weights for the candidate state (`input x H`).
+    wx_cand: usize,
+    /// Hidden weights for the candidate state (`H x H`).
+    wh_cand: usize,
+    /// Candidate bias (`1 x H`).
+    b_cand: usize,
+    input: usize,
+    hidden: usize,
+}
+
+/// Tape-bound handles to a [`GruLayer`]'s parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundGru {
+    wx_gates: TensorId,
+    wh_gates: TensorId,
+    b_gates: TensorId,
+    wx_cand: TensorId,
+    wh_cand: TensorId,
+    b_cand: TensorId,
+    hidden: usize,
+}
+
+impl GruLayer {
+    /// Allocates parameters for a layer mapping `input` features to `hidden`
+    /// units.
+    pub fn new(params: &mut ParamSet, input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        Self {
+            wx_gates: params.add(Matrix::xavier(input, 2 * hidden, rng)),
+            wh_gates: params.add(Matrix::xavier(hidden, 2 * hidden, rng)),
+            b_gates: params.add(Matrix::zeros(1, 2 * hidden)),
+            wx_cand: params.add(Matrix::xavier(input, hidden, rng)),
+            wh_cand: params.add(Matrix::xavier(hidden, hidden, rng)),
+            b_cand: params.add(Matrix::zeros(1, hidden)),
+            input,
+            hidden,
+        }
+    }
+
+    /// Input feature count.
+    pub fn input(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden unit count.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Binds the layer parameters onto `tape` (once per forward pass).
+    pub fn bind(&self, tape: &mut Tape, params: &ParamSet) -> BoundGru {
+        BoundGru {
+            wx_gates: tape.param(params, self.wx_gates),
+            wh_gates: tape.param(params, self.wh_gates),
+            b_gates: tape.param(params, self.b_gates),
+            wx_cand: tape.param(params, self.wx_cand),
+            wh_cand: tape.param(params, self.wh_cand),
+            b_cand: tape.param(params, self.b_cand),
+            hidden: self.hidden,
+        }
+    }
+
+    /// Zero initial hidden state for a batch of `batch` rows.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> TensorId {
+        tape.leaf(Matrix::zeros(batch, self.hidden))
+    }
+}
+
+impl BoundGru {
+    /// Advances the recurrence one step:
+    ///
+    /// ```text
+    /// r = sigmoid(x Wxr + h Whr + br)      (reset gate)
+    /// z = sigmoid(x Wxz + h Whz + bz)      (update gate)
+    /// c = tanh(x Wxc + (r ⊙ h) Whc + bc)   (candidate)
+    /// h' = z ⊙ h + (1 - z) ⊙ c
+    /// ```
+    pub fn step(&self, tape: &mut Tape, x: TensorId, h: TensorId) -> TensorId {
+        let hd = self.hidden;
+        let gx = tape.matmul(x, self.wx_gates);
+        let gh = tape.matmul(h, self.wh_gates);
+        let g = tape.add(gx, gh);
+        let g = tape.add_row(g, self.b_gates);
+        let r_pre = tape.slice_cols(g, 0, hd);
+        let z_pre = tape.slice_cols(g, hd, hd);
+        let r = tape.sigmoid(r_pre);
+        let z = tape.sigmoid(z_pre);
+
+        let rh = tape.hadamard(r, h);
+        let cx = tape.matmul(x, self.wx_cand);
+        let ch = tape.matmul(rh, self.wh_cand);
+        let c = tape.add(cx, ch);
+        let c = tape.add_row(c, self.b_cand);
+        let c = tape.tanh(c);
+
+        // h' = z ⊙ h + (1 - z) ⊙ c = z ⊙ (h - c) + c.
+        let h_minus_c = {
+            let neg_c = tape.scale(c, -1.0);
+            tape.add(h, neg_c)
+        };
+        let gated = tape.hadamard(z, h_minus_c);
+        tape.add(gated, c)
+    }
+}
+
+/// A stack of GRU layers; layer `l + 1` consumes layer `l`'s hidden states.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct GruStack {
+    layers: Vec<GruLayer>,
+}
+
+/// Tape-bound handles for a [`GruStack`].
+#[derive(Clone, Debug)]
+pub struct BoundGruStack {
+    layers: Vec<BoundGru>,
+}
+
+impl GruStack {
+    /// Allocates `n_layers` layers, the first consuming `input` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_layers == 0`.
+    pub fn new(
+        params: &mut ParamSet,
+        input: usize,
+        hidden: usize,
+        n_layers: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(n_layers > 0, "GruStack requires at least one layer");
+        let mut layers = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            let in_dim = if l == 0 { input } else { hidden };
+            layers.push(GruLayer::new(params, in_dim, hidden, rng));
+        }
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty (never true for a constructed stack).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Binds all layers onto `tape`.
+    pub fn bind(&self, tape: &mut Tape, params: &ParamSet) -> BoundGruStack {
+        BoundGruStack { layers: self.layers.iter().map(|l| l.bind(tape, params)).collect() }
+    }
+
+    /// Zero hidden state for every layer.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Vec<TensorId> {
+        self.layers.iter().map(|l| l.zero_state(tape, batch)).collect()
+    }
+}
+
+impl BoundGruStack {
+    /// Advances every layer one step, returning the new per-layer hidden
+    /// states; the top layer's output is the stack output.
+    pub fn step(&self, tape: &mut Tape, x: TensorId, states: &[TensorId]) -> Vec<TensorId> {
+        debug_assert_eq!(states.len(), self.layers.len());
+        let mut out = Vec::with_capacity(self.layers.len());
+        let mut input = x;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let next = layer.step(tape, input, states[l]);
+            input = next;
+            out.push(next);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gru_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut params = ParamSet::new();
+        let layer = GruLayer::new(&mut params, 3, 5, &mut rng);
+        let mut tape = Tape::new();
+        let bound = layer.bind(&mut tape, &params);
+        let h = layer.zero_state(&mut tape, 2);
+        let x = tape.leaf(Matrix::uniform(2, 3, 1.0, &mut rng));
+        let h2 = bound.step(&mut tape, x, h);
+        assert_eq!(tape.value(h2).shape(), (2, 5));
+    }
+
+    #[test]
+    fn gru_hidden_values_bounded() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut params = ParamSet::new();
+        let layer = GruLayer::new(&mut params, 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let bound = layer.bind(&mut tape, &params);
+        let mut h = layer.zero_state(&mut tape, 1);
+        for _ in 0..40 {
+            let x = tape.leaf(Matrix::uniform(1, 2, 10.0, &mut rng));
+            h = bound.step(&mut tape, x, h);
+        }
+        // h is a convex combination of tanh outputs, so stays in (-1, 1).
+        for &v in tape.value(h).data() {
+            assert!(v.abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn gru_gradients_flow_through_time() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut params = ParamSet::new();
+        let layer = GruLayer::new(&mut params, 2, 3, &mut rng);
+        let out_w = params.add(Matrix::xavier(3, 2, &mut rng));
+        let mut tape = Tape::new();
+        let bound = layer.bind(&mut tape, &params);
+        let w = tape.param(&params, out_w);
+        let mut h = layer.zero_state(&mut tape, 1);
+        for _ in 0..4 {
+            let x = tape.leaf(Matrix::uniform(1, 2, 1.0, &mut rng));
+            h = bound.step(&mut tape, x, h);
+        }
+        let logits = tape.matmul(h, w);
+        let loss = tape.cross_entropy(logits, &[1]);
+        let grads = tape.backward(loss);
+        params.zero_grads();
+        tape.accumulate_param_grads(&grads, &mut params);
+        for p in 0..6 {
+            assert!(params.grad(p).norm_sq() > 0.0, "param {p} has zero grad");
+        }
+    }
+
+    #[test]
+    fn gru_uses_fewer_parameters_than_lstm() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut gru_params = ParamSet::new();
+        let _ = GruLayer::new(&mut gru_params, 16, 16, &mut rng);
+        let gru_count: usize = (0..gru_params.len())
+            .map(|i| gru_params.value(i).data().len())
+            .sum();
+        let mut lstm_params = ParamSet::new();
+        let _ = crate::lstm::LstmLayer::new(&mut lstm_params, 16, 16, &mut rng);
+        let lstm_count: usize = (0..lstm_params.len())
+            .map(|i| lstm_params.value(i).data().len())
+            .sum();
+        assert!(gru_count < lstm_count, "gru {gru_count} vs lstm {lstm_count}");
+    }
+
+    #[test]
+    fn stack_runs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = ParamSet::new();
+        let stack = GruStack::new(&mut params, 4, 6, 2, &mut rng);
+        assert_eq!(stack.len(), 2);
+        let mut tape = Tape::new();
+        let bound = stack.bind(&mut tape, &params);
+        let states = stack.zero_state(&mut tape, 3);
+        let x = tape.leaf(Matrix::uniform(3, 4, 1.0, &mut rng));
+        let next = bound.step(&mut tape, x, &states);
+        assert_eq!(next.len(), 2);
+        assert_eq!(tape.value(next[1]).shape(), (3, 6));
+    }
+
+    /// Finite-difference check of the full GRU step.
+    #[test]
+    fn gru_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = ParamSet::new();
+        let layer = GruLayer::new(&mut params, 2, 3, &mut rng);
+        let x_val = Matrix::uniform(2, 2, 0.5, &mut rng);
+        let forward = |tape: &mut Tape, params: &ParamSet| {
+            let bound = layer.bind(tape, params);
+            let h = layer.zero_state(tape, 2);
+            let x = tape.leaf(x_val.clone());
+            let h1 = bound.step(tape, x, h);
+            let x2 = tape.leaf(x_val.clone());
+            let h2 = bound.step(tape, x2, h1);
+            tape.cross_entropy(h2, &[0, 2])
+        };
+        let mut tape = Tape::new();
+        let loss = forward(&mut tape, &params);
+        let grads = tape.backward(loss);
+        params.zero_grads();
+        tape.accumulate_param_grads(&grads, &mut params);
+
+        let eps = 1e-2f32;
+        for p in 0..params.len() {
+            let (rows, cols) = params.value(p).shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = params.value(p).get(r, c);
+                    params.value_mut(p).set(r, c, orig + eps);
+                    let mut t1 = Tape::new();
+                    let l1 = forward(&mut t1, &params);
+                    let up = t1.value(l1).get(0, 0);
+                    params.value_mut(p).set(r, c, orig - eps);
+                    let mut t2 = Tape::new();
+                    let l2 = forward(&mut t2, &params);
+                    let down = t2.value(l2).get(0, 0);
+                    params.value_mut(p).set(r, c, orig);
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = params.grad(p).get(r, c);
+                    let denom = numeric.abs().max(analytic.abs()).max(1e-3);
+                    assert!(
+                        (numeric - analytic).abs() / denom < 5e-2,
+                        "param {p} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Long Short-Term Memory layers on top of the autodiff [`Tape`].
+//!
+//! An [`LstmLayer`] owns parameter *slots* inside a shared [`ParamSet`]; at
+//! forward time the caller binds those slots onto a tape once per pass
+//! ([`LstmLayer::bind`]) and then advances the recurrence step by step.
+
+use crate::matrix::Matrix;
+use crate::tape::{ParamSet, Tape, TensorId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameter slots of a single LSTM layer (input, hidden and bias weights for
+/// the four gates, laid out as `[i | f | g | o]` along the columns).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LstmLayer {
+    wx: usize,
+    wh: usize,
+    b: usize,
+    input: usize,
+    hidden: usize,
+}
+
+/// Tape-bound handles to an [`LstmLayer`]'s parameters, valid for one tape.
+#[derive(Clone, Copy, Debug)]
+pub struct BoundLstm {
+    wx: TensorId,
+    wh: TensorId,
+    b: TensorId,
+    hidden: usize,
+}
+
+/// Recurrent state `(h, c)` of one LSTM layer on a tape.
+#[derive(Clone, Copy, Debug)]
+pub struct LstmState {
+    /// Hidden state, `B x H`.
+    pub h: TensorId,
+    /// Cell state, `B x H`.
+    pub c: TensorId,
+}
+
+impl LstmLayer {
+    /// Allocates parameters for a layer mapping `input` features to `hidden`
+    /// units inside `params`. The forget-gate bias is initialized to `1.0`
+    /// (the standard trick to ease gradient flow early in training).
+    pub fn new(params: &mut ParamSet, input: usize, hidden: usize, rng: &mut impl Rng) -> Self {
+        let wx = params.add(Matrix::xavier(input, 4 * hidden, rng));
+        let wh = params.add(Matrix::xavier(hidden, 4 * hidden, rng));
+        let mut bias = Matrix::zeros(1, 4 * hidden);
+        for c in hidden..2 * hidden {
+            bias.set(0, c, 1.0);
+        }
+        let b = params.add(bias);
+        Self { wx, wh, b, input, hidden }
+    }
+
+    /// Input feature count.
+    pub fn input(&self) -> usize {
+        self.input
+    }
+
+    /// Hidden unit count.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Binds the layer parameters onto `tape` (once per forward pass).
+    pub fn bind(&self, tape: &mut Tape, params: &ParamSet) -> BoundLstm {
+        BoundLstm {
+            wx: tape.param(params, self.wx),
+            wh: tape.param(params, self.wh),
+            b: tape.param(params, self.b),
+            hidden: self.hidden,
+        }
+    }
+
+    /// Creates a zero initial state for a batch of `batch` rows.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> LstmState {
+        LstmState {
+            h: tape.leaf(Matrix::zeros(batch, self.hidden)),
+            c: tape.leaf(Matrix::zeros(batch, self.hidden)),
+        }
+    }
+}
+
+impl BoundLstm {
+    /// Advances the recurrence one step: consumes input `x` (`B x input`) and
+    /// the previous state, returning the next state.
+    pub fn step(&self, tape: &mut Tape, x: TensorId, state: LstmState) -> LstmState {
+        let h = self.hidden;
+        let zx = tape.matmul(x, self.wx);
+        let zh = tape.matmul(state.h, self.wh);
+        let z = tape.add(zx, zh);
+        let z = tape.add_row(z, self.b);
+        let i_pre = tape.slice_cols(z, 0, h);
+        let f_pre = tape.slice_cols(z, h, h);
+        let g_pre = tape.slice_cols(z, 2 * h, h);
+        let o_pre = tape.slice_cols(z, 3 * h, h);
+        let i = tape.sigmoid(i_pre);
+        let f = tape.sigmoid(f_pre);
+        let g = tape.tanh(g_pre);
+        let o = tape.sigmoid(o_pre);
+        let fc = tape.hadamard(f, state.c);
+        let ig = tape.hadamard(i, g);
+        let c = tape.add(fc, ig);
+        let tc = tape.tanh(c);
+        let h_out = tape.hadamard(o, tc);
+        LstmState { h: h_out, c }
+    }
+}
+
+/// A stack of LSTM layers; layer `l + 1` consumes the hidden states of layer
+/// `l`, with optional inter-layer dropout during training.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LstmStack {
+    layers: Vec<LstmLayer>,
+}
+
+/// Tape-bound handles for an [`LstmStack`].
+#[derive(Clone, Debug)]
+pub struct BoundStack {
+    layers: Vec<BoundLstm>,
+}
+
+impl LstmStack {
+    /// Allocates `n_layers` layers, the first consuming `input` features and
+    /// the rest consuming `hidden`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_layers == 0`.
+    pub fn new(
+        params: &mut ParamSet,
+        input: usize,
+        hidden: usize,
+        n_layers: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(n_layers > 0, "LstmStack requires at least one layer");
+        let mut layers = Vec::with_capacity(n_layers);
+        for l in 0..n_layers {
+            let in_dim = if l == 0 { input } else { hidden };
+            layers.push(LstmLayer::new(params, in_dim, hidden, rng));
+        }
+        Self { layers }
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty (never true for a constructed stack).
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Binds all layers onto `tape`.
+    pub fn bind(&self, tape: &mut Tape, params: &ParamSet) -> BoundStack {
+        BoundStack { layers: self.layers.iter().map(|l| l.bind(tape, params)).collect() }
+    }
+
+    /// Zero state for every layer.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Vec<LstmState> {
+        self.layers.iter().map(|l| l.zero_state(tape, batch)).collect()
+    }
+}
+
+impl BoundStack {
+    /// Advances every layer one step. `dropout` (with the given rng) is
+    /// applied between layers when `Some`; pass `None` at inference.
+    ///
+    /// Returns the new per-layer states; the top layer's `h` is the stack
+    /// output.
+    pub fn step(
+        &self,
+        tape: &mut Tape,
+        x: TensorId,
+        states: &[LstmState],
+        dropout: Option<(f32, &mut dyn FnMut() -> f32)>,
+    ) -> Vec<LstmState> {
+        debug_assert_eq!(states.len(), self.layers.len());
+        let mut out = Vec::with_capacity(self.layers.len());
+        let mut input = x;
+        let mut drop = dropout;
+        for (l, layer) in self.layers.iter().enumerate() {
+            let next = layer.step(tape, input, states[l]);
+            input = next.h;
+            if l + 1 < self.layers.len() {
+                if let Some((p, sampler)) = drop.as_mut() {
+                    input = apply_dropout(tape, input, *p, sampler);
+                }
+            }
+            out.push(next);
+        }
+        out
+    }
+}
+
+/// Dropout that draws uniforms from a boxed sampler (used so `BoundStack` can
+/// stay object-safe with respect to the RNG).
+fn apply_dropout(
+    tape: &mut Tape,
+    x: TensorId,
+    p: f32,
+    sampler: &mut dyn FnMut() -> f32,
+) -> TensorId {
+    if p == 0.0 {
+        return x;
+    }
+    struct FnRng<'a>(&'a mut dyn FnMut() -> f32);
+    impl rand::RngCore for FnRng<'_> {
+        fn next_u32(&mut self) -> u32 {
+            ((self.0)() * u32::MAX as f32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            (self.next_u32() as u64) << 32 | self.next_u32() as u64
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for b in dest {
+                *b = (self.next_u32() & 0xff) as u8;
+            }
+        }
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+            self.fill_bytes(dest);
+            Ok(())
+        }
+    }
+    let mut rng = FnRng(sampler);
+    tape.dropout(x, p, &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lstm_step_shapes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut params = ParamSet::new();
+        let layer = LstmLayer::new(&mut params, 3, 4, &mut rng);
+        let mut tape = Tape::new();
+        let bound = layer.bind(&mut tape, &params);
+        let state = layer.zero_state(&mut tape, 2);
+        let x = tape.leaf(Matrix::uniform(2, 3, 1.0, &mut rng));
+        let next = bound.step(&mut tape, x, state);
+        assert_eq!(tape.value(next.h).shape(), (2, 4));
+        assert_eq!(tape.value(next.c).shape(), (2, 4));
+    }
+
+    #[test]
+    fn lstm_hidden_values_bounded() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut params = ParamSet::new();
+        let layer = LstmLayer::new(&mut params, 2, 3, &mut rng);
+        let mut tape = Tape::new();
+        let bound = layer.bind(&mut tape, &params);
+        let mut state = layer.zero_state(&mut tape, 1);
+        for _ in 0..50 {
+            let x = tape.leaf(Matrix::uniform(1, 2, 10.0, &mut rng));
+            state = bound.step(&mut tape, x, state);
+        }
+        // h = o * tanh(c) is always within (-1, 1).
+        for &v in tape.value(state.h).data() {
+            assert!(v.abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = ParamSet::new();
+        let layer = LstmLayer::new(&mut params, 2, 3, &mut rng);
+        let bias = params.value(2); // wx, wh, b
+        for c in 0..12 {
+            let expect = if (3..6).contains(&c) { 1.0 } else { 0.0 };
+            assert_eq!(bias.get(0, c), expect);
+        }
+        assert_eq!(layer.hidden(), 3);
+    }
+
+    #[test]
+    fn stack_runs_and_differs_from_single_layer() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut params = ParamSet::new();
+        let stack = LstmStack::new(&mut params, 2, 3, 2, &mut rng);
+        assert_eq!(stack.len(), 2);
+        let mut tape = Tape::new();
+        let bound = stack.bind(&mut tape, &params);
+        let states = stack.zero_state(&mut tape, 1);
+        let x = tape.leaf(Matrix::uniform(1, 2, 1.0, &mut rng));
+        let next = bound.step(&mut tape, x, &states, None);
+        assert_eq!(next.len(), 2);
+        assert_eq!(tape.value(next[1].h).shape(), (1, 3));
+    }
+
+    #[test]
+    fn lstm_gradients_flow_through_time() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut params = ParamSet::new();
+        let layer = LstmLayer::new(&mut params, 2, 3, &mut rng);
+        let out_w = params.add(Matrix::xavier(3, 2, &mut rng));
+        let mut tape = Tape::new();
+        let bound = layer.bind(&mut tape, &params);
+        let w = tape.param(&params, out_w);
+        let mut state = layer.zero_state(&mut tape, 1);
+        for _ in 0..4 {
+            let x = tape.leaf(Matrix::uniform(1, 2, 1.0, &mut rng));
+            state = bound.step(&mut tape, x, state);
+        }
+        let logits = tape.matmul(state.h, w);
+        let loss = tape.cross_entropy(logits, &[0]);
+        let grads = tape.backward(loss);
+        params.zero_grads();
+        tape.accumulate_param_grads(&grads, &mut params);
+        // All LSTM parameters should receive a nonzero gradient.
+        for p in 0..3 {
+            assert!(params.grad(p).norm_sq() > 0.0, "param {p} has zero grad");
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! First-order optimizers operating on a [`ParamSet`].
+
+use crate::matrix::Matrix;
+use crate::tape::ParamSet;
+use serde::{Deserialize, Serialize};
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the given learning rate and standard
+    /// moment coefficients (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Learning rate currently in effect.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (e.g. for decay schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update using the gradients accumulated in `params`, then
+    /// leaves the gradients untouched (call [`ParamSet::zero_grads`] before
+    /// the next accumulation).
+    pub fn step(&mut self, params: &mut ParamSet) {
+        if self.m.len() != params.len() {
+            self.m = (0..params.len())
+                .map(|i| Matrix::zeros(params.value(i).rows(), params.value(i).cols()))
+                .collect();
+            self.v = self.m.clone();
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            // Split borrows: grads are read-only here, values are written.
+            let g = params.grad(i).clone();
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mj, vj), &gj) in m.data_mut().iter_mut().zip(v.data_mut()).zip(g.data()) {
+                *mj = self.beta1 * *mj + (1.0 - self.beta1) * gj;
+                *vj = self.beta2 * *vj + (1.0 - self.beta2) * gj * gj;
+            }
+            let value = params.value_mut(i);
+            for ((pj, &mj), &vj) in value.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                let m_hat = mj / b1t;
+                let v_hat = vj / b2t;
+                *pj -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// Plain stochastic gradient descent.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer with learning rate `lr`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr }
+    }
+
+    /// Applies `value -= lr * grad` for every parameter.
+    pub fn step(&self, params: &mut ParamSet) {
+        for i in 0..params.len() {
+            let g = params.grad(i).clone();
+            let value = params.value_mut(i);
+            for (pj, &gj) in value.data_mut().iter_mut().zip(g.data()) {
+                *pj -= self.lr * gj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Minimizing a simple quadratic-ish objective should drive the loss down.
+    fn train_loss_curve(mut step: impl FnMut(&mut ParamSet), params: &mut ParamSet) -> (f32, f32) {
+        let target = [2usize, 0, 1];
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for it in 0..200 {
+            let mut tape = Tape::new();
+            let xi = tape.leaf(x.clone());
+            let w = tape.param(params, 0);
+            let logits = tape.matmul(xi, w);
+            let loss = tape.cross_entropy(logits, &target);
+            let grads = tape.backward(loss);
+            params.zero_grads();
+            tape.accumulate_param_grads(&grads, params);
+            step(params);
+            let l = tape.value(loss).get(0, 0);
+            if it == 0 {
+                first = l;
+            }
+            last = l;
+        }
+        (first, last)
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut params = ParamSet::new();
+        params.add(Matrix::uniform(2, 3, 0.1, &mut rng));
+        let mut adam = Adam::new(0.05);
+        let (first, last) = train_loss_curve(|p| adam.step(p), &mut params);
+        assert!(last < first * 0.2, "adam failed to optimize: {first} -> {last}");
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut params = ParamSet::new();
+        params.add(Matrix::uniform(2, 3, 0.1, &mut rng));
+        let sgd = Sgd::new(0.5);
+        let (first, last) = train_loss_curve(|p| sgd.step(p), &mut params);
+        assert!(last < first * 0.5, "sgd failed to optimize: {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_lr_accessors() {
+        let mut adam = Adam::new(0.01);
+        assert_eq!(adam.lr(), 0.01);
+        adam.set_lr(0.001);
+        assert_eq!(adam.lr(), 0.001);
+    }
+}

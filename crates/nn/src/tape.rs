@@ -1,0 +1,839 @@
+//! Define-by-run reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records every operation applied to [`TensorId`] handles. Values
+//! are computed eagerly during the forward pass; [`Tape::backward`] then walks
+//! the recorded nodes in reverse, producing gradients for every node.
+//! Parameters live outside the tape in a [`ParamSet`] so the tape can be
+//! discarded and rebuilt every training step.
+
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Handle to a value recorded on a [`Tape`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TensorId(usize);
+
+/// A set of trainable parameters, addressed by the index returned from
+/// [`ParamSet::add`].
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ParamSet {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+}
+
+impl ParamSet {
+    /// Creates an empty parameter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its slot index.
+    pub fn add(&mut self, value: Matrix) -> usize {
+        let (r, c) = value.shape();
+        self.values.push(value);
+        self.grads.push(Matrix::zeros(r, c));
+        self.values.len() - 1
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set contains no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable access to a parameter value.
+    pub fn value(&self, idx: usize) -> &Matrix {
+        &self.values[idx]
+    }
+
+    /// Mutable access to a parameter value.
+    pub fn value_mut(&mut self, idx: usize) -> &mut Matrix {
+        &mut self.values[idx]
+    }
+
+    /// Immutable access to a parameter gradient accumulator.
+    pub fn grad(&self, idx: usize) -> &Matrix {
+        &self.grads[idx]
+    }
+
+    /// Mutable access to a parameter gradient accumulator.
+    pub fn grad_mut(&mut self, idx: usize) -> &mut Matrix {
+        &mut self.grads[idx]
+    }
+
+    /// Resets all gradient accumulators to zero.
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            *g = Matrix::zeros(g.rows(), g.cols());
+        }
+    }
+
+    /// Global L2 norm over all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads.iter().map(Matrix::norm_sq).sum::<f32>().sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    /// Returns the pre-clip norm.
+    pub fn clip_grads(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for g in &mut self.grads {
+                g.scale_assign(s);
+            }
+        }
+        norm
+    }
+}
+
+enum Op {
+    /// Constant input; no gradient flows past it.
+    Leaf,
+    /// Parameter from a [`ParamSet`] slot; gradient is harvested by
+    /// [`Tape::accumulate_param_grads`].
+    Param(usize),
+    MatMul(TensorId, TensorId),
+    Add(TensorId, TensorId),
+    AddRow(TensorId, TensorId),
+    Hadamard(TensorId, TensorId),
+    Scale(TensorId, f32),
+    Sigmoid(TensorId),
+    Tanh(TensorId),
+    Relu(TensorId),
+    Softmax(TensorId),
+    ConcatCols(TensorId, TensorId),
+    SliceCols(TensorId, usize, usize),
+    Gather(TensorId, Vec<usize>),
+    RowDot(TensorId, TensorId),
+    MulCol(TensorId, TensorId),
+    Dropout(TensorId, Vec<f32>),
+    CrossEntropy { logits: TensorId, targets: Vec<usize>, probs: Matrix },
+    MeanOf(Vec<TensorId>),
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// The autodiff tape. See the [module documentation](self) for the life cycle.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a recorded node.
+    pub fn value(&self, id: TensorId) -> &Matrix {
+        &self.nodes[id.0].value
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> TensorId {
+        self.nodes.push(Node { value, op });
+        TensorId(self.nodes.len() - 1)
+    }
+
+    /// Records a constant (non-differentiable) input.
+    pub fn leaf(&mut self, value: Matrix) -> TensorId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Records parameter `idx` from `params` as a differentiable leaf.
+    pub fn param(&mut self, params: &ParamSet, idx: usize) -> TensorId {
+        self.push(params.value(idx).clone(), Op::Param(idx))
+    }
+
+    /// Matrix product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(v, Op::MatMul(a, b))
+    }
+
+    /// Element-wise sum of two same-shaped tensors.
+    pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).add(self.value(b));
+        self.push(v, Op::Add(a, b))
+    }
+
+    /// Adds a `1 x C` row vector to every row of a `B x C` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 x C` for the `B x C` input.
+    pub fn add_row(&mut self, a: TensorId, bias: TensorId) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(bias).shape();
+        assert_eq!((br, bc), (1, ac), "add_row bias must be 1x{ac}, got {br}x{bc}");
+        let mut v = self.value(a).clone();
+        for r in 0..ar {
+            let bias_row: Vec<f32> = self.value(bias).row(0).to_vec();
+            for (x, b) in v.row_mut(r).iter_mut().zip(bias_row) {
+                *x += b;
+            }
+        }
+        self.push(v, Op::AddRow(a, bias))
+    }
+
+    /// Element-wise product of two same-shaped tensors.
+    pub fn hadamard(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(v, Op::Hadamard(a, b))
+    }
+
+    /// Multiplies a tensor by a scalar.
+    pub fn scale(&mut self, a: TensorId, s: f32) -> TensorId {
+        let v = self.value(a).map(|x| x * s);
+        self.push(v, Op::Scale(a, s))
+    }
+
+    /// Logistic sigmoid, element-wise.
+    pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(v, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent, element-wise.
+    pub fn tanh(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(f32::tanh);
+        self.push(v, Op::Tanh(a))
+    }
+
+    /// Rectified linear unit, element-wise.
+    pub fn relu(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(v, Op::Relu(a))
+    }
+
+    /// Row-wise softmax.
+    pub fn softmax(&mut self, a: TensorId) -> TensorId {
+        let v = self.value(a).softmax_rows();
+        self.push(v, Op::Softmax(a))
+    }
+
+    /// Concatenates two tensors with equal row counts along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ.
+    pub fn concat_cols(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        assert_eq!(ar, br, "concat_cols row mismatch: {ar} vs {br}");
+        let mut v = Matrix::zeros(ar, ac + bc);
+        for r in 0..ar {
+            v.row_mut(r)[..ac].copy_from_slice(self.value(a).row(r));
+            v.row_mut(r)[ac..].copy_from_slice(self.value(b).row(r));
+        }
+        self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Takes columns `[start, start + len)` of a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn slice_cols(&mut self, a: TensorId, start: usize, len: usize) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        assert!(start + len <= ac, "slice_cols [{start}, {}) out of 0..{ac}", start + len);
+        let mut v = Matrix::zeros(ar, len);
+        for r in 0..ar {
+            v.row_mut(r).copy_from_slice(&self.value(a).row(r)[start..start + len]);
+        }
+        self.push(v, Op::SliceCols(a, start, len))
+    }
+
+    /// Gathers rows of `src` by index: output row `r` is `src` row
+    /// `indices[r]`. The canonical embedding lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather(&mut self, src: TensorId, indices: &[usize]) -> TensorId {
+        let (sr, sc) = self.value(src).shape();
+        let mut v = Matrix::zeros(indices.len(), sc);
+        for (r, &i) in indices.iter().enumerate() {
+            assert!(i < sr, "gather index {i} out of bounds for {sr} rows");
+            let src_row: Vec<f32> = self.value(src).row(i).to_vec();
+            v.row_mut(r).copy_from_slice(&src_row);
+        }
+        self.push(v, Op::Gather(src, indices.to_vec()))
+    }
+
+    /// Row-wise dot product of two `B x C` tensors producing `B x 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn row_dot(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        assert_eq!(self.value(a).shape(), self.value(b).shape(), "row_dot shape mismatch");
+        let (rows, _) = self.value(a).shape();
+        let mut v = Matrix::zeros(rows, 1);
+        for r in 0..rows {
+            let d: f32 =
+                self.value(a).row(r).iter().zip(self.value(b).row(r)).map(|(&x, &y)| x * y).sum();
+            v.set(r, 0, d);
+        }
+        self.push(v, Op::RowDot(a, b))
+    }
+
+    /// Multiplies each row of a `B x C` tensor by the matching entry of a
+    /// `B x 1` column vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is not `B x 1`.
+    pub fn mul_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
+        let (ar, _) = self.value(a).shape();
+        assert_eq!(self.value(col).shape(), (ar, 1), "mul_col expects a {ar}x1 column");
+        let mut v = self.value(a).clone();
+        for r in 0..ar {
+            let s = self.value(col).get(r, 0);
+            for x in v.row_mut(r) {
+                *x *= s;
+            }
+        }
+        self.push(v, Op::MulCol(a, col))
+    }
+
+    /// Inverted dropout: keeps each element with probability `1 - p`, scaling
+    /// kept elements by `1 / (1 - p)`. `p == 0` is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn dropout(&mut self, a: TensorId, p: f32, rng: &mut impl rand::Rng) -> TensorId {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} must be in [0, 1)");
+        if p == 0.0 {
+            return a;
+        }
+        let n = self.value(a).data().len();
+        let keep = 1.0 - p;
+        let mask: Vec<f32> =
+            (0..n).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
+        let (r, c) = self.value(a).shape();
+        let data: Vec<f32> =
+            self.value(a).data().iter().zip(mask.iter()).map(|(&x, &m)| x * m).collect();
+        self.push(Matrix::from_vec(r, c, data), Op::Dropout(a, mask))
+    }
+
+    /// Mean cross-entropy loss of row-wise logits against integer targets.
+    /// Produces a `1 x 1` scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the number of logit rows, or a
+    /// target is out of vocabulary range.
+    pub fn cross_entropy(&mut self, logits: TensorId, targets: &[usize]) -> TensorId {
+        let (rows, cols) = self.value(logits).shape();
+        assert_eq!(rows, targets.len(), "cross_entropy target count mismatch");
+        let probs = self.value(logits).softmax_rows();
+        let mut loss = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < cols, "cross_entropy target {t} out of vocab {cols}");
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= rows as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+        )
+    }
+
+    /// Averages several `1 x 1` scalar nodes into one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ids` is empty or any node is not `1 x 1`.
+    pub fn mean_of(&mut self, ids: &[TensorId]) -> TensorId {
+        assert!(!ids.is_empty(), "mean_of needs at least one node");
+        let mut acc = 0.0;
+        for &id in ids {
+            assert_eq!(self.value(id).shape(), (1, 1), "mean_of expects scalar nodes");
+            acc += self.value(id).get(0, 0);
+        }
+        acc /= ids.len() as f32;
+        self.push(Matrix::from_vec(1, 1, vec![acc]), Op::MeanOf(ids.to_vec()))
+    }
+
+    /// Runs the reverse pass from `loss` (which must be `1 x 1`) and returns
+    /// the gradient of every node with respect to the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not a scalar node.
+    pub fn backward(&self, loss: TensorId) -> Vec<Option<Matrix>> {
+        assert_eq!(self.value(loss).shape(), (1, 1), "backward root must be a 1x1 scalar");
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..self.nodes.len()).rev() {
+            let g = match &grads[i] {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            match &self.nodes[i].op {
+                Op::Leaf | Op::Param(_) => {}
+                Op::MatMul(a, b) => {
+                    let ga = g.matmul_nt(self.value(*b));
+                    let gb = self.value(*a).matmul_tn(&g);
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, a.0, g.clone());
+                    accumulate(&mut grads, b.0, g);
+                }
+                Op::AddRow(a, bias) => {
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (c, &v) in g.row(r).iter().enumerate() {
+                            gb.set(0, c, gb.get(0, c) + v);
+                        }
+                    }
+                    accumulate(&mut grads, a.0, g);
+                    accumulate(&mut grads, bias.0, gb);
+                }
+                Op::Hadamard(a, b) => {
+                    let ga = g.hadamard(self.value(*b));
+                    let gb = g.hadamard(self.value(*a));
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::Scale(a, s) => {
+                    accumulate(&mut grads, a.0, g.map(|x| x * s));
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.hadamard(&y.map(|v| v * (1.0 - v)));
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.hadamard(&y.map(|v| 1.0 - v * v));
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Relu(a) => {
+                    let y = &self.nodes[i].value;
+                    let ga = g.hadamard(&y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Softmax(a) => {
+                    let y = &self.nodes[i].value;
+                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    for r in 0..y.rows() {
+                        let dot: f32 =
+                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
+                        for c in 0..y.cols() {
+                            ga.set(r, c, (g.get(r, c) - dot) * y.get(r, c));
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.value(*a).cols();
+                    let bc = self.value(*b).cols();
+                    let rows = g.rows();
+                    let mut ga = Matrix::zeros(rows, ac);
+                    let mut gb = Matrix::zeros(rows, bc);
+                    for r in 0..rows {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::SliceCols(a, start, len) => {
+                    let (ar, ac) = self.value(*a).shape();
+                    let mut ga = Matrix::zeros(ar, ac);
+                    for r in 0..ar {
+                        ga.row_mut(r)[*start..start + len].copy_from_slice(g.row(r));
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                }
+                Op::Gather(src, indices) => {
+                    let (sr, sc) = self.value(*src).shape();
+                    let mut gs = Matrix::zeros(sr, sc);
+                    for (r, &idx) in indices.iter().enumerate() {
+                        for (c, &v) in g.row(r).iter().enumerate() {
+                            gs.set(idx, c, gs.get(idx, c) + v);
+                        }
+                    }
+                    accumulate(&mut grads, src.0, gs);
+                }
+                Op::RowDot(a, b) => {
+                    let va = self.value(*a);
+                    let vb = self.value(*b);
+                    let mut ga = Matrix::zeros(va.rows(), va.cols());
+                    let mut gb = Matrix::zeros(vb.rows(), vb.cols());
+                    for r in 0..va.rows() {
+                        let gr = g.get(r, 0);
+                        for c in 0..va.cols() {
+                            ga.set(r, c, gr * vb.get(r, c));
+                            gb.set(r, c, gr * va.get(r, c));
+                        }
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, b.0, gb);
+                }
+                Op::MulCol(a, col) => {
+                    let va = self.value(*a);
+                    let vc = self.value(*col);
+                    let mut ga = Matrix::zeros(va.rows(), va.cols());
+                    let mut gc = Matrix::zeros(va.rows(), 1);
+                    for r in 0..va.rows() {
+                        let s = vc.get(r, 0);
+                        let mut dot = 0.0;
+                        for c in 0..va.cols() {
+                            ga.set(r, c, g.get(r, c) * s);
+                            dot += g.get(r, c) * va.get(r, c);
+                        }
+                        gc.set(r, 0, dot);
+                    }
+                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, col.0, gc);
+                }
+                Op::Dropout(a, mask) => {
+                    let (r, c) = g.shape();
+                    let data: Vec<f32> =
+                        g.data().iter().zip(mask.iter()).map(|(&gv, &m)| gv * m).collect();
+                    accumulate(&mut grads, a.0, Matrix::from_vec(r, c, data));
+                }
+                Op::CrossEntropy { logits, targets, probs } => {
+                    let scale = g.get(0, 0) / targets.len() as f32;
+                    let mut gl = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        gl.set(r, t, gl.get(r, t) - 1.0);
+                    }
+                    gl.scale_assign(scale);
+                    accumulate(&mut grads, logits.0, gl);
+                }
+                Op::MeanOf(ids) => {
+                    let share = g.get(0, 0) / ids.len() as f32;
+                    for id in ids {
+                        accumulate(&mut grads, id.0, Matrix::from_vec(1, 1, vec![share]));
+                    }
+                }
+            }
+        }
+        grads
+    }
+
+    /// Adds the gradients of every `Param` node recorded on this tape into the
+    /// matching [`ParamSet`] accumulators.
+    pub fn accumulate_param_grads(&self, grads: &[Option<Matrix>], params: &mut ParamSet) {
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Op::Param(idx) = node.op {
+                if let Some(g) = &grads[i] {
+                    params.grad_mut(idx).add_assign(g);
+                }
+            }
+        }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.add_assign(&g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference gradient check: builds the loss with `f` twice per
+    /// perturbed parameter element and compares against the tape gradient.
+    fn grad_check(params: &mut ParamSet, f: impl Fn(&mut Tape, &ParamSet) -> TensorId) {
+        let mut tape = Tape::new();
+        let loss = f(&mut tape, params);
+        let grads = tape.backward(loss);
+        params.zero_grads();
+        tape.accumulate_param_grads(&grads, params);
+
+        let eps = 1e-2f32;
+        for p in 0..params.len() {
+            let (rows, cols) = params.value(p).shape();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let orig = params.value(p).get(r, c);
+                    params.value_mut(p).set(r, c, orig + eps);
+                    let mut t1 = Tape::new();
+                    let l1 = f(&mut t1, params);
+                    let up = t1.value(l1).get(0, 0);
+                    params.value_mut(p).set(r, c, orig - eps);
+                    let mut t2 = Tape::new();
+                    let l2 = f(&mut t2, params);
+                    let down = t2.value(l2).get(0, 0);
+                    params.value_mut(p).set(r, c, orig);
+
+                    let numeric = (up - down) / (2.0 * eps);
+                    let analytic = params.grad(p).get(r, c);
+                    let denom = numeric.abs().max(analytic.abs()).max(1e-3);
+                    assert!(
+                        (numeric - analytic).abs() / denom < 5e-2,
+                        "param {p} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_matmul_chain() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut params = ParamSet::new();
+        let w1 = params.add(Matrix::uniform(3, 4, 0.5, &mut rng));
+        let w2 = params.add(Matrix::uniform(4, 2, 0.5, &mut rng));
+        let x = Matrix::uniform(2, 3, 0.5, &mut rng);
+        grad_check(&mut params, move |t, p| {
+            let xi = t.leaf(x.clone());
+            let a = t.param(p, w1);
+            let b = t.param(p, w2);
+            let h = t.matmul(xi, a);
+            let h = t.tanh(h);
+            let logits = t.matmul(h, b);
+            t.cross_entropy(logits, &[0, 1])
+        });
+    }
+
+    #[test]
+    fn gradcheck_gates_and_bias() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::uniform(3, 4, 0.5, &mut rng));
+        let b = params.add(Matrix::uniform(1, 4, 0.5, &mut rng));
+        let x = Matrix::uniform(2, 3, 0.5, &mut rng);
+        grad_check(&mut params, move |t, p| {
+            let xi = t.leaf(x.clone());
+            let wi = t.param(p, w);
+            let bi = t.param(p, b);
+            let z = t.matmul(xi, wi);
+            let z = t.add_row(z, bi);
+            let i = t.slice_cols(z, 0, 2);
+            let j = t.slice_cols(z, 2, 2);
+            let i = t.sigmoid(i);
+            let j = t.tanh(j);
+            let h = t.hadamard(i, j);
+            t.cross_entropy(h, &[1, 0])
+        });
+    }
+
+    #[test]
+    fn gradcheck_attention_ops() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::uniform(2, 3, 0.5, &mut rng));
+        let q = Matrix::uniform(2, 3, 0.5, &mut rng);
+        grad_check(&mut params, move |t, p| {
+            let wi = t.param(p, w);
+            let keys = t.leaf(Matrix::from_vec(2, 3, vec![0.3, -0.2, 0.5, 0.1, 0.4, -0.3]));
+            // Project the 2x2 identity through w to get 2x3 "queries".
+            let eye = t.leaf(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+            let qs = t.matmul(eye, wi);
+            let qfixed = t.leaf(q.clone());
+            let qs = t.add(qs, qfixed);
+            let s1 = t.row_dot(qs, keys);
+            let weights = t.softmax(s1);
+            let ctx = t.mul_col(keys, weights);
+            let both = t.concat_cols(ctx, qs);
+            let both = t.tanh(both);
+            let sum = t.slice_cols(both, 0, 2);
+            t.cross_entropy(sum, &[0, 1])
+        });
+    }
+
+    #[test]
+    fn gradcheck_gather_embedding() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let mut params = ParamSet::new();
+        let emb = params.add(Matrix::uniform(5, 3, 0.5, &mut rng));
+        let proj = params.add(Matrix::uniform(3, 4, 0.5, &mut rng));
+        grad_check(&mut params, move |t, p| {
+            let e = t.param(p, emb);
+            let w = t.param(p, proj);
+            let x = t.gather(e, &[1, 3, 1]);
+            let logits = t.matmul(x, w);
+            t.cross_entropy(logits, &[0, 2, 3])
+        });
+    }
+
+    #[test]
+    fn gradcheck_mean_of_losses() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let mut params = ParamSet::new();
+        let w = params.add(Matrix::uniform(2, 3, 0.5, &mut rng));
+        let x = Matrix::uniform(2, 2, 0.5, &mut rng);
+        grad_check(&mut params, move |t, p| {
+            let wi = t.param(p, w);
+            let xi = t.leaf(x.clone());
+            let l1_in = t.matmul(xi, wi);
+            let l1 = t.cross_entropy(l1_in, &[0, 1]);
+            let scaled = t.scale(l1_in, 0.5);
+            let l2 = t.cross_entropy(scaled, &[2, 0]);
+            t.mean_of(&[l1, l2])
+        });
+    }
+
+    #[test]
+    fn dropout_zero_probability_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]));
+        let b = tape.dropout(a, 0.0, &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dropout_scales_kept_elements() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::filled(1, 1000, 1.0));
+        let b = tape.dropout(a, 0.5, &mut rng);
+        let mean: f32 = tape.value(b).data().iter().sum::<f32>() / 1000.0;
+        // Inverted dropout preserves the expectation.
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+        for &v in tape.value(b).data() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn clip_grads_caps_norm() {
+        let mut params = ParamSet::new();
+        let p = params.add(Matrix::zeros(1, 2));
+        *params.grad_mut(p) = Matrix::from_vec(1, 2, vec![3.0, 4.0]);
+        let pre = params.clip_grads(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((params.grad_norm() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual() {
+        let mut tape = Tape::new();
+        let logits = tape.leaf(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        let loss = tape.cross_entropy(logits, &[0]);
+        // Uniform distribution over 2 classes => loss = ln 2.
+        assert!((tape.value(loss).get(0, 0) - 2.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward root must be a 1x1 scalar")]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Matrix::zeros(2, 2));
+        let _ = tape.backward(a);
+    }
+}
+
+#[cfg(test)]
+mod property_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Randomized gradient check: a two-layer network with random shapes and
+    /// random activation choices must match finite differences.
+    fn check_random_net(seed: u64, b: usize, d_in: usize, d_h: usize, d_out: usize, act: u8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = ParamSet::new();
+        let w1 = params.add(Matrix::uniform(d_in, d_h, 0.5, &mut rng));
+        let b1 = params.add(Matrix::uniform(1, d_h, 0.5, &mut rng));
+        let w2 = params.add(Matrix::uniform(d_h, d_out, 0.5, &mut rng));
+        let x = Matrix::uniform(b, d_in, 0.5, &mut rng);
+        let targets: Vec<usize> = (0..b).map(|i| i % d_out).collect();
+
+        let forward = |tape: &mut Tape, params: &ParamSet| {
+            let xi = tape.leaf(x.clone());
+            let w1i = tape.param(params, w1);
+            let b1i = tape.param(params, b1);
+            let w2i = tape.param(params, w2);
+            let h = tape.matmul(xi, w1i);
+            let h = tape.add_row(h, b1i);
+            let h = match act {
+                0 => tape.tanh(h),
+                1 => tape.sigmoid(h),
+                _ => {
+                    // Softmax keeps values near the interior, away from the
+                    // relu kink, so finite differences stay valid.
+                    tape.softmax(h)
+                }
+            };
+            let logits = tape.matmul(h, w2i);
+            tape.cross_entropy(logits, &targets)
+        };
+
+        let mut tape = Tape::new();
+        let loss = forward(&mut tape, &params);
+        let grads = tape.backward(loss);
+        params.zero_grads();
+        tape.accumulate_param_grads(&grads, &mut params);
+
+        let eps = 1e-2f32;
+        for p in 0..params.len() {
+            let (rows, cols) = params.value(p).shape();
+            // Spot-check a handful of coordinates to keep runtime bounded.
+            for (r, c) in [(0, 0), (rows - 1, cols - 1), (rows / 2, cols / 2)] {
+                let orig = params.value(p).get(r, c);
+                params.value_mut(p).set(r, c, orig + eps);
+                let mut t1 = Tape::new();
+                let l1 = forward(&mut t1, &params);
+                let up = t1.value(l1).get(0, 0);
+                params.value_mut(p).set(r, c, orig - eps);
+                let mut t2 = Tape::new();
+                let l2 = forward(&mut t2, &params);
+                let down = t2.value(l2).get(0, 0);
+                params.value_mut(p).set(r, c, orig);
+                let numeric = (up - down) / (2.0 * eps);
+                let analytic = params.grad(p).get(r, c);
+                let denom = numeric.abs().max(analytic.abs()).max(1e-3);
+                assert!(
+                    (numeric - analytic).abs() / denom < 6e-2,
+                    "seed {seed} act {act} param {p} ({r},{c}): numeric {numeric} vs analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn gradcheck_random_networks(
+            seed in 0u64..10_000,
+            b in 1usize..4,
+            d_in in 2usize..5,
+            d_h in 2usize..6,
+            d_out in 2usize..5,
+            act in 0u8..3,
+        ) {
+            check_random_net(seed, b, d_in, d_h, d_out, act);
+        }
+    }
+}

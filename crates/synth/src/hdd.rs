@@ -1,0 +1,526 @@
+//! Synthetic HDD SMART telemetry in the style of the Backblaze dataset
+//! (§IV of the paper).
+//!
+//! Each drive reports 20 SMART-like attributes once per day. A sampled
+//! subset of drives fails: in the two weeks before failure their
+//! error-related attributes (5, 187, 188, 197, 198 — exactly the features
+//! the paper's Table III surfaces) escalate, while activity counters and
+//! temperature stay on their normal trajectories. A failed drive's series
+//! ends on its failure day, mirroring Backblaze semantics where a drive is
+//! removed from production the day after it is marked failed.
+
+use mdes_lang::discretize::{first_difference, is_cumulative, Scheme};
+use mdes_lang::RawTrace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the HDD fleet simulator.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HddConfig {
+    /// Number of drives in the fleet.
+    pub n_drives: usize,
+    /// Days of telemetry per (healthy) drive.
+    pub days: usize,
+    /// Fraction of drives that fail within the horizon.
+    pub failure_fraction: f64,
+    /// Days before failure when degradation begins.
+    pub degradation_window: usize,
+    /// Fraction of failures that are *sudden*: no degradation precursor
+    /// beyond the final two days. These are the drives the framework (and
+    /// Fig. 12b of the paper) cannot detect ahead of time.
+    pub sudden_fraction: f64,
+    /// Fraction of failures that are *instant*: electronics death with no
+    /// telemetry signature at all — even supervised models miss these.
+    pub instant_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HddConfig {
+    fn default() -> Self {
+        Self {
+            n_drives: 48,
+            days: 120,
+            failure_fraction: 0.5,
+            degradation_window: 20,
+            sudden_fraction: 0.3,
+            instant_fraction: 0.2,
+            seed: 7,
+        }
+    }
+}
+
+/// Telemetry of one drive.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DriveRecord {
+    /// Serial number (`Z000`, `Z001`, …).
+    pub serial: String,
+    /// Whether the drive fails within the horizon.
+    pub failed: bool,
+    /// 0-based index of the failure day (the drive's last day), if any.
+    pub failure_day: Option<usize>,
+    /// `features[f][d]` = value of feature `f` on day `d`. All features have
+    /// the same number of days; failed drives stop at `failure_day`.
+    pub features: Vec<Vec<f64>>,
+}
+
+impl DriveRecord {
+    /// Number of telemetry days recorded.
+    pub fn days(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+}
+
+/// The generated fleet.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HddData {
+    /// Configuration used.
+    pub config: HddConfig,
+    /// Per-drive telemetry.
+    pub drives: Vec<DriveRecord>,
+    /// SMART attribute names, aligned with `DriveRecord::features`.
+    pub feature_names: Vec<String>,
+    /// Whether each feature is a cumulative lifetime counter (candidates for
+    /// first-order differencing, §IV-B).
+    pub cumulative: Vec<bool>,
+}
+
+/// Names of the 20 raw SMART-like features generated.
+pub const FEATURE_NAMES: [&str; 20] = [
+    "smart_1_read_error_rate",
+    "smart_3_spin_up_time",
+    "smart_4_start_stop_count",
+    "smart_5_reallocated_sectors",
+    "smart_7_seek_error_rate",
+    "smart_9_power_on_hours",
+    "smart_10_spin_retry_count",
+    "smart_11_calibration_retry",
+    "smart_12_power_cycle_count",
+    "smart_187_reported_uncorrectable",
+    "smart_188_command_timeout",
+    "smart_192_power_off_retract",
+    "smart_193_load_cycle_count",
+    "smart_194_temperature",
+    "smart_197_pending_sectors",
+    "smart_198_offline_uncorrectable",
+    "smart_199_udma_crc_errors",
+    "smart_240_head_flying_hours",
+    "smart_241_lbas_written",
+    "smart_242_lbas_read",
+];
+
+/// Indices (into [`FEATURE_NAMES`]) of the error features that genuinely
+/// predict failure — the ground truth that knowledge discovery should
+/// recover (paper Table III).
+pub const ERROR_FEATURES: [usize; 6] = [3, 9, 10, 11, 14, 15];
+
+/// Which features are cumulative lifetime counters.
+pub const CUMULATIVE: [bool; 20] = [
+    false, false, true, true, false, true, true, true, true, true, true, true, true, false, false,
+    false, true, true, true, true,
+];
+
+/// Generates a fleet of drives.
+///
+/// # Panics
+///
+/// Panics if the configuration has zero drives/days or a degradation window
+/// of zero.
+pub fn generate(cfg: &HddConfig) -> HddData {
+    assert!(
+        cfg.n_drives > 0 && cfg.days > 0 && cfg.degradation_window > 0,
+        "hdd configuration dimensions must be positive"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut drives = Vec::with_capacity(cfg.n_drives);
+    for d in 0..cfg.n_drives {
+        let fails = rng.gen::<f64>() < cfg.failure_fraction;
+        let failure_day = if fails {
+            // Fail somewhere in the second half of the horizon so every
+            // drive has a training prefix.
+            Some(rng.gen_range(cfg.days / 2..cfg.days))
+        } else {
+            None
+        };
+        let days = failure_day.map_or(cfg.days, |f| f + 1);
+        let window = if !fails {
+            cfg.degradation_window
+        } else {
+            let r = rng.gen::<f64>();
+            if r < cfg.instant_fraction {
+                0
+            } else if r < cfg.instant_fraction + cfg.sudden_fraction {
+                2
+            } else {
+                cfg.degradation_window
+            }
+        };
+        drives.push(simulate_drive(d, days, failure_day, window, &mut rng));
+    }
+    HddData {
+        config: cfg.clone(),
+        drives,
+        feature_names: FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
+        cumulative: CUMULATIVE.to_vec(),
+    }
+}
+
+fn simulate_drive(
+    idx: usize,
+    days: usize,
+    failure_day: Option<usize>,
+    degradation_window: usize,
+    rng: &mut StdRng,
+) -> DriveRecord {
+    let n_feat = FEATURE_NAMES.len();
+    let mut features = vec![Vec::with_capacity(days); n_feat];
+    // Per-drive personality.
+    let daily_hours = 24.0;
+    let write_rate = rng.gen_range(5e6..5e7);
+    let read_rate = rng.gen_range(1e7..9e7);
+    let base_temp = rng.gen_range(24.0..32.0);
+    let temp_freq = rng.gen_range(0.02..0.10);
+    let temp_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+    let load_rate = rng.gen_range(5.0..40.0);
+
+    // Cumulative state.
+    let mut cum = vec![0.0f64; n_feat];
+    cum[5] = rng.gen_range(1000.0..20_000.0); // power-on hours head start
+    cum[2] = rng.gen_range(5.0..50.0); // start/stop
+    cum[8] = cum[2]; // power cycles track start/stop
+    let mut pending = 0.0f64;
+
+    for day in 0..days {
+        // How deep into the degradation window are we? 0 = healthy.
+        // A zero window means an instant failure with no signature.
+        let sev = match failure_day {
+            Some(f) if degradation_window > 0 && day + degradation_window >= f => {
+                let into = day + degradation_window - f;
+                (degradation_window as f64 - into as f64).max(0.0)
+                    / degradation_window as f64
+            }
+            _ => 0.0,
+        };
+        // sev runs 0 -> 1 approaching failure.
+        let sev = if degradation_window > 0
+            && failure_day.is_some_and(|f| day + degradation_window >= f)
+        {
+            1.0 - sev
+        } else {
+            0.0
+        };
+
+        // Error processes: rare blips normally, escalating before failure.
+        let err_rate = 0.03 + 8.0 * sev * sev;
+        cum[3] += poisson_like(err_rate * 1.2, rng); // reallocated
+        cum[9] += poisson_like(err_rate * 0.75, rng); // reported uncorrectable
+        cum[10] += poisson_like(err_rate * 0.5, rng); // command timeout
+        cum[16] += poisson_like(0.008, rng); // CRC errors (not failure-linked)
+        cum[11] += poisson_like(0.022 + 3.0 * sev, rng); // power-off retract
+        pending = (pending + poisson_like(err_rate * 1.2, rng) - poisson_like(0.05, rng))
+            .max(0.0);
+
+        // Activity counters.
+        cum[5] += daily_hours;
+        cum[17] += daily_hours * rng.gen_range(0.8..1.0);
+        cum[18] += write_rate * rng.gen_range(0.5..1.5);
+        cum[19] += read_rate * rng.gen_range(0.5..1.5);
+        cum[12] += load_rate * rng.gen_range(0.5..1.5);
+        if rng.gen::<f64>() < 0.005 {
+            cum[2] += 1.0;
+            cum[8] += 1.0;
+        }
+
+        features[0].push(rng.gen_range(0.0..2e8) * (1.0 + sev)); // read error rate (noisy)
+        features[1].push(415.0 + rng.gen_range(-2.0..2.0)); // spin-up (near-constant)
+        features[2].push(cum[2]);
+        features[3].push(cum[3]);
+        features[4].push(rng.gen_range(0.0..9e7)); // seek error rate (noisy)
+        features[5].push(cum[5]);
+        features[6].push(0.0); // spin retry: constant zero
+        features[7].push(0.0); // calibration retry: constant zero
+        features[8].push(cum[8]);
+        features[9].push(cum[9]);
+        features[10].push(cum[10]);
+        features[11].push(cum[11]);
+        features[12].push(cum[12]);
+        features[13].push(
+            base_temp
+                + 4.0 * ((day as f64) * temp_freq + temp_phase).sin()
+                + rng.gen_range(-1.0..1.0),
+        );
+        features[14].push(pending);
+        features[15].push((pending * 0.8).round()); // offline uncorrectable trails pending
+        features[16].push(cum[16]);
+        features[17].push(cum[17]);
+        features[18].push(cum[18]);
+        features[19].push(cum[19]);
+    }
+    DriveRecord { serial: format!("Z{idx:03}"), failed: failure_day.is_some(), failure_day, features }
+}
+
+/// Small-mean integer event count (Poisson-like via thinning).
+fn poisson_like(rate: f64, rng: &mut StdRng) -> f64 {
+    let mut count = 0.0;
+    let mut remaining = rate;
+    while remaining > 0.0 {
+        if rng.gen::<f64>() < remaining.min(1.0) {
+            count += 1.0;
+        }
+        remaining -= 1.0;
+    }
+    count
+}
+
+impl HddData {
+    /// Flattens the fleet into a drive-day tabular dataset for the baseline
+    /// models: 20 raw features plus first-order differences of the
+    /// cumulative ones (34 columns, as in §IV-B). The label is `1` on a
+    /// failed drive's final day, else `0`.
+    ///
+    /// Returns `(rows, labels, column_names)`.
+    pub fn to_tabular(&self) -> (Vec<Vec<f64>>, Vec<usize>, Vec<String>) {
+        let mut names: Vec<String> = self.feature_names.clone();
+        let diffed: Vec<usize> =
+            (0..self.cumulative.len()).filter(|&f| self.cumulative[f]).collect();
+        for &f in &diffed {
+            names.push(format!("{}_delta", self.feature_names[f]));
+        }
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for drive in &self.drives {
+            let days = drive.days();
+            let deltas: Vec<Vec<f64>> =
+                diffed.iter().map(|&f| first_difference(&drive.features[f])).collect();
+            for day in 0..days {
+                let mut row: Vec<f64> =
+                    drive.features.iter().map(|f| f[day]).collect();
+                row.extend(deltas.iter().map(|d| d[day]));
+                rows.push(row);
+                labels.push(usize::from(drive.failure_day == Some(day)));
+            }
+        }
+        (rows, labels, names)
+    }
+
+    /// Like [`HddData::to_tabular`] but labels the final `horizon` days of
+    /// every failed drive positive — the *failure prediction window* used by
+    /// the supervised-baseline literature the paper builds on (Mahdisoltani
+    /// et al., ATC'17), where single failure-day labels are too sparse.
+    pub fn to_tabular_windowed(&self, horizon: usize) -> (Vec<Vec<f64>>, Vec<usize>, Vec<String>) {
+        let (rows, mut labels, names) = self.to_tabular();
+        let mut offset = 0;
+        for drive in &self.drives {
+            let days = drive.days();
+            if drive.failed {
+                for d in days.saturating_sub(horizon)..days {
+                    labels[offset + d] = 1;
+                }
+            }
+            offset += days;
+        }
+        (rows, labels, names)
+    }
+
+    /// Drives with at least `min_days` days of telemetry (the paper keeps
+    /// drives with 10+ months of data).
+    pub fn drives_with_min_days(&self, min_days: usize) -> Vec<usize> {
+        (0..self.drives.len()).filter(|&d| self.drives[d].days() >= min_days).collect()
+    }
+
+    /// Fits one discretization scheme per feature on the *pooled* training
+    /// windows of several drives (the paper aggregates data across all disks
+    /// to stabilize discretization and acquire more anomalies, §IV-C).
+    ///
+    /// For each listed drive, the first `fit_days` days (clamped to its
+    /// telemetry length) contribute to the pool; cumulative features are
+    /// differenced first. Returns `None` for features that are constant over
+    /// the pool (they carry no information and are dropped, as in §IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives` is empty, an index is out of bounds, or
+    /// `fit_days` is zero.
+    pub fn pooled_schemes(&self, drives: &[usize], fit_days: usize) -> Vec<Option<Scheme>> {
+        assert!(!drives.is_empty(), "need at least one drive to fit schemes");
+        assert!(fit_days > 0, "fit_days must be positive");
+        (0..self.feature_names.len())
+            .map(|f| {
+                let mut pool = Vec::new();
+                for &d in drives {
+                    let rec = &self.drives[d];
+                    let series: Vec<f64> =
+                        if self.cumulative[f] && is_cumulative(&rec.features[f]) {
+                            first_difference(&rec.features[f])
+                        } else {
+                            rec.features[f].clone()
+                        };
+                    let take = fit_days.min(series.len());
+                    pool.extend_from_slice(&series[..take]);
+                }
+                let lo = pool.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = pool.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                if hi - lo < 1e-12 {
+                    None
+                } else {
+                    Some(Scheme::fit_default(&pool))
+                }
+            })
+            .collect()
+    }
+
+    /// Converts one drive's telemetry into discrete traces using externally
+    /// fitted per-feature schemes (see [`HddData::pooled_schemes`]); `None`
+    /// schemes are skipped. All drives processed with the same scheme vector
+    /// share an identical feature set and ordering.
+    pub fn drive_traces_with_schemes(
+        &self,
+        drive: usize,
+        schemes: &[Option<Scheme>],
+    ) -> Vec<RawTrace> {
+        let rec = &self.drives[drive];
+        let mut traces = Vec::new();
+        for (f, scheme) in schemes.iter().enumerate() {
+            let Some(scheme) = scheme else { continue };
+            let series: Vec<f64> = if self.cumulative[f] && is_cumulative(&rec.features[f]) {
+                first_difference(&rec.features[f])
+            } else {
+                rec.features[f].clone()
+            };
+            traces.push(RawTrace::new(self.feature_names[f].clone(), scheme.apply_all(&series)));
+        }
+        traces
+    }
+
+    /// Converts one drive's telemetry into discrete event traces using
+    /// per-feature schemes fitted on `fit_days` (cumulative features are
+    /// differenced first). Near-constant features (cardinality 1 on the fit
+    /// window) are dropped, mirroring §IV-C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fit_days` is zero or exceeds the drive's telemetry.
+    pub fn drive_traces(&self, drive: usize, fit_days: usize) -> Vec<RawTrace> {
+        let rec = &self.drives[drive];
+        assert!(
+            fit_days > 0 && fit_days <= rec.days(),
+            "fit_days {fit_days} outside 1..={}",
+            rec.days()
+        );
+        let mut traces = Vec::new();
+        for (f, series) in rec.features.iter().enumerate() {
+            let series: Vec<f64> = if self.cumulative[f] && is_cumulative(series) {
+                first_difference(series)
+            } else {
+                series.clone()
+            };
+            let fit = &series[..fit_days];
+            let lo = fit.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = fit.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            if hi - lo < 1e-12 {
+                continue; // constant on the fit window: uninformative
+            }
+            let scheme = Scheme::fit_default(fit);
+            traces.push(RawTrace::new(
+                self.feature_names[f].clone(),
+                scheme.apply_all(&series),
+            ));
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_shape() {
+        let cfg = HddConfig { n_drives: 10, days: 60, ..Default::default() };
+        let data = generate(&cfg);
+        assert_eq!(data.drives.len(), 10);
+        assert_eq!(data.feature_names.len(), 20);
+        for d in &data.drives {
+            assert_eq!(d.features.len(), 20);
+            match d.failure_day {
+                Some(f) => assert_eq!(d.days(), f + 1),
+                None => assert_eq!(d.days(), 60),
+            }
+        }
+    }
+
+    #[test]
+    fn failure_fraction_respected() {
+        let data = generate(&HddConfig { n_drives: 100, ..Default::default() });
+        let failed = data.drives.iter().filter(|d| d.failed).count();
+        assert!((30..=70).contains(&failed), "failed {failed}/100");
+    }
+
+    #[test]
+    fn error_counters_escalate_before_failure() {
+        let data = generate(&HddConfig::default());
+        let failed: Vec<&DriveRecord> =
+            data.drives.iter().filter(|d| d.failed && d.days() > 40).collect();
+        assert!(!failed.is_empty());
+        // Mean uncorrectable-error delta in the final week far exceeds the
+        // healthy baseline.
+        let mut pre = 0.0;
+        let mut base = 0.0;
+        for d in &failed {
+            let errs = first_difference(&d.features[9]);
+            let n = errs.len();
+            pre += errs[n - 7..].iter().sum::<f64>() / 7.0;
+            base += errs[..n - 14].iter().sum::<f64>() / (n - 14) as f64;
+        }
+        pre /= failed.len() as f64;
+        base /= failed.len() as f64;
+        assert!(pre > base * 5.0, "pre-failure {pre} vs baseline {base}");
+    }
+
+    #[test]
+    fn tabular_conversion_shapes_and_labels() {
+        let cfg = HddConfig { n_drives: 8, days: 40, ..Default::default() };
+        let data = generate(&cfg);
+        let (rows, labels, names) = data.to_tabular();
+        assert_eq!(rows.len(), labels.len());
+        assert_eq!(names.len(), 20 + CUMULATIVE.iter().filter(|&&c| c).count());
+        assert!(rows.iter().all(|r| r.len() == names.len()));
+        let positives = labels.iter().filter(|&&l| l == 1).count();
+        let failed = data.drives.iter().filter(|d| d.failed).count();
+        assert_eq!(positives, failed, "one positive per failed drive");
+    }
+
+    #[test]
+    fn drive_traces_drop_constant_features() {
+        let data = generate(&HddConfig { n_drives: 6, days: 80, ..Default::default() });
+        let traces = data.drive_traces(0, 40);
+        // Spin retry and calibration retry are constant zero -> dropped.
+        assert!(traces.iter().all(|t| t.name != "smart_10_spin_retry_count"));
+        assert!(traces.iter().all(|t| t.name != "smart_11_calibration_retry"));
+        assert!(traces.len() >= 10, "kept {} features", traces.len());
+        let days = data.drives[0].days();
+        assert!(traces.iter().all(|t| t.events.len() == days));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = HddConfig { n_drives: 4, days: 30, ..Default::default() };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn min_days_filter() {
+        let data = generate(&HddConfig { n_drives: 30, days: 100, ..Default::default() });
+        let long = data.drives_with_min_days(100);
+        assert!(long.iter().all(|&d| !data.drives[d].failed || data.drives[d].days() >= 100));
+    }
+
+    #[test]
+    fn poisson_like_mean_tracks_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| poisson_like(2.5, &mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+    }
+}

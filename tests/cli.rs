@@ -1,0 +1,105 @@
+//! Integration test of the `mdes` command-line interface: simulate -> fit
+//! -> detect -> discover -> diagnose, exercising the JSON persistence path.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn mdes(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mdes"))
+        .args(args)
+        .output()
+        .expect("run mdes binary")
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    std::fs::create_dir_all(&p).expect("tmp dir");
+    p.push(name);
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn full_cli_workflow() {
+    let traces = tmp("cli_traces.json");
+    let model = tmp("cli_model.json");
+    let dot = tmp("cli_graph.dot");
+
+    // simulate-plant: 10 sensors x 10 days x 288 samples.
+    let out = mdes(&[
+        "simulate-plant",
+        "--out",
+        &traces,
+        "--sensors",
+        "10",
+        "--days",
+        "10",
+        "--minutes",
+        "288",
+    ]);
+    assert!(out.status.success(), "simulate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::metadata(&traces).expect("traces file").len() > 1000);
+
+    // fit on days 1-4, dev 5-6; use a wide validity range so detection on
+    // the miniature plant has models to consult.
+    let out = mdes(&[
+        "fit",
+        "--traces",
+        &traces,
+        "--train",
+        "0..1152",
+        "--dev",
+        "1152..1728",
+        "--out",
+        &model,
+        "--word-len",
+        "5",
+        "--sent-len",
+        "6",
+        "--valid",
+        "40..100",
+    ]);
+    assert!(out.status.success(), "fit: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("directional models"), "fit output: {stdout}");
+
+    // detect over days 7-10.
+    let out = mdes(&["detect", "--model", &model, "--traces", &traces, "--range", "1728..2880"]);
+    assert!(out.status.success(), "detect: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("a_t"), "detect output: {stdout}");
+    assert!(stdout.contains("valid models"));
+
+    // discover structure and export DOT.
+    let out = mdes(&["discover", "--model", &model, "--range", "40..100", "--dot", &dot]);
+    assert!(out.status.success(), "discover: {}", String::from_utf8_lossy(&out.stderr));
+    let dot_content = std::fs::read_to_string(&dot).expect("dot file");
+    assert!(dot_content.starts_with("digraph"));
+
+    // diagnose the worst window.
+    let out = mdes(&["diagnose", "--model", &model, "--traces", &traces, "--range", "1728..2880"]);
+    assert!(out.status.success(), "diagnose: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("broken pairs"), "diagnose output: {stdout}");
+}
+
+#[test]
+fn cli_reports_clean_errors() {
+    let out = mdes(&["fit", "--traces", "/nonexistent.json", "--train", "0..10", "--dev", "10..20", "--out", "/tmp/x.json"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read traces file"), "stderr: {err}");
+
+    let out = mdes(&["unknown-command"]);
+    assert!(!out.status.success());
+
+    let out = mdes(&["detect", "--model", "/nonexistent.json", "--traces", "/also-nope.json", "--range", "0..10"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_help_succeeds() {
+    let out = mdes(&["help"]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("USAGE"));
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration: knowledge discovery on the relationship graph —
+//! popular sensors, local clusters and Walktrap communities must recover the
+//! simulator's ground-truth structure.
+
+use mdes::core::{Mdes, MdesConfig};
+use mdes::graph::{to_dot, DotOptions, ScoreRange};
+use mdes::lang::WindowConfig;
+use mdes::synth::plant::{generate, PlantConfig, SensorKind};
+use std::collections::HashMap;
+
+fn fitted() -> (Mdes, mdes::synth::plant::PlantData) {
+    let plant = generate(&PlantConfig {
+        n_sensors: 20,
+        days: 8,
+        minutes_per_day: 288,
+        n_components: 4,
+        anomaly_days: vec![],
+        precursor_days: vec![],
+        ..PlantConfig::default()
+    });
+    let cfg = MdesConfig {
+        window: WindowConfig { word_len: 6, word_stride: 1, sent_len: 8, sent_stride: 8 },
+        ..MdesConfig::default()
+    };
+    let mdes =
+        Mdes::fit(&plant.traces, plant.days_range(1, 5), plant.days_range(6, 8), cfg)
+            .expect("fit");
+    (mdes, plant)
+}
+
+#[test]
+fn popular_sensors_are_the_simple_languages() {
+    let (mdes, plant) = fitted();
+    let strong = mdes.graph().subgraph(&ScoreRange::closed(70.0, 100.0));
+    let thr = mdes.graph().scaled_popular_threshold();
+    let popular = strong.popular(thr);
+    assert!(!popular.is_empty(), "expected popular sensors");
+    // Every popular sensor must be a rare-event (simple-language) sensor —
+    // the paper's finding that high in-degree marks easily-translatable
+    // languages.
+    for &p in &popular {
+        let src = mdes.language().languages()[p].source_index;
+        assert_eq!(
+            plant.sensors[src].kind,
+            SensorKind::RareEvent,
+            "popular sensor {} is not a rare-event sensor",
+            strong.name(p)
+        );
+    }
+}
+
+#[test]
+fn communities_align_with_ground_truth_components() {
+    let (mdes, plant) = fitted();
+    let comms = mdes.communities(&ScoreRange::closed(60.0, 100.0), None);
+    assert!(!comms.groups.is_empty());
+    let by_name: HashMap<&str, usize> =
+        plant.sensors.iter().map(|s| (s.name.as_str(), s.component)).collect();
+    // Each multi-member community must be *pure*: all members share one
+    // ground-truth component.
+    let mut pure = 0;
+    let mut multi = 0;
+    for group in &comms.groups {
+        if group.len() < 2 {
+            continue;
+        }
+        multi += 1;
+        let comps: Vec<usize> = group
+            .iter()
+            .map(|&s| by_name[mdes.graph().name(s)])
+            .collect();
+        if comps.iter().all(|&c| c == comps[0]) {
+            pure += 1;
+        }
+    }
+    assert!(multi >= 2, "expected at least two multi-member communities");
+    assert!(
+        pure * 10 >= multi * 8,
+        "at least 80% of communities should be pure: {pure}/{multi}"
+    );
+}
+
+#[test]
+fn dot_export_round_trips_graph_structure() {
+    let (mdes, _) = fitted();
+    let sub = mdes.global_subgraph(&ScoreRange::best_detection());
+    let dot = to_dot(&sub, &DotOptions::default());
+    assert!(dot.starts_with("digraph"));
+    // Every edge must appear in the DOT output.
+    let edge_lines = dot.lines().filter(|l| l.contains("->")).count();
+    assert_eq!(edge_lines, sub.edge_count());
+}
+
+#[test]
+fn table_statistics_are_internally_consistent() {
+    let (mdes, _) = fitted();
+    let thr = mdes.graph().scaled_popular_threshold();
+    let stats =
+        mdes_graph::table_stats(mdes.graph(), &ScoreRange::paper_buckets(), thr);
+    let pct_total: f64 = stats.iter().map(|s| s.pct_relationships).sum();
+    assert!((pct_total - 100.0).abs() < 1e-9);
+    for row in &stats {
+        let sub_edges =
+            (row.pct_relationships / 100.0 * mdes.graph().edge_count() as f64).round() as usize;
+        assert!(row.relationships_without_popular <= sub_edges);
+        assert!(row.popular_sensors <= row.sensors);
+    }
+}
