@@ -9,7 +9,9 @@ use std::hint::black_box;
 
 fn sentences(n: usize, len: usize, vocab: u32, seed: u64) -> Vec<Vec<u32>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (0..len).map(|_| rng.gen_range(0..vocab)).collect()).collect()
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_range(0..vocab)).collect())
+        .collect()
 }
 
 fn bench_sentence(c: &mut Criterion) {

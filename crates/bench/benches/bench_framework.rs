@@ -15,15 +15,33 @@ fn toggling(name: &str, n: usize, period: usize, phase: usize) -> RawTrace {
     RawTrace::new(
         name,
         (0..n)
-            .map(|t| if ((t + phase) / period).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+            .map(|t| {
+                if ((t + phase) / period).is_multiple_of(2) {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned()
+            })
             .collect(),
     )
 }
 
-fn setup() -> (LanguagePipeline, Vec<mdes_lang::SentenceSet>, Vec<mdes_lang::SentenceSet>, Vec<RawTrace>) {
-    let traces: Vec<RawTrace> =
-        (0..6).map(|i| toggling(&format!("s{i}"), 2_000, 4 + i % 3, i)).collect();
-    let cfg = WindowConfig { word_len: 6, word_stride: 1, sent_len: 8, sent_stride: 8 };
+fn setup() -> (
+    LanguagePipeline,
+    Vec<mdes_lang::SentenceSet>,
+    Vec<mdes_lang::SentenceSet>,
+    Vec<RawTrace>,
+) {
+    let traces: Vec<RawTrace> = (0..6)
+        .map(|i| toggling(&format!("s{i}"), 2_000, 4 + i % 3, i))
+        .collect();
+    let cfg = WindowConfig {
+        word_len: 6,
+        word_stride: 1,
+        sent_len: 8,
+        sent_stride: 8,
+    };
     let pipeline = LanguagePipeline::fit(&traces, 0..1_000, cfg).expect("fit");
     let train = pipeline.encode_segment(&traces, 0..1_000).expect("train");
     let dev = pipeline.encode_segment(&traces, 1_000..1_500).expect("dev");
@@ -39,7 +57,12 @@ fn bench_ngram_fit(c: &mut Criterion) {
         .map(|(s, t)| (s.clone(), t.clone()))
         .collect();
     c.bench_function("framework/ngram_fit_124_pairs", |b| {
-        b.iter(|| black_box(NgramTranslator::fit(black_box(&pairs), &NgramConfig::default())))
+        b.iter(|| {
+            black_box(NgramTranslator::fit(
+                black_box(&pairs),
+                &NgramConfig::default(),
+            ))
+        })
     });
     let model = NgramTranslator::fit(&pairs, &NgramConfig::default());
     c.bench_function("framework/ngram_translate_len8", |b| {
@@ -49,7 +72,10 @@ fn bench_ngram_fit(c: &mut Criterion) {
 
 fn bench_build_graph(c: &mut Criterion) {
     let (pipeline, train, dev, _) = setup();
-    let cfg = GraphBuildConfig { threads: 1, ..GraphBuildConfig::default() };
+    let cfg = GraphBuildConfig {
+        threads: 1,
+        ..GraphBuildConfig::default()
+    };
     c.bench_function("framework/algorithm1_6_sensors", |b| {
         b.iter(|| black_box(build_graph(&pipeline, &train, &dev, &cfg).expect("build")))
     });
@@ -57,9 +83,14 @@ fn bench_build_graph(c: &mut Criterion) {
 
 fn bench_detection(c: &mut Criterion) {
     let (pipeline, train, dev, traces) = setup();
-    let cfg = GraphBuildConfig { threads: 1, ..GraphBuildConfig::default() };
+    let cfg = GraphBuildConfig {
+        threads: 1,
+        ..GraphBuildConfig::default()
+    };
     let trained = build_graph(&pipeline, &train, &dev, &cfg).expect("build");
-    let test = pipeline.encode_segment(&traces, 1_500..2_000).expect("test");
+    let test = pipeline
+        .encode_segment(&traces, 1_500..2_000)
+        .expect("test");
     let dcfg = DetectionConfig {
         valid_range: ScoreRange::closed(0.0, 100.0),
         ..DetectionConfig::default()
@@ -69,5 +100,55 @@ fn bench_detection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_ngram_fit, bench_build_graph, bench_detection);
+/// Before/after pair for the batched NMT dev decode: Algorithm 1 now scores
+/// the whole dev set with one `translate_batch` call (one GEMM per decode
+/// step for the segment) instead of decoding sentence by sentence.
+fn bench_nmt_dev_decode(c: &mut Criterion) {
+    use mdes_core::{train_translator, TranslatorConfig};
+    use mdes_lang::Vocab;
+    use mdes_nn::Seq2SeqConfig;
+
+    let (pipeline, train, dev, _) = setup();
+    let pairs: Vec<(Vec<u32>, Vec<u32>)> = train[0]
+        .sentences
+        .iter()
+        .zip(&train[1].sentences)
+        .map(|(s, t)| (s.clone(), t.clone()))
+        .collect();
+    let cfg = TranslatorConfig::Nmt(Seq2SeqConfig {
+        embed_dim: 16,
+        hidden: 16,
+        train_steps: 30,
+        ..Seq2SeqConfig::default()
+    });
+    let translator = train_translator(
+        &cfg,
+        &pairs,
+        pipeline.languages()[0].vocab.size(),
+        pipeline.languages()[1].vocab.size(),
+        Vocab::BOS,
+    )
+    .expect("train");
+    let srcs: Vec<&[u32]> = dev[0].sentences.iter().map(Vec::as_slice).collect();
+    c.bench_function("framework/nmt_dev_decode_batched", |b| {
+        b.iter(|| black_box(translator.translate_batch(black_box(&srcs), 8)))
+    });
+    c.bench_function("framework/nmt_dev_decode_per_sentence", |b| {
+        b.iter(|| {
+            black_box(
+                srcs.iter()
+                    .map(|s| translator.translate(s, 8))
+                    .collect::<Vec<Vec<u32>>>(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ngram_fit,
+    bench_build_graph,
+    bench_detection,
+    bench_nmt_dev_decode
+);
 criterion_main!(benches);

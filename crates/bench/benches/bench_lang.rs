@@ -8,7 +8,16 @@ use std::hint::black_box;
 fn toggling(name: &str, n: usize, period: usize) -> RawTrace {
     RawTrace::new(
         name,
-        (0..n).map(|t| if (t / period).is_multiple_of(2) { "on" } else { "off" }.to_owned()).collect(),
+        (0..n)
+            .map(|t| {
+                if (t / period).is_multiple_of(2) {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned()
+            })
+            .collect(),
     )
 }
 
@@ -29,12 +38,18 @@ fn bench_words(c: &mut Criterion) {
 }
 
 fn bench_encode_segment(c: &mut Criterion) {
-    let traces: Vec<RawTrace> =
-        (0..8).map(|i| toggling(&format!("s{i}"), 5_000, 3 + i)).collect();
-    let pipeline =
-        LanguagePipeline::fit(&traces, 0..2_500, WindowConfig::default()).expect("fit");
+    let traces: Vec<RawTrace> = (0..8)
+        .map(|i| toggling(&format!("s{i}"), 5_000, 3 + i))
+        .collect();
+    let pipeline = LanguagePipeline::fit(&traces, 0..2_500, WindowConfig::default()).expect("fit");
     c.bench_function("lang/encode_segment_8x2500", |b| {
-        b.iter(|| black_box(pipeline.encode_segment(black_box(&traces), 2_500..5_000).expect("encode")))
+        b.iter(|| {
+            black_box(
+                pipeline
+                    .encode_segment(black_box(&traces), 2_500..5_000)
+                    .expect("encode"),
+            )
+        })
     });
 }
 
@@ -46,5 +61,11 @@ fn bench_discretize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_encrypt, bench_words, bench_encode_segment, bench_discretize);
+criterion_group!(
+    benches,
+    bench_encrypt,
+    bench_words,
+    bench_encode_segment,
+    bench_discretize
+);
 criterion_main!(benches);

@@ -12,14 +12,19 @@ use std::hint::black_box;
 
 fn tabular(n: usize, d: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(1);
-    let x: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| rng.gen::<f64>()).collect()).collect();
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen::<f64>()).collect())
+        .collect();
     let y: Vec<usize> = x.iter().map(|r| usize::from(r[0] + r[1] > 1.0)).collect();
     Dataset::new(x, y)
 }
 
 fn bench_forest(c: &mut Criterion) {
     let data = tabular(400, 8);
-    let cfg = ForestConfig { n_trees: 20, ..Default::default() };
+    let cfg = ForestConfig {
+        n_trees: 20,
+        ..Default::default()
+    };
     c.bench_function("ml/forest_fit_400x8", |b| {
         b.iter(|| black_box(RandomForest::fit(black_box(&data), &cfg)))
     });
@@ -31,7 +36,10 @@ fn bench_forest(c: &mut Criterion) {
 
 fn bench_svm(c: &mut Criterion) {
     let data = tabular(150, 8);
-    let cfg = SvmConfig { max_epochs: 20, ..Default::default() };
+    let cfg = SvmConfig {
+        max_epochs: 20,
+        ..Default::default()
+    };
     c.bench_function("ml/ocsvm_fit_150x8", |b| {
         b.iter(|| black_box(OneClassSvm::fit(black_box(&data), &cfg)))
     });
@@ -39,7 +47,10 @@ fn bench_svm(c: &mut Criterion) {
 
 fn bench_kmeans(c: &mut Criterion) {
     let data = tabular(500, 6);
-    let cfg = KMeansConfig { k: 4, ..Default::default() };
+    let cfg = KMeansConfig {
+        k: 4,
+        ..Default::default()
+    };
     c.bench_function("ml/kmeans_fit_500x6", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
@@ -52,7 +63,10 @@ fn bench_hawkes(c: &mut Criterion) {
     let truth = Hawkes::new(vec![0.3, 0.1], vec![vec![0.2, 0.1], vec![0.4, 0.0]], 1.0);
     let mut rng = StdRng::seed_from_u64(3);
     let events = truth.simulate(800.0, &mut rng);
-    let cfg = HawkesConfig { iters: 10, ..Default::default() };
+    let cfg = HawkesConfig {
+        iters: 10,
+        ..Default::default()
+    };
     c.bench_function("ml/hawkes_em_fit", |b| {
         b.iter(|| black_box(Hawkes::fit(black_box(&events), 2, 800.0, &cfg)))
     });

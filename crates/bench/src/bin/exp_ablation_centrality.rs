@@ -21,8 +21,11 @@ fn main() {
     let pr = pagerank(&sub, &PageRankConfig::default());
     let mut by_pr: Vec<(usize, f64)> = sub.active_nodes().iter().map(|&n| (n, pr[n])).collect();
     by_pr.sort_by(|a, b| b.1.total_cmp(&a.1));
-    let mut by_in: Vec<(usize, usize)> =
-        sub.active_nodes().iter().map(|&n| (n, sub.in_degree(n))).collect();
+    let mut by_in: Vec<(usize, usize)> = sub
+        .active_nodes()
+        .iter()
+        .map(|&n| (n, sub.in_degree(n)))
+        .collect();
     by_in.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     println!("Ablation A4 — importance measures on the HDD [80, 90) subgraph\n");
@@ -58,6 +61,10 @@ fn main() {
         .iter()
         .map(|&(n, d)| vec![sub.name(n).to_owned(), d.to_string(), pr[n].to_string()])
         .collect();
-    let path = write_csv("ablation_centrality.csv", &["feature", "in_degree", "pagerank"], &csv);
+    let path = write_csv(
+        "ablation_centrality.csv",
+        &["feature", "in_degree", "pagerank"],
+        &csv,
+    );
     println!("wrote {}", path.display());
 }

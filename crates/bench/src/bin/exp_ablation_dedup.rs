@@ -25,17 +25,23 @@ fn main() {
         precursor_days: vec![],
         ..PlantConfig::default()
     });
-    let window = WindowConfig { word_len: 6, word_stride: 1, sent_len: 8, sent_stride: 8 };
+    let window = WindowConfig {
+        word_len: 6,
+        word_stride: 1,
+        sent_len: 8,
+        sent_stride: 8,
+    };
     let train = plant.days_range(1, 5);
     let dev = plant.days_range(6, 7);
 
     let sweep = |traces: &[mdes_lang::RawTrace]| {
         let start = Instant::now();
         let pipeline = LanguagePipeline::fit(traces, train.clone(), window).expect("fit");
-        let t = pipeline.encode_segment(traces, train.clone()).expect("train");
+        let t = pipeline
+            .encode_segment(traces, train.clone())
+            .expect("train");
         let v = pipeline.encode_segment(traces, dev.clone()).expect("dev");
-        let trained =
-            build_graph(&pipeline, &t, &v, &GraphBuildConfig::default()).expect("build");
+        let trained = build_graph(&pipeline, &t, &v, &GraphBuildConfig::default()).expect("build");
         let elapsed = start.elapsed().as_secs_f64();
         // Detection contrast between the anomalous day and a normal day.
         let dcfg = DetectionConfig {
@@ -43,7 +49,9 @@ fn main() {
             ..DetectionConfig::default()
         };
         let day = |d: usize| {
-            let sets = pipeline.encode_segment(traces, plant.day_range(d)).expect("day");
+            let sets = pipeline
+                .encode_segment(traces, plant.day_range(d))
+                .expect("day");
             let res = detect(&trained, &sets, &dcfg).expect("detect");
             res.scores.iter().sum::<f64>() / res.scores.len() as f64
         };
@@ -74,7 +82,13 @@ fn main() {
         ],
     ];
     print_table(
-        &["configuration", "sensors", "models", "sweep time", "anomaly separation"],
+        &[
+            "configuration",
+            "sensors",
+            "models",
+            "sweep time",
+            "anomaly separation",
+        ],
         &rows,
     );
     println!(
@@ -86,7 +100,13 @@ fn main() {
     );
     let path = write_csv(
         "ablation_dedup.csv",
-        &["configuration", "sensors", "models", "sweep_time", "separation"],
+        &[
+            "configuration",
+            "sensors",
+            "models",
+            "sweep_time",
+            "separation",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());

@@ -12,7 +12,12 @@ use mdes_bench::report::{print_table, write_csv};
 use mdes_core::{NgramConfig, NgramTranslator, TranslatorConfig};
 
 fn main() {
-    let scale = PlantScale { n_sensors: 12, minutes_per_day: 240, word_len: 6, sent_len: 8 };
+    let scale = PlantScale {
+        n_sensors: 12,
+        minutes_per_day: 240,
+        word_len: 6,
+        sent_len: 8,
+    };
     let study = PlantStudy::run(&scale, TranslatorConfig::fast());
     let bleu_scores = study.trained.scores();
 
@@ -46,10 +51,9 @@ fn main() {
                 .zip(&dev_sets[j].sentences)
                 .map(|(s, t)| (s.as_slice(), t.as_slice()))
                 .collect();
-            like_scores.push(model.likelihood_score(
-                &dev_pairs,
-                study.pipeline.languages()[j].vocab.size(),
-            ));
+            like_scores.push(
+                model.likelihood_score(&dev_pairs, study.pipeline.languages()[j].vocab.size()),
+            );
         }
     }
 
@@ -70,13 +74,19 @@ fn main() {
             vec![
                 "BLEU (paper)".into(),
                 format!("{:.1}", mean(&bleu_scores)),
-                format!("{:.1}", bleu_scores.iter().cloned().fold(f64::INFINITY, f64::min)),
+                format!(
+                    "{:.1}",
+                    bleu_scores.iter().cloned().fold(f64::INFINITY, f64::min)
+                ),
                 format!("{:.1}", bleu_scores.iter().cloned().fold(0.0f64, f64::max)),
             ],
             vec![
                 "likelihood".into(),
                 format!("{:.1}", mean(&like_scores)),
-                format!("{:.1}", like_scores.iter().cloned().fold(f64::INFINITY, f64::min)),
+                format!(
+                    "{:.1}",
+                    like_scores.iter().cloned().fold(f64::INFINITY, f64::min)
+                ),
                 format!("{:.1}", like_scores.iter().cloned().fold(0.0f64, f64::max)),
             ],
         ],

@@ -13,7 +13,12 @@ use mdes_core::TranslatorConfig;
 use mdes_nn::{AttentionKind, CellKind, Seq2SeqConfig};
 
 fn main() {
-    let scale = PlantScale { n_sensors: 6, minutes_per_day: 240, word_len: 6, sent_len: 8 };
+    let scale = PlantScale {
+        n_sensors: 6,
+        minutes_per_day: 240,
+        word_len: 6,
+        sent_len: 8,
+    };
     let variants = [
         ("LSTM + dot (paper)", CellKind::Lstm, AttentionKind::Dot),
         ("LSTM + general", CellKind::Lstm, AttentionKind::General),
@@ -47,7 +52,15 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["variant", "mean dev BLEU", "sweep time", "rank corr vs paper"], &rows);
+    print_table(
+        &[
+            "variant",
+            "mean dev BLEU",
+            "sweep time",
+            "rank corr vs paper",
+        ],
+        &rows,
+    );
     println!(
         "\nTakeaway: the graph structure is robust to the architecture choice — any\n\
          variant with high rank correlation yields the same subgraphs."

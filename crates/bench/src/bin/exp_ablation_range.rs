@@ -26,7 +26,13 @@ fn main() {
     let mut rows = Vec::new();
     for range in candidates {
         let Ok((result, days)) = study.detect_test_period(range) else {
-            rows.push(vec![range.to_string(), "0".into(), "-".into(), "-".into(), "-".into()]);
+            rows.push(vec![
+                range.to_string(),
+                "0".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let collect = |kind: &str| -> Vec<f64> {
@@ -46,8 +52,11 @@ fn main() {
                 .collect()
         };
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
-        let (anom, prec, norm) =
-            (mean(&collect("anomaly")), mean(&collect("precursor")), mean(&collect("normal")));
+        let (anom, prec, norm) = (
+            mean(&collect("anomaly")),
+            mean(&collect("precursor")),
+            mean(&collect("normal")),
+        );
         rows.push(vec![
             range.to_string(),
             result.valid_models.to_string(),
@@ -57,7 +66,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["validity range", "valid models", "normal mean", "precursor mean", "anomaly mean"],
+        &[
+            "validity range",
+            "valid models",
+            "normal mean",
+            "precursor mean",
+            "anomaly mean",
+        ],
         &rows,
     );
     println!(

@@ -59,7 +59,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["threshold rule", "normal mean a_t", "anomaly mean a_t", "contrast ratio"],
+        &[
+            "threshold rule",
+            "normal mean a_t",
+            "anomaly mean a_t",
+            "contrast ratio",
+        ],
         &rows,
     );
     println!(

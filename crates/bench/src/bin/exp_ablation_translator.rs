@@ -13,8 +13,9 @@ use mdes_nn::Seq2SeqConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let sensors: usize =
-        arg_value(&args, "sensors").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let sensors: usize = arg_value(&args, "sensors")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
     let scale = PlantScale {
         n_sensors: sensors,
         minutes_per_day: 240,
@@ -24,7 +25,10 @@ fn main() {
 
     println!("Ablation A1 — translator families on a {sensors}-sensor plant\n");
     let ngram = PlantStudy::run(&scale, TranslatorConfig::fast());
-    let nmt_cfg = Seq2SeqConfig { train_steps: 60, ..Seq2SeqConfig::default() };
+    let nmt_cfg = Seq2SeqConfig {
+        train_steps: 60,
+        ..Seq2SeqConfig::default()
+    };
     let nmt = PlantStudy::run(&scale, TranslatorConfig::Nmt(nmt_cfg));
 
     let s_ngram = ngram.trained.scores();
@@ -44,16 +48,21 @@ fn main() {
 
     let time = |s: &PlantStudy| s.trained.runtimes().iter().sum::<f64>();
     let rows = vec![
-        vec!["n-gram".into(), format!("{:.2}s", time(&ngram)), format!("{:.1}", mean(&s_ngram))],
-        vec!["NMT (seq2seq)".into(), format!("{:.2}s", time(&nmt)), format!("{:.1}", mean(&s_nmt))],
+        vec![
+            "n-gram".into(),
+            format!("{:.2}s", time(&ngram)),
+            format!("{:.1}", mean(&s_ngram)),
+        ],
+        vec![
+            "NMT (seq2seq)".into(),
+            format!("{:.2}s", time(&nmt)),
+            format!("{:.1}", mean(&s_nmt)),
+        ],
     ];
     print_table(&["translator", "total sweep time", "mean dev BLEU"], &rows);
     println!("\nSpearman rank correlation of pair scores: {rho:.3}");
     println!("top-quartile edge-set Jaccard overlap:    {jaccard:.3}");
-    println!(
-        "speedup: {:.0}x",
-        time(&nmt) / time(&ngram).max(1e-9)
-    );
+    println!("speedup: {:.0}x", time(&nmt) / time(&ngram).max(1e-9));
 
     let csv: Vec<Vec<String>> = s_ngram
         .iter()

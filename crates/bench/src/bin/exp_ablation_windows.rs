@@ -15,13 +15,17 @@ fn main() {
     println!("Ablation A2 — window parameter sweep (16-sensor plant)\n");
     let mut rows = Vec::new();
     for (word_len, sent_len) in [(4, 10), (6, 10), (10, 10), (10, 20), (14, 20)] {
-        let scale = PlantScale { n_sensors: 16, minutes_per_day: 240, word_len, sent_len };
+        let scale = PlantScale {
+            n_sensors: 16,
+            minutes_per_day: 240,
+            word_len,
+            sent_len,
+        };
         let study = PlantStudy::run(&scale, TranslatorConfig::fast());
-        let vocab_mean = study.vocabulary_sizes().iter().sum::<f64>()
-            / study.vocabulary_sizes().len() as f64;
+        let vocab_mean =
+            study.vocabulary_sizes().iter().sum::<f64>() / study.vocabulary_sizes().len() as f64;
         let sweep_time: f64 = study.trained.runtimes().iter().sum();
-        let (sep, windows_per_day) = match study
-            .detect_test_period(ScoreRange::closed(40.0, 100.0))
+        let (sep, windows_per_day) = match study.detect_test_period(ScoreRange::closed(40.0, 100.0))
         {
             Ok((result, days)) => {
                 let mean_where = |anom: bool| -> f64 {
@@ -49,7 +53,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["word len", "sent len", "mean vocab", "sweep time", "windows/day", "anomaly separation"],
+        &[
+            "word len",
+            "sent len",
+            "mean vocab",
+            "sweep time",
+            "windows/day",
+            "anomaly separation",
+        ],
         &rows,
     );
     println!(
@@ -59,7 +70,14 @@ fn main() {
     );
     let path = write_csv(
         "ablation_windows.csv",
-        &["word_len", "sent_len", "mean_vocab", "sweep_time", "windows_per_day", "separation"],
+        &[
+            "word_len",
+            "sent_len",
+            "mean_vocab",
+            "sweep_time",
+            "windows_per_day",
+            "separation",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());

@@ -15,7 +15,12 @@ use mdes_core::TranslatorConfig;
 use mdes_ml::{Hawkes, HawkesConfig, HawkesEvent};
 
 fn main() {
-    let scale = PlantScale { n_sensors: 16, minutes_per_day: 240, word_len: 8, sent_len: 10 };
+    let scale = PlantScale {
+        n_sensors: 16,
+        minutes_per_day: 240,
+        word_len: 8,
+        sent_len: 10,
+    };
     let study = PlantStudy::run(&scale, TranslatorConfig::fast());
     let n = study.pipeline.sensor_count();
     let train = study.plant.days_range(1, 5);
@@ -38,12 +43,20 @@ fn main() {
     }
     events.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     let horizon = (train.end - train.start) as f64;
-    println!("fitting Hawkes on {} state-change events, {} dims...", events.len(), n);
+    println!(
+        "fitting Hawkes on {} state-change events, {} dims...",
+        events.len(),
+        n
+    );
     let hawkes = Hawkes::fit(
         &events,
         n,
         horizon,
-        &HawkesConfig { beta: 0.1, iters: 25, ..Default::default() },
+        &HawkesConfig {
+            beta: 0.1,
+            iters: 25,
+            ..Default::default()
+        },
     );
 
     // Edge strengths: Hawkes alpha (symmetrized) vs translation BLEU.
@@ -93,7 +106,10 @@ fn main() {
             format!("{same:.2}"),
         ]);
     }
-    print_table(&["k", "translation graph", "Hawkes influence", "chance"], &rows);
+    print_table(
+        &["k", "translation graph", "Hawkes influence", "chance"],
+        &rows,
+    );
     println!(
         "\nThe translation graph beats chance by a wide margin; the Hawkes influence\n\
          matrix barely does — deterministic phase-locked state changes violate the\n\

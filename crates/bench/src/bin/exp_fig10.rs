@@ -33,8 +33,15 @@ fn main() {
     let zeros = smart187.iter().filter(|&&v| v == 0.0).count() as f64 / smart187.len() as f64;
     println!("  {:.0}% of observations are zero", 100.0 * zeros);
     let s187 = Scheme::fit_default(&smart187);
-    println!("  fitted scheme: {s187:?} (cardinality {})", s187.cardinality());
-    assert_eq!(s187, Scheme::Binary, "error counters should be binary-discretized");
+    println!(
+        "  fitted scheme: {s187:?} (cardinality {})",
+        s187.cardinality()
+    );
+    assert_eq!(
+        s187,
+        Scheme::Binary,
+        "error counters should be binary-discretized"
+    );
 
     println!("\nFig. 10b — SMART 9 power-on hours (spread feature)");
     let s9 = Scheme::fit_default(&smart9);
@@ -54,10 +61,14 @@ fn main() {
         println!("  bucket {label}: {:.1}%", 100.0 * share);
     }
 
-    let rows_a: Vec<Vec<String>> =
-        ecdf_f64(&smart187).iter().map(|(v, f)| vec![v.to_string(), f.to_string()]).collect();
-    let rows_b: Vec<Vec<String>> =
-        ecdf_f64(&smart9).iter().map(|(v, f)| vec![v.to_string(), f.to_string()]).collect();
+    let rows_a: Vec<Vec<String>> = ecdf_f64(&smart187)
+        .iter()
+        .map(|(v, f)| vec![v.to_string(), f.to_string()])
+        .collect();
+    let rows_b: Vec<Vec<String>> = ecdf_f64(&smart9)
+        .iter()
+        .map(|(v, f)| vec![v.to_string(), f.to_string()])
+        .collect();
     let p1 = write_csv("fig10a_smart187_cdf.csv", &["value", "cdf"], &rows_a);
     let p2 = write_csv("fig10b_smart9_cdf.csv", &["value", "cdf"], &rows_b);
     println!("\nwrote {}\nwrote {}", p1.display(), p2.display());

@@ -20,14 +20,23 @@ fn main() {
 
     // (a) Graph-based ranking: in-degree in the [80, 90) subgraph.
     let sub = study.trained.graph.subgraph(&ScoreRange::best_detection());
-    let mut by_in: Vec<(usize, usize)> =
-        sub.active_nodes().iter().map(|&n| (n, sub.in_degree(n))).collect();
+    let mut by_in: Vec<(usize, usize)> = sub
+        .active_nodes()
+        .iter()
+        .map(|&n| (n, sub.in_degree(n)))
+        .collect();
     by_in.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
     println!("Fig. 11a — features by in-degree in the [80, 90) global subgraph");
     let rows: Vec<Vec<String>> = by_in
         .iter()
         .take(8)
-        .map(|&(n, d)| vec![sub.name(n).to_owned(), d.to_string(), sub.out_degree(n).to_string()])
+        .map(|&(n, d)| {
+            vec![
+                sub.name(n).to_owned(),
+                d.to_string(),
+                sub.out_degree(n).to_string(),
+            ]
+        })
         .collect();
     print_table(&["feature", "in-degree", "out-degree"], &rows);
 
@@ -50,9 +59,16 @@ fn main() {
     // Overlap check (the paper's validation). RF features include "_delta"
     // variants of the same underlying SMART attribute; match on the base name.
     let base = |s: &str| s.trim_end_matches("_delta").to_owned();
-    let rf_top: HashSet<String> = ranked.iter().take(10).map(|&(f, _)| base(&names[f])).collect();
-    let graph_top: Vec<String> =
-        by_in.iter().take(5).map(|&(n, _)| sub.name(n).to_owned()).collect();
+    let rf_top: HashSet<String> = ranked
+        .iter()
+        .take(10)
+        .map(|&(f, _)| base(&names[f]))
+        .collect();
+    let graph_top: Vec<String> = by_in
+        .iter()
+        .take(5)
+        .map(|&(n, _)| sub.name(n).to_owned())
+        .collect();
     let overlap = graph_top.iter().filter(|g| rf_top.contains(*g)).count();
     println!(
         "\noverlap: {overlap}/{} of the graph's top features appear in the RF top-10 \
@@ -63,7 +79,11 @@ fn main() {
     let csv: Vec<Vec<String>> = by_in
         .iter()
         .map(|&(n, d)| vec![sub.name(n).to_owned(), d.to_string()])
-        .chain(ranked.iter().map(|&(f, w)| vec![names[f].clone(), w.to_string()]))
+        .chain(
+            ranked
+                .iter()
+                .map(|&(f, w)| vec![names[f].clone(), w.to_string()]),
+        )
         .collect();
     let path = write_csv("fig11_feature_rankings.csv", &["feature", "score"], &csv);
     println!("wrote {}", path.display());

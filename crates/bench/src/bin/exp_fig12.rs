@@ -17,13 +17,22 @@ fn main() {
     let outcomes = study.evaluate(ScoreRange::best_detection(), 0.3);
 
     let fmt = |scores: &[f64]| {
-        scores.iter().map(|s| format!("{:4.2}", s)).collect::<Vec<_>>().join(" ")
+        scores
+            .iter()
+            .map(|s| format!("{:4.2}", s))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
     let mut csv_rows = Vec::new();
-    for (label, detected) in [("Fig. 12a — detected disks", true), ("Fig. 12b — not detected disks", false)]
-    {
+    for (label, detected) in [
+        ("Fig. 12a — detected disks", true),
+        ("Fig. 12b — not detected disks", false),
+    ] {
         println!("{label}:");
-        for o in outcomes.iter().filter(|o| o.failed && o.detected == detected) {
+        for o in outcomes
+            .iter()
+            .filter(|o| o.failed && o.detected == detected)
+        {
             let serial = &study.fleet.drives[o.drive].serial;
             println!(
                 "  {serial} (dev baseline {:.2}): {}",

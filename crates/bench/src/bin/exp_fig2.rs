@@ -18,7 +18,10 @@ fn main() {
 
     println!("Fig. 2 — representative sensors, day {normal_day} (normal) vs day {anomalous_day} (anomalous)\n");
     let mut rows = Vec::new();
-    for (label, sensor) in [("periodic (Fig 2a)", periodic), ("rare-event (Fig 2b)", rare)] {
+    for (label, sensor) in [
+        ("periodic (Fig 2a)", periodic),
+        ("rare-event (Fig 2b)", rare),
+    ] {
         for day in [normal_day, anomalous_day] {
             let seg = &plant.traces[sensor].events[plant.day_range(day)];
             let transitions = seg.windows(2).filter(|w| w[0] != w[1]).count();
@@ -32,7 +35,16 @@ fn main() {
             ]);
         }
     }
-    print_table(&["sensor kind", "sensor", "day", "state transitions", "% non-OFF"], &rows);
+    print_table(
+        &[
+            "sensor kind",
+            "sensor",
+            "day",
+            "state transitions",
+            "% non-OFF",
+        ],
+        &rows,
+    );
 
     // Raw series for external plotting.
     let mut csv_rows = Vec::new();
@@ -50,7 +62,13 @@ fn main() {
     }
     let path = write_csv(
         "fig2_sensor_traces.csv",
-        &["minute", "periodic_normal", "periodic_anomalous", "rare_normal", "rare_anomalous"],
+        &[
+            "minute",
+            "periodic_normal",
+            "periodic_anomalous",
+            "rare_normal",
+            "rare_anomalous",
+        ],
         &csv_rows,
     );
     println!("\nwrote {}", path.display());

@@ -8,7 +8,7 @@
 //! paper's 1440-minute days).
 
 use mdes_bench::plant_study::{scale_from_args, translator_from_args, PlantStudy};
-use mdes_bench::report::{print_cdf, write_csv, ecdf_f64};
+use mdes_bench::report::{ecdf_f64, print_cdf, write_csv};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,7 +27,10 @@ fn main() {
     );
     print_cdf("  cardinality CDF", &cards);
 
-    println!("\nFig. 3b — sensor vocabulary size (word length {})", study.window.word_len);
+    println!(
+        "\nFig. 3b — sensor vocabulary size (word length {})",
+        study.window.word_len
+    );
     let small = vocabs.iter().filter(|&&v| v < 13.0).count() as f64 / vocabs.len() as f64;
     let large = vocabs.iter().filter(|&&v| v > 100.0).count() as f64 / vocabs.len() as f64;
     let vmean = vocabs.iter().sum::<f64>() / vocabs.len() as f64;
@@ -38,11 +41,23 @@ fn main() {
     );
     print_cdf("  vocabulary CDF", &vocabs);
 
-    let card_rows: Vec<Vec<String>> =
-        ecdf_f64(&cards).iter().map(|(v, f)| vec![v.to_string(), f.to_string()]).collect();
-    let vocab_rows: Vec<Vec<String>> =
-        ecdf_f64(&vocabs).iter().map(|(v, f)| vec![v.to_string(), f.to_string()]).collect();
-    let p1 = write_csv("fig3a_cardinality_cdf.csv", &["cardinality", "cdf"], &card_rows);
-    let p2 = write_csv("fig3b_vocabulary_cdf.csv", &["vocab_size", "cdf"], &vocab_rows);
+    let card_rows: Vec<Vec<String>> = ecdf_f64(&cards)
+        .iter()
+        .map(|(v, f)| vec![v.to_string(), f.to_string()])
+        .collect();
+    let vocab_rows: Vec<Vec<String>> = ecdf_f64(&vocabs)
+        .iter()
+        .map(|(v, f)| vec![v.to_string(), f.to_string()])
+        .collect();
+    let p1 = write_csv(
+        "fig3a_cardinality_cdf.csv",
+        &["cardinality", "cdf"],
+        &card_rows,
+    );
+    let p2 = write_csv(
+        "fig3b_vocabulary_cdf.csv",
+        &["vocab_size", "cdf"],
+        &vocab_rows,
+    );
     println!("\nwrote {}\nwrote {}", p1.display(), p2.display());
 }

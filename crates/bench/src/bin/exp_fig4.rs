@@ -20,7 +20,10 @@ fn main() {
     println!("Fig. 4a — per-model runtime (seconds, train + dev scoring)");
     print_cdf("  runtime CDF", &runtimes);
     let total: f64 = runtimes.iter().sum();
-    println!("  total sweep time {total:.2}s over {} models", runtimes.len());
+    println!(
+        "  total sweep time {total:.2}s over {} models",
+        runtimes.len()
+    );
 
     println!("\nFig. 4b — histogram of development BLEU scores");
     print_histogram("  BLEU scores", &scores, 0.0, 100.0, 10);

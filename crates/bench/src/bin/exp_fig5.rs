@@ -39,6 +39,10 @@ fn main() {
             }
         }
     }
-    let path = write_csv("fig5_degree_distributions.csv", &["range", "kind", "degree"], &csv_rows);
+    let path = write_csv(
+        "fig5_degree_distributions.csv",
+        &["range", "kind", "degree"],
+        &csv_rows,
+    );
     println!("wrote {}", path.display());
 }

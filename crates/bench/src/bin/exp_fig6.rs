@@ -21,7 +21,11 @@ fn main() {
         popular.len()
     );
     for &p in &popular {
-        println!("  popular: {} (in-degree {})", sub.name(p), sub.in_degree(p));
+        println!(
+            "  popular: {} (in-degree {})",
+            sub.name(p),
+            sub.in_degree(p)
+        );
     }
 
     let dot = to_dot(

@@ -54,7 +54,10 @@ fn main() {
         );
         let dot = to_dot(
             &local,
-            &DotOptions { title: format!("local subgraph {range}"), ..DotOptions::default() },
+            &DotOptions {
+                title: format!("local subgraph {range}"),
+                ..DotOptions::default()
+            },
         );
         let path = results_dir().join(format!("fig7_local_subgraph_{tag}.dot"));
         std::fs::write(&path, dot).expect("write dot");

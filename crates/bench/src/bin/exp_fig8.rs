@@ -76,9 +76,18 @@ fn main() {
         println!("  anomalous-day peak {anom:.2} vs normal-day peak {normal:.2}\n");
 
         for ((&s, &d), &start) in result.scores.iter().zip(&days).zip(&result.starts) {
-            csv_rows.push(vec![tag.to_owned(), d.to_string(), start.to_string(), s.to_string()]);
+            csv_rows.push(vec![
+                tag.to_owned(),
+                d.to_string(),
+                start.to_string(),
+                s.to_string(),
+            ]);
         }
     }
-    let path = write_csv("fig8_anomaly_scores.csv", &["range", "day", "start", "a_t"], &csv_rows);
+    let path = write_csv(
+        "fig8_anomaly_scores.csv",
+        &["range", "day", "start", "a_t"],
+        &csv_rows,
+    );
     println!("wrote {}", path.display());
 }

@@ -32,20 +32,25 @@ fn main() {
         };
         let alerts = &result.alerts[worst];
         let diag = diagnose(&local, alerts);
-        println!("=== Fig. 9 — day {day} (worst window a_t = {:.2}) ===", result.scores[worst]);
+        println!(
+            "=== Fig. 9 — day {day} (worst window a_t = {:.2}) ===",
+            result.scores[worst]
+        );
         println!(
             "  {} broken relationships, {:.0}% of the local subgraph broken{}",
             alerts.len(),
             100.0 * diag.broken_fraction,
-            if diag.is_severe(0.8) { " — SEVERE (paper: day 28 pattern)" } else { "" }
+            if diag.is_severe(0.8) {
+                " — SEVERE (paper: day 28 pattern)"
+            } else {
+                ""
+            }
         );
         for (i, cluster) in diag.faulty_clusters.iter().enumerate() {
             let names: Vec<&str> = cluster.iter().map(|&s| local.name(s)).collect();
             let comps: Vec<usize> = cluster
                 .iter()
-                .map(|&s| {
-                    study.plant.sensors[study.pipeline.languages()[s].source_index].component
-                })
+                .map(|&s| study.plant.sensors[study.pipeline.languages()[s].source_index].component)
                 .collect();
             println!("  faulty cluster {i}: {names:?} (ground-truth components {comps:?})");
         }

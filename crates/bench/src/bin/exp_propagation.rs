@@ -17,11 +17,17 @@ fn main() {
         .detect_test_period(ScoreRange::best_detection())
         .expect("detect over test period");
 
-    let day = *study.plant.config.anomaly_days.first().expect("an anomaly day");
+    let day = *study
+        .plant
+        .config
+        .anomaly_days
+        .first()
+        .expect("an anomaly day");
     // Timeline over the precursor day before the anomaly plus the anomaly
     // day itself: the fault should spread across windows.
-    let windows: Vec<usize> =
-        (0..result.scores.len()).filter(|&t| days[t] == day || days[t] + 1 == day).collect();
+    let windows: Vec<usize> = (0..result.scores.len())
+        .filter(|&t| days[t] == day || days[t] + 1 == day)
+        .collect();
     let scores: Vec<f64> = windows.iter().map(|&t| result.scores[t]).collect();
     let alerts: Vec<Vec<(usize, usize)>> =
         windows.iter().map(|&t| result.alerts[t].clone()).collect();
@@ -32,8 +38,11 @@ fn main() {
     let mut rows = Vec::new();
     for step in &steps {
         let t = windows[step.window];
-        let newly: Vec<&str> =
-            step.newly_affected.iter().map(|&s| study.trained.graph.name(s)).collect();
+        let newly: Vec<&str> = step
+            .newly_affected
+            .iter()
+            .map(|&s| study.trained.graph.name(s))
+            .collect();
         println!(
             "{:6} | {:3} | {:.2} | {:8} | {:?}",
             step.window,

@@ -16,8 +16,12 @@ fn main() {
     println!("Scalability of the pairwise sweep ({translator:?})\n");
     let mut rows = Vec::new();
     for sensors in [8usize, 16, 32, 64] {
-        let scale =
-            PlantScale { n_sensors: sensors, minutes_per_day: 240, word_len: 8, sent_len: 10 };
+        let scale = PlantScale {
+            n_sensors: sensors,
+            minutes_per_day: 240,
+            word_len: 8,
+            sent_len: 10,
+        };
         let start = std::time::Instant::now();
         let study = PlantStudy::run(&scale, translator.clone());
         let wall = start.elapsed().as_secs_f64();
@@ -32,7 +36,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["sensors", "models", "wall time", "cpu time (sum)", "per model"],
+        &[
+            "sensors",
+            "models",
+            "wall time",
+            "cpu time (sum)",
+            "per model",
+        ],
         &rows,
     );
     println!(

@@ -33,7 +33,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["BLEU range", "% relationships", "# sensors", "# popular", "# rel w/o popular"],
+        &[
+            "BLEU range",
+            "% relationships",
+            "# sensors",
+            "# popular",
+            "# rel w/o popular",
+        ],
         &rows,
     );
     println!(
@@ -42,7 +48,13 @@ fn main() {
     );
     let path = write_csv(
         "table1_global_subgraphs.csv",
-        &["range", "pct_relationships", "sensors", "popular", "rel_wo_popular"],
+        &[
+            "range",
+            "pct_relationships",
+            "sensors",
+            "popular",
+            "rel_wo_popular",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());

@@ -11,8 +11,8 @@ use mdes_bench::plant_study::translator_from_args;
 use mdes_bench::report::{print_table, write_csv};
 use mdes_graph::ScoreRange;
 use mdes_ml::{
-    auc, Confusion, Dataset, ForestConfig, KMeans, KMeansConfig, OneClassSvm, RandomForest,
-    Scaler, SvmConfig,
+    auc, Confusion, Dataset, ForestConfig, KMeans, KMeansConfig, OneClassSvm, RandomForest, Scaler,
+    SvmConfig,
 };
 use mdes_synth::hdd::{generate, HddConfig};
 use rand::rngs::StdRng;
@@ -49,7 +49,13 @@ fn main() {
     let scaler = Scaler::fit(&healthy.x);
     let sub_x: Vec<Vec<f64>> = healthy.x.iter().step_by(40).cloned().collect();
     let sub = Dataset::new(scaler.transform(&sub_x), vec![0; sub_x.len()]);
-    let svm = OneClassSvm::fit(&sub, &SvmConfig { nu: 0.05, ..SvmConfig::default() });
+    let svm = OneClassSvm::fit(
+        &sub,
+        &SvmConfig {
+            nu: 0.05,
+            ..SvmConfig::default()
+        },
+    );
     let oc = Confusion::from_predictions(&svm.predict(&scaler.transform(&test.x)), &test.y);
 
     // --- The framework: pooled models, per-drive detection (Fig. 12 rule). ---
@@ -85,7 +91,14 @@ fn main() {
         ],
     ];
     print_table(
-        &["model", "unsupervised?", "feature eng.?", "feature ranking?", "recall", "discrete-native?"],
+        &[
+            "model",
+            "unsupervised?",
+            "feature eng.?",
+            "feature ranking?",
+            "recall",
+            "discrete-native?",
+        ],
         &rows,
     );
     println!("\npaper: RF 70-80% | OC-SVM 60% | ours 58%");
@@ -100,11 +113,17 @@ fn main() {
     // score on the test split, including the k-means distance detector the
     // paper's introduction cites as the classic unsupervised alternative.
     let rf_scores: Vec<f64> = test.x.iter().map(|r| forest.predict_proba(r, 1)).collect();
-    let svm_scores: Vec<f64> =
-        scaler.transform(&test.x).iter().map(|r| -svm.decision(r)).collect();
+    let svm_scores: Vec<f64> = scaler
+        .transform(&test.x)
+        .iter()
+        .map(|r| -svm.decision(r))
+        .collect();
     let km = KMeans::fit(
         &sub.x,
-        &KMeansConfig { k: 4, ..KMeansConfig::default() },
+        &KMeansConfig {
+            k: 4,
+            ..KMeansConfig::default()
+        },
         &mut rng,
     );
     let km_scores: Vec<f64> = scaler
@@ -121,7 +140,14 @@ fn main() {
     let _ = &study.fleet;
     let path = write_csv(
         "table2_model_comparison.csv",
-        &["model", "unsupervised", "feature_eng", "feature_ranking", "recall", "discrete_native"],
+        &[
+            "model",
+            "unsupervised",
+            "feature_eng",
+            "feature_ranking",
+            "recall",
+            "discrete_native",
+        ],
         &rows,
     );
     println!("wrote {}", path.display());

@@ -20,8 +20,11 @@ fn main() {
     let study = HddStudy::run(&default_fleet(), translator_from_args(&args));
     let sub = study.trained.graph.subgraph(&ScoreRange::best_detection());
 
-    let mut by_in: Vec<(usize, usize)> =
-        sub.active_nodes().iter().map(|&n| (n, sub.in_degree(n))).collect();
+    let mut by_in: Vec<(usize, usize)> = sub
+        .active_nodes()
+        .iter()
+        .map(|&n| (n, sub.in_degree(n)))
+        .collect();
     by_in.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
     println!("Table III — top-5 features by in-degree at [80, 90)\n");
@@ -35,11 +38,23 @@ fn main() {
                 name.to_owned(),
                 d.to_string(),
                 sub.out_degree(n).to_string(),
-                if truth.contains(name) { "yes".into() } else { "no".into() },
+                if truth.contains(name) {
+                    "yes".into()
+                } else {
+                    "no".into()
+                },
             ]
         })
         .collect();
-    print_table(&["feature", "in-degree", "out-degree", "ground-truth failure signal?"], &rows);
+    print_table(
+        &[
+            "feature",
+            "in-degree",
+            "out-degree",
+            "ground-truth failure signal?",
+        ],
+        &rows,
+    );
 
     let recovered = rows.iter().filter(|r| r[3] == "yes").count();
     println!(

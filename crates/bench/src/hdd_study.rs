@@ -103,17 +103,23 @@ impl HddStudy {
             })
             .collect();
         let total = cat[0].events.len();
-        let pipeline =
-            LanguagePipeline::fit(&cat, 0..total, window).expect("fit pooled languages");
+        let pipeline = LanguagePipeline::fit(&cat, 0..total, window).expect("fit pooled languages");
 
         // Aggregate aligned train/dev sentences across drives.
         let n = pipeline.sensor_count();
-        let empty = SentenceSet { sentences: Vec::new(), starts: Vec::new() };
+        let empty = SentenceSet {
+            sentences: Vec::new(),
+            starts: Vec::new(),
+        };
         let mut train_sets = vec![empty.clone(); n];
         let mut dev_sets = vec![empty; n];
         for dw in &drives {
-            let t = pipeline.encode_segment(&dw.traces, dw.train.clone()).expect("train");
-            let v = pipeline.encode_segment(&dw.traces, dw.dev.clone()).expect("dev");
+            let t = pipeline
+                .encode_segment(&dw.traces, dw.train.clone())
+                .expect("train");
+            let v = pipeline
+                .encode_segment(&dw.traces, dw.dev.clone())
+                .expect("dev");
             for k in 0..n {
                 train_sets[k].sentences.extend_from_slice(&t[k].sentences);
                 train_sets[k].starts.extend_from_slice(&t[k].starts);
@@ -121,10 +127,17 @@ impl HddStudy {
                 dev_sets[k].starts.extend_from_slice(&v[k].starts);
             }
         }
-        let build = GraphBuildConfig { translator, ..GraphBuildConfig::default() };
-        let trained =
-            build_graph(&pipeline, &train_sets, &dev_sets, &build).expect("build graph");
-        Self { fleet, pipeline, trained, drives }
+        let build = GraphBuildConfig {
+            translator,
+            ..GraphBuildConfig::default()
+        };
+        let trained = build_graph(&pipeline, &train_sets, &dev_sets, &build).expect("build graph");
+        Self {
+            fleet,
+            pipeline,
+            trained,
+            drives,
+        }
     }
 
     /// Runs detection for every drive at the given validity range and
@@ -133,23 +146,25 @@ impl HddStudy {
     /// so the alarm precedes the failure) exceeds its development-month mean
     /// by at least `jump` (default 0.3).
     pub fn evaluate(&self, range: ScoreRange, jump: f64) -> Vec<DriveOutcome> {
-        let dcfg = DetectionConfig { valid_range: range, ..DetectionConfig::default() };
+        let dcfg = DetectionConfig {
+            valid_range: range,
+            ..DetectionConfig::default()
+        };
         let mut out = Vec::new();
         for dw in &self.drives {
             let Ok(dev_sets) = self.pipeline.encode_segment(&dw.traces, dw.dev.clone()) else {
                 continue;
             };
-            let Ok(test_sets) = self.pipeline.encode_segment(&dw.traces, dw.test.clone())
-            else {
+            let Ok(test_sets) = self.pipeline.encode_segment(&dw.traces, dw.test.clone()) else {
                 continue;
             };
-            let (Ok(dev_res), Ok(test_res)) =
-                (detect(&self.trained, &dev_sets, &dcfg), detect(&self.trained, &test_sets, &dcfg))
-            else {
+            let (Ok(dev_res), Ok(test_res)) = (
+                detect(&self.trained, &dev_sets, &dcfg),
+                detect(&self.trained, &test_sets, &dcfg),
+            ) else {
                 continue;
             };
-            let dev_mean =
-                dev_res.scores.iter().sum::<f64>() / dev_res.scores.len().max(1) as f64;
+            let dev_mean = dev_res.scores.iter().sum::<f64>() / dev_res.scores.len().max(1) as f64;
             let n = test_res.scores.len();
             let tail = &test_res.scores[n.saturating_sub(4)..n.saturating_sub(1).max(1)];
             let tail_mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
@@ -187,5 +202,10 @@ impl HddStudy {
 
 /// The study's default fleet configuration: 30 drives over 240 days.
 pub fn default_fleet() -> HddConfig {
-    HddConfig { n_drives: 30, days: 240, failure_fraction: 0.4, ..HddConfig::default() }
+    HddConfig {
+        n_drives: 30,
+        days: 240,
+        failure_fraction: 0.4,
+        ..HddConfig::default()
+    }
 }

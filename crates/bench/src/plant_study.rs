@@ -29,13 +29,23 @@ impl PlantScale {
     /// Reduced scale (default): 32 sensors at 240 samples/day — the same
     /// 30-day / 2-anomaly structure as the paper at ~1/40 of the compute.
     pub fn reduced() -> Self {
-        Self { n_sensors: 32, minutes_per_day: 240, word_len: 10, sent_len: 20 }
+        Self {
+            n_sensors: 32,
+            minutes_per_day: 240,
+            word_len: 10,
+            sent_len: 20,
+        }
     }
 
     /// The paper's full scale: 128 sensors, per-minute sampling, 10-char
     /// words, 20-word sentences.
     pub fn full() -> Self {
-        Self { n_sensors: 128, minutes_per_day: 1440, word_len: 10, sent_len: 20 }
+        Self {
+            n_sensors: 128,
+            minutes_per_day: 1440,
+            word_len: 10,
+            sent_len: 20,
+        }
     }
 }
 
@@ -72,19 +82,25 @@ impl PlantStudy {
             sent_len: scale.sent_len,
             sent_stride: scale.sent_len,
         };
-        let pipeline =
-            LanguagePipeline::fit(&plant.traces, plant.days_range(1, 10), window)
-                .expect("fit plant languages");
+        let pipeline = LanguagePipeline::fit(&plant.traces, plant.days_range(1, 10), window)
+            .expect("fit plant languages");
         let train_sets = pipeline
             .encode_segment(&plant.traces, plant.days_range(1, 10))
             .expect("encode train");
         let dev_sets = pipeline
             .encode_segment(&plant.traces, plant.days_range(11, 13))
             .expect("encode dev");
-        let build = GraphBuildConfig { translator, ..GraphBuildConfig::default() };
-        let trained =
-            build_graph(&pipeline, &train_sets, &dev_sets, &build).expect("build graph");
-        Self { plant, pipeline, trained, window }
+        let build = GraphBuildConfig {
+            translator,
+            ..GraphBuildConfig::default()
+        };
+        let trained = build_graph(&pipeline, &train_sets, &dev_sets, &build).expect("build graph");
+        Self {
+            plant,
+            pipeline,
+            trained,
+            window,
+        }
     }
 
     /// Runs detection over the full test period (days 14–30) at a validity
@@ -97,10 +113,14 @@ impl PlantStudy {
         &self,
         range: ScoreRange,
     ) -> Result<(mdes_core::DetectionResult, Vec<usize>), mdes_core::CoreError> {
-        let cfg = DetectionConfig { valid_range: range, ..DetectionConfig::default() };
+        let cfg = DetectionConfig {
+            valid_range: range,
+            ..DetectionConfig::default()
+        };
         let test_range = self.plant.days_range(14, self.plant.config.days);
-        let test_sets =
-            self.pipeline.encode_segment(&self.plant.traces, test_range.clone())?;
+        let test_sets = self
+            .pipeline
+            .encode_segment(&self.plant.traces, test_range.clone())?;
         let result = detect(&self.trained, &test_sets, &cfg)?;
         let days: Vec<usize> = result
             .starts
@@ -112,7 +132,11 @@ impl PlantStudy {
 
     /// Per-sensor vocabulary sizes (Fig. 3b).
     pub fn vocabulary_sizes(&self) -> Vec<f64> {
-        self.pipeline.languages().iter().map(|l| l.vocab.word_count() as f64).collect()
+        self.pipeline
+            .languages()
+            .iter()
+            .map(|l| l.vocab.word_count() as f64)
+            .collect()
     }
 
     /// Per-sensor cardinalities of surviving sensors (Fig. 3a).

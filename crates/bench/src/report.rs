@@ -32,7 +32,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
     println!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     );
     for row in rows {
         line(row);
@@ -56,8 +60,11 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf 
 /// Writes a JSON value (via `serde_json`) into `results/`.
 pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
     let path = results_dir().join(name);
-    fs::write(&path, serde_json::to_string_pretty(value).expect("serialize json"))
-        .expect("write json");
+    fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialize json"),
+    )
+    .expect("write json");
     path
 }
 
@@ -112,7 +119,8 @@ pub fn print_histogram(label: &str, values: &[f64], lo: f64, hi: f64, bins: usiz
 /// Parses `--key=value` style arguments; returns the value for `key`.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {
     let prefix = format!("--{key}=");
-    args.iter().find_map(|a| a.strip_prefix(&prefix).map(str::to_owned))
+    args.iter()
+        .find_map(|a| a.strip_prefix(&prefix).map(str::to_owned))
 }
 
 /// Whether a bare `--flag` is present.

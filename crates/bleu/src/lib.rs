@@ -52,14 +52,20 @@ pub struct BleuConfig {
 
 impl Default for BleuConfig {
     fn default() -> Self {
-        Self { max_n: 4, smoothing: Smoothing::None }
+        Self {
+            max_n: 4,
+            smoothing: Smoothing::None,
+        }
     }
 }
 
 impl BleuConfig {
     /// Standard sentence-level configuration: BLEU-4 with add-one smoothing.
     pub fn sentence() -> Self {
-        Self { max_n: 4, smoothing: Smoothing::AddOne }
+        Self {
+            max_n: 4,
+            smoothing: Smoothing::AddOne,
+        }
     }
 }
 
@@ -90,7 +96,12 @@ pub struct BleuStats {
 impl BleuStats {
     /// Creates empty statistics for n-gram orders up to `max_n`.
     pub fn new(max_n: usize) -> Self {
-        Self { matched: vec![0; max_n], total: vec![0; max_n], hyp_len: 0, ref_len: 0 }
+        Self {
+            matched: vec![0; max_n],
+            total: vec![0; max_n],
+            hyp_len: 0,
+            ref_len: 0,
+        }
     }
 
     /// Accumulates statistics for one hypothesis/reference pair.
@@ -120,7 +131,11 @@ impl BleuStats {
     ///
     /// Panics if the two statistics track different n-gram orders.
     pub fn merge(&mut self, other: &BleuStats) {
-        assert_eq!(self.matched.len(), other.matched.len(), "mismatched max_n in merge");
+        assert_eq!(
+            self.matched.len(),
+            other.matched.len(),
+            "mismatched max_n in merge"
+        );
         for (a, b) in self.matched.iter_mut().zip(&other.matched) {
             *a += b;
         }
@@ -180,7 +195,11 @@ pub fn corpus_bleu<T: Eq + Hash + Clone>(
     refs: &[Vec<T>],
     cfg: &BleuConfig,
 ) -> f64 {
-    assert_eq!(hyps.len(), refs.len(), "hypothesis/reference count mismatch");
+    assert_eq!(
+        hyps.len(),
+        refs.len(),
+        "hypothesis/reference count mismatch"
+    );
     let mut stats = BleuStats::new(cfg.max_n);
     for (h, r) in hyps.iter().zip(refs) {
         stats.update(h, r);
@@ -267,7 +286,10 @@ mod tests {
     fn epsilon_smoothing_positive_but_tiny() {
         let h = words("a x c y e");
         let r = words("a z c w e");
-        let cfg = BleuConfig { max_n: 4, smoothing: Smoothing::Epsilon(0.1) };
+        let cfg = BleuConfig {
+            max_n: 4,
+            smoothing: Smoothing::Epsilon(0.1),
+        };
         let s = sentence_bleu(&h, &r, &cfg);
         assert!(s > 0.0 && s < 50.0);
     }
@@ -312,10 +334,108 @@ mod tests {
     fn shorter_ngram_order_on_short_sentences() {
         let h = vec![vec![1u32, 2]];
         let r = vec![vec![1u32, 2]];
-        let cfg = BleuConfig { max_n: 4, smoothing: Smoothing::AddOne };
+        let cfg = BleuConfig {
+            max_n: 4,
+            smoothing: Smoothing::AddOne,
+        };
         // With add-one smoothing, 3-gram/4-gram precisions become 1/1.
         let s = corpus_bleu(&h, &r, &cfg);
         assert!(s > 0.0);
+    }
+
+    #[test]
+    fn empty_hypothesis_zero_under_every_smoothing() {
+        let r = vec![1u32, 2, 3];
+        for smoothing in [Smoothing::None, Smoothing::AddOne, Smoothing::Epsilon(0.5)] {
+            let cfg = BleuConfig {
+                max_n: 4,
+                smoothing,
+            };
+            assert_eq!(sentence_bleu(&[], &r, &cfg), 0.0, "{smoothing:?}");
+        }
+    }
+
+    #[test]
+    fn empty_corpus_scores_zero() {
+        let none: Vec<Vec<u32>> = Vec::new();
+        assert_eq!(corpus_bleu(&none, &none, &BleuConfig::sentence()), 0.0);
+    }
+
+    #[test]
+    fn empty_reference_epsilon_hand_computed() {
+        // hyp = [1, 2, 3], ref = []: nothing matches, but Epsilon replaces
+        // each zero matched count. p1 = 0.3/3, p2 = 0.3/2; no brevity penalty
+        // (hypothesis is the longer side), so
+        // BLEU = 100 * sqrt(0.1 * 0.15).
+        let cfg = BleuConfig {
+            max_n: 2,
+            smoothing: Smoothing::Epsilon(0.3),
+        };
+        let s = sentence_bleu(&[1u32, 2, 3], &[], &cfg);
+        assert!(
+            (s - 100.0 * (0.1f64 * 0.15).sqrt()).abs() < 1e-9,
+            "score {s}"
+        );
+        // None and AddOne leave the unsmoothed unigram precision at 0/3.
+        for smoothing in [Smoothing::None, Smoothing::AddOne] {
+            let cfg = BleuConfig {
+                max_n: 2,
+                smoothing,
+            };
+            assert_eq!(sentence_bleu(&[1u32, 2, 3], &[], &cfg), 0.0);
+        }
+    }
+
+    #[test]
+    fn sentence_shorter_than_max_n() {
+        // A two-token sentence has no 3-grams or 4-grams at all (total = 0).
+        let h = vec![1u32, 2];
+        // Without smoothing the missing orders zero the score, and Epsilon
+        // only rescues zero *matches*, not zero totals.
+        for smoothing in [Smoothing::None, Smoothing::Epsilon(0.1)] {
+            let cfg = BleuConfig {
+                max_n: 4,
+                smoothing,
+            };
+            assert_eq!(sentence_bleu(&h, &h, &cfg), 0.0, "{smoothing:?}");
+        }
+        // Add-one turns each missing order into (0+1)/(0+1) = 1, so a perfect
+        // short sentence scores a perfect 100.
+        let s = sentence_bleu(&h, &h, &BleuConfig::sentence());
+        assert!((s - 100.0).abs() < 1e-9, "score {s}");
+    }
+
+    #[test]
+    fn addone_smoothing_hand_computed() {
+        // hyp = a b c d, ref = a b x d: unigram precision 3/4 (unsmoothed —
+        // add-one applies only to n > 1), bigram matched {ab} giving
+        // (1+1)/(3+1) = 1/2, equal lengths so BP = 1:
+        // BLEU-2 = 100 * sqrt(3/4 * 1/2).
+        let h = words("a b c d");
+        let r = words("a b x d");
+        let cfg = BleuConfig {
+            max_n: 2,
+            smoothing: Smoothing::AddOne,
+        };
+        let s = sentence_bleu(&h, &r, &cfg);
+        assert!(
+            (s - 100.0 * (0.75f64 * 0.5).sqrt()).abs() < 1e-9,
+            "score {s}"
+        );
+    }
+
+    #[test]
+    fn epsilon_smoothing_hand_computed() {
+        // hyp = a b, ref = a c: p1 = 1/2, bigram matched 0 of 1 so
+        // p2 = 0.5/1; BLEU-2 = 100 * sqrt(1/2 * 1/2) = 50 exactly.
+        let h = words("a b");
+        let r = words("a c");
+        let cfg = BleuConfig {
+            max_n: 2,
+            smoothing: Smoothing::Epsilon(0.5),
+        };
+        let s = sentence_bleu(&h, &r, &cfg);
+        assert!((s - 50.0).abs() < 1e-9, "score {s}");
     }
 
     mod properties {

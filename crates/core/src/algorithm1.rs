@@ -38,7 +38,10 @@ impl Default for GraphBuildConfig {
     fn default() -> Self {
         Self {
             translator: TranslatorConfig::fast(),
-            bleu: BleuConfig { smoothing: mdes_bleu::Smoothing::AddOne, ..BleuConfig::default() },
+            bleu: BleuConfig {
+                smoothing: mdes_bleu::Smoothing::AddOne,
+                ..BleuConfig::default()
+            },
             threads: 0,
             floor_quantile: 0.1,
         }
@@ -68,6 +71,14 @@ impl PairModel {
     /// Translates a source sentence with this pair's model.
     pub fn translate(&self, src: &[u32], out_len: usize) -> Vec<u32> {
         self.translator.translate(src, out_len)
+    }
+
+    /// Translates a batch of source sentences with this pair's model.
+    ///
+    /// Results equal per-sentence [`PairModel::translate`] calls; the NMT
+    /// family decodes the whole batch through one GEMM per step.
+    pub fn translate_batch(&self, srcs: &[&[u32]], out_len: usize) -> Vec<Vec<u32>> {
+        self.translator.translate_batch(srcs, out_len)
     }
 }
 
@@ -110,7 +121,11 @@ impl From<TrainedGraphShadow> for TrainedGraph {
             .enumerate()
             .map(|(k, m)| ((m.src, m.dst), k))
             .collect();
-        TrainedGraph { graph: shadow.graph, models: shadow.models, index }
+        TrainedGraph {
+            graph: shadow.graph,
+            models: shadow.models,
+            index,
+        }
     }
 }
 
@@ -180,7 +195,9 @@ pub fn build_graph(
     let failure: Mutex<Option<CoreError>> = Mutex::new(None);
 
     let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         cfg.threads
     };
@@ -206,8 +223,11 @@ pub fn build_graph(
         return Err(e);
     }
 
-    let names: Vec<String> =
-        pipeline.languages().iter().map(|l| l.name.clone()).collect();
+    let names: Vec<String> = pipeline
+        .languages()
+        .iter()
+        .map(|l| l.name.clone())
+        .collect();
     let mut graph = RelGraph::new(names);
     let mut models = Vec::with_capacity(pairs.len());
     let mut index = HashMap::with_capacity(pairs.len());
@@ -216,12 +236,19 @@ pub fn build_graph(
         index.insert((model.src, model.dst), models.len());
         models.push(model);
     }
-    Ok(TrainedGraph { graph, models, index })
+    Ok(TrainedGraph {
+        graph,
+        models,
+        index,
+    })
 }
 
 fn validate_alignment(sets: &[SentenceSet], n: usize) -> Result<(), CoreError> {
     if sets.len() != n {
-        return Err(CoreError::MisalignedCorpora { expected: n, found: sets.len() });
+        return Err(CoreError::MisalignedCorpora {
+            expected: n,
+            found: sets.len(),
+        });
     }
     let count = sets.first().map_or(0, SentenceSet::len);
     if count == 0 {
@@ -229,7 +256,10 @@ fn validate_alignment(sets: &[SentenceSet], n: usize) -> Result<(), CoreError> {
     }
     for s in sets {
         if s.len() != count {
-            return Err(CoreError::MisalignedCorpora { expected: count, found: s.len() });
+            return Err(CoreError::MisalignedCorpora {
+                expected: count,
+                found: s.len(),
+            });
         }
     }
     Ok(())
@@ -252,15 +282,11 @@ fn train_pair(
         .collect();
     let src_vocab = pipeline.languages()[i].vocab.size();
     let tgt_vocab = pipeline.languages()[j].vocab.size();
-    let translator =
-        train_translator(&cfg.translator, &pairs, src_vocab, tgt_vocab, Vocab::BOS)?;
+    let translator = train_translator(&cfg.translator, &pairs, src_vocab, tgt_vocab, Vocab::BOS)?;
 
     let out_len = pipeline.config().sent_len;
-    let hyps: Vec<Vec<u32>> = dev_sets[i]
-        .sentences
-        .iter()
-        .map(|s| translator.translate(s, out_len))
-        .collect();
+    let dev_srcs: Vec<&[u32]> = dev_sets[i].sentences.iter().map(Vec::as_slice).collect();
+    let hyps: Vec<Vec<u32>> = translator.translate_batch(&dev_srcs, out_len);
     let score = corpus_bleu(&hyps, &dev_sets[j].sentences, &cfg.bleu);
     // Per-sentence dev scores calibrate the broken-relationship floor.
     let sentence_cfg = mdes_bleu::BleuConfig::sentence();
@@ -292,19 +318,36 @@ mod tests {
         RawTrace::new(
             name,
             (0..n)
-                .map(|t| if ((t + phase) / period).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+                .map(|t| {
+                    if ((t + phase) / period).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
                 .collect(),
         )
     }
 
-    fn setup() -> (LanguagePipeline, Vec<SentenceSet>, Vec<SentenceSet>, Vec<RawTrace>) {
+    fn setup() -> (
+        LanguagePipeline,
+        Vec<SentenceSet>,
+        Vec<SentenceSet>,
+        Vec<RawTrace>,
+    ) {
         // Sensors a, b share a period (strongly related); c is unrelated.
         let traces = vec![
             toggling("a", 600, 5, 0),
             toggling("b", 600, 5, 2),
             toggling("c", 600, 7, 0),
         ];
-        let cfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let cfg = WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        };
         let p = LanguagePipeline::fit(&traces, 0..300, cfg).expect("fit");
         let train = p.encode_segment(&traces, 0..300).expect("train");
         let dev = p.encode_segment(&traces, 300..450).expect("dev");
@@ -314,8 +357,7 @@ mod tests {
     #[test]
     fn builds_full_directed_graph() {
         let (p, train, dev, _) = setup();
-        let trained =
-            build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
         assert_eq!(trained.graph.len(), 3);
         assert_eq!(trained.graph.edge_count(), 6);
         assert_eq!(trained.models().len(), 6);
@@ -326,22 +368,23 @@ mod tests {
     #[test]
     fn related_pair_outscores_unrelated_pair() {
         let (p, train, dev, _) = setup();
-        let trained =
-            build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
         let related = trained.graph.score(0, 1).expect("edge");
         let unrelated = trained.graph.score(0, 2).expect("edge");
         assert!(
             related > unrelated + 5.0,
             "related {related} should clearly beat unrelated {unrelated}"
         );
-        assert!(related > 80.0, "phase-locked pair should translate well: {related}");
+        assert!(
+            related > 80.0,
+            "phase-locked pair should translate well: {related}"
+        );
     }
 
     #[test]
     fn scores_and_runtimes_populated() {
         let (p, train, dev, _) = setup();
-        let trained =
-            build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
         assert_eq!(trained.scores().len(), 6);
         assert!(trained.scores().iter().all(|s| (0.0..=100.0).contains(s)));
         assert!(trained.runtimes().iter().all(|&r| r >= 0.0));
@@ -350,7 +393,12 @@ mod tests {
     #[test]
     fn single_sensor_rejected() {
         let traces = vec![toggling("a", 400, 5, 0)];
-        let cfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let cfg = WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        };
         let p = LanguagePipeline::fit(&traces, 0..200, cfg).expect("fit");
         let train = p.encode_segment(&traces, 0..200).expect("train");
         let dev = p.encode_segment(&traces, 200..400).expect("dev");
@@ -368,8 +416,14 @@ mod tests {
     #[test]
     fn multithreaded_matches_single_thread() {
         let (p, train, dev, _) = setup();
-        let one = GraphBuildConfig { threads: 1, ..GraphBuildConfig::default() };
-        let four = GraphBuildConfig { threads: 4, ..GraphBuildConfig::default() };
+        let one = GraphBuildConfig {
+            threads: 1,
+            ..GraphBuildConfig::default()
+        };
+        let four = GraphBuildConfig {
+            threads: 4,
+            ..GraphBuildConfig::default()
+        };
         let a = build_graph(&p, &train, &dev, &one).expect("1 thread");
         let b = build_graph(&p, &train, &dev, &four).expect("4 threads");
         assert_eq!(a.graph, b.graph);

@@ -71,7 +71,9 @@ pub struct DetectionResult {
 impl DetectionResult {
     /// Sentence indices whose anomaly score is at least `threshold`.
     pub fn detections(&self, threshold: f64) -> Vec<usize> {
-        (0..self.scores.len()).filter(|&t| self.scores[t] >= threshold).collect()
+        (0..self.scores.len())
+            .filter(|&t| self.scores[t] >= threshold)
+            .collect()
     }
 
     /// The maximum anomaly score observed.
@@ -93,7 +95,10 @@ pub fn detect(
 ) -> Result<DetectionResult, CoreError> {
     let n = trained.graph.len();
     if test_sets.len() != n {
-        return Err(CoreError::MisalignedCorpora { expected: n, found: test_sets.len() });
+        return Err(CoreError::MisalignedCorpora {
+            expected: n,
+            found: test_sets.len(),
+        });
     }
     let count = test_sets.first().map_or(0, SentenceSet::len);
     if count == 0 {
@@ -101,7 +106,10 @@ pub fn detect(
     }
     for s in test_sets {
         if s.len() != count {
-            return Err(CoreError::MisalignedCorpora { expected: count, found: s.len() });
+            return Err(CoreError::MisalignedCorpora {
+                expected: count,
+                found: s.len(),
+            });
         }
     }
     let valid: Vec<usize> = (0..trained.models().len())
@@ -111,27 +119,43 @@ pub fn detect(
         return Err(CoreError::NoValidModels);
     }
 
-    let mut scores = Vec::with_capacity(count);
-    let mut alerts = Vec::with_capacity(count);
-    for t in 0..count {
-        let mut broken = Vec::new();
-        for &k in &valid {
-            let m = &trained.models()[k];
-            let src_sentence = &test_sets[m.src].sentences[t];
-            let ref_sentence = &test_sets[m.dst].sentences[t];
-            let hyp = m.translate(src_sentence, ref_sentence.len());
-            let f = sentence_bleu(&hyp, ref_sentence, &cfg.bleu);
-            let threshold = match cfg.rule {
-                BrokenRule::CorpusScore => m.train_score,
-                BrokenRule::DevQuantileFloor => m.dev_floor,
-            };
+    // One batched decode per valid model instead of one per (model, window):
+    // batch rows are independent, so per-window results are unchanged, but
+    // the NMT family runs one GEMM per decode step for the whole segment.
+    // Iterating models in `valid` order keeps each window's alert order.
+    let mut alerts: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
+    for &k in &valid {
+        let m = &trained.models()[k];
+        let refs = &test_sets[m.dst].sentences;
+        let srcs: Vec<&[u32]> = test_sets[m.src]
+            .sentences
+            .iter()
+            .map(Vec::as_slice)
+            .collect();
+        let hyps: Vec<Vec<u32>> = if refs.iter().all(|r| r.len() == refs[0].len()) {
+            m.translate_batch(&srcs, refs[0].len())
+        } else {
+            // Ragged reference lengths need per-window output lengths.
+            srcs.iter()
+                .zip(refs)
+                .map(|(s, r)| m.translate(s, r.len()))
+                .collect()
+        };
+        let threshold = match cfg.rule {
+            BrokenRule::CorpusScore => m.train_score,
+            BrokenRule::DevQuantileFloor => m.dev_floor,
+        };
+        for (t, (hyp, r)) in hyps.iter().zip(refs).enumerate() {
+            let f = sentence_bleu(hyp, r, &cfg.bleu);
             if f < threshold - cfg.margin {
-                broken.push((m.src, m.dst));
+                alerts[t].push((m.src, m.dst));
             }
         }
-        scores.push(broken.len() as f64 / valid.len() as f64);
-        alerts.push(broken);
     }
+    let scores: Vec<f64> = alerts
+        .iter()
+        .map(|b| b.len() as f64 / valid.len() as f64)
+        .collect();
     Ok(DetectionResult {
         scores,
         alerts,
@@ -165,19 +189,19 @@ mod tests {
                 .collect();
             RawTrace::new(format!("p{phase}"), events)
         };
-        let traces = vec![
-            mk(0, None),
-            mk(2, decouple_after),
-            mk(4, None),
-            {
-                // An unrelated noisy sensor to fill the graph.
-                let events = (0..n)
-                    .map(|_| if rng.gen::<f64>() < 0.5 { "a" } else { "b" }.to_owned())
-                    .collect();
-                RawTrace::new("noise", events)
-            },
-        ];
-        let wcfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let traces = vec![mk(0, None), mk(2, decouple_after), mk(4, None), {
+            // An unrelated noisy sensor to fill the graph.
+            let events = (0..n)
+                .map(|_| if rng.gen::<f64>() < 0.5 { "a" } else { "b" }.to_owned())
+                .collect();
+            RawTrace::new("noise", events)
+        }];
+        let wcfg = WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        };
         let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
         let train = p.encode_segment(&traces, 0..300).expect("train");
         let dev = p.encode_segment(&traces, 300..500).expect("dev");
@@ -215,7 +239,7 @@ mod tests {
     #[test]
     fn alerts_identify_the_decoupled_sensor() {
         let (_, _) = scenario(None); // warm path
-        // Rebuild with alerts inspection.
+                                     // Rebuild with alerts inspection.
         let n = 900;
         let mk = |phase: usize, slip: bool| -> RawTrace {
             let events = (0..n)
@@ -228,7 +252,12 @@ mod tests {
             RawTrace::new(format!("p{phase}{slip}"), events)
         };
         let traces = vec![mk(0, false), mk(2, true), mk(4, false)];
-        let wcfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let wcfg = WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        };
         let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
         let train = p.encode_segment(&traces, 0..300).expect("train");
         let dev = p.encode_segment(&traces, 300..500).expect("dev");
@@ -240,11 +269,15 @@ mod tests {
         };
         let result = detect(&trained, &test, &cfg).expect("detect");
         // After the slip (sentence 10+), broken pairs should involve sensor 1.
-        let late_alerts: Vec<&(usize, usize)> =
-            result.alerts[11..].iter().flatten().collect();
-        assert!(!late_alerts.is_empty(), "expected broken pairs after the slip");
-        let involving_1 =
-            late_alerts.iter().filter(|(s, d)| *s == 1 || *d == 1).count();
+        let late_alerts: Vec<&(usize, usize)> = result.alerts[11..].iter().flatten().collect();
+        assert!(
+            !late_alerts.is_empty(),
+            "expected broken pairs after the slip"
+        );
+        let involving_1 = late_alerts
+            .iter()
+            .filter(|(s, d)| *s == 1 || *d == 1)
+            .count();
         assert!(
             involving_1 * 2 >= late_alerts.len(),
             "sensor 1 should dominate alerts: {involving_1}/{}",
@@ -272,12 +305,24 @@ mod tests {
         let n = 600;
         let mk = |phase: usize| -> RawTrace {
             let events = (0..n)
-                .map(|t| if ((t + phase) / 5).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+                .map(|t| {
+                    if ((t + phase) / 5).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
                 .collect();
             RawTrace::new(format!("p{phase}"), events)
         };
         let traces = vec![mk(0), mk(2)];
-        let wcfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+        let wcfg = WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        };
         let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
         let train = p.encode_segment(&traces, 0..300).expect("train");
         let dev = p.encode_segment(&traces, 300..450).expect("dev");
@@ -288,6 +333,9 @@ mod tests {
             valid_range: ScoreRange::half_open(0.0, 10.0),
             ..DetectionConfig::default()
         };
-        assert!(matches!(detect(&trained, &test, &cfg), Err(CoreError::NoValidModels)));
+        assert!(matches!(
+            detect(&trained, &test, &cfg),
+            Err(CoreError::NoValidModels)
+        ));
     }
 }

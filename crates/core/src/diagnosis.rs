@@ -65,9 +65,16 @@ pub fn diagnose(subgraph: &RelGraph, broken: &[(usize, usize)]) -> Diagnosis {
 
     let total = subgraph.edge_count();
     let broken_in_subgraph = induced.edge_count();
-    let broken_fraction =
-        if total == 0 { 0.0 } else { broken_in_subgraph as f64 / total as f64 };
-    Diagnosis { faulty_clusters, sensor_ranking, broken_fraction }
+    let broken_fraction = if total == 0 {
+        0.0
+    } else {
+        broken_in_subgraph as f64 / total as f64
+    };
+    Diagnosis {
+        faulty_clusters,
+        sensor_ranking,
+        broken_fraction,
+    }
 }
 
 #[cfg(test)]
@@ -157,14 +164,26 @@ pub fn propagation_timeline(
     let mut seen: HashSet<usize> = HashSet::new();
     let mut steps = Vec::with_capacity(scores.len());
     for (window, (score, broken)) in scores.iter().zip(alerts).enumerate() {
-        let mut affected: Vec<usize> =
-            broken.iter().flat_map(|&(s, d)| [s, d]).collect::<HashSet<_>>().into_iter().collect();
+        let mut affected: Vec<usize> = broken
+            .iter()
+            .flat_map(|&(s, d)| [s, d])
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
         affected.sort_unstable();
-        let mut newly: Vec<usize> =
-            affected.iter().copied().filter(|s| !seen.contains(s)).collect();
+        let mut newly: Vec<usize> = affected
+            .iter()
+            .copied()
+            .filter(|s| !seen.contains(s))
+            .collect();
         newly.sort_unstable();
         seen.extend(newly.iter().copied());
-        steps.push(PropagationStep { window, score: *score, affected, newly_affected: newly });
+        steps.push(PropagationStep {
+            window,
+            score: *score,
+            affected,
+            newly_affected: newly,
+        });
     }
     steps
 }
@@ -193,10 +212,7 @@ mod propagation_tests {
 
     #[test]
     fn repeat_alerts_are_not_new() {
-        let steps = propagation_timeline(
-            &[0.5, 0.5],
-            &[vec![(4, 5)], vec![(4, 5)]],
-        );
+        let steps = propagation_timeline(&[0.5, 0.5], &[vec![(4, 5)], vec![(4, 5)]]);
         assert_eq!(steps[0].newly_affected, vec![4, 5]);
         assert!(steps[1].newly_affected.is_empty());
         assert_eq!(steps[1].affected, vec![4, 5]);

@@ -37,10 +37,16 @@ impl fmt::Display for CoreError {
             CoreError::Lang(e) => write!(f, "language pipeline error: {e}"),
             CoreError::Nn(e) => write!(f, "neural model error: {e}"),
             CoreError::TooFewSensors { available } => {
-                write!(f, "need at least two sensors after filtering, have {available}")
+                write!(
+                    f,
+                    "need at least two sensors after filtering, have {available}"
+                )
             }
             CoreError::MisalignedCorpora { expected, found } => {
-                write!(f, "misaligned corpora: expected {expected} sentences, found {found}")
+                write!(
+                    f,
+                    "misaligned corpora: expected {expected} sentences, found {found}"
+                )
             }
             CoreError::EmptyCorpus => write!(f, "corpus segment produced no sentences"),
             CoreError::NoValidModels => {

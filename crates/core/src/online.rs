@@ -110,7 +110,7 @@ impl OnlineMonitor {
             }
         }
         self.seen += 1;
-        if self.seen < self.window || (self.seen - self.window) % self.step != 0 {
+        if self.seen < self.window || !(self.seen - self.window).is_multiple_of(self.step) {
             return Ok(None);
         }
 
@@ -121,7 +121,10 @@ impl OnlineMonitor {
             .enumerate()
             .map(|(i, buf)| RawTrace::new(format!("b{i}"), buf.iter().cloned().collect()))
             .collect();
-        let sets = self.mdes.language().encode_segment(&traces, 0..self.window)?;
+        let sets = self
+            .mdes
+            .language()
+            .encode_segment(&traces, 0..self.window)?;
         let result = detect(self.mdes.trained(), &sets, &self.mdes.config().detection)?;
         Ok(Some(OnlineDetection {
             sample_index: self.seen - 1,
@@ -155,15 +158,31 @@ mod tests {
         RawTrace::new(
             name,
             (0..n)
-                .map(|t| if ((t + phase) / 5).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+                .map(|t| {
+                    if ((t + phase) / 5).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
                 .collect(),
         )
     }
 
     fn fitted() -> (Mdes, Vec<RawTrace>) {
-        let traces = vec![square("a", 700, 0), square("b", 700, 2), square("c", 700, 4)];
+        let traces = vec![
+            square("a", 700, 0),
+            square("b", 700, 2),
+            square("c", 700, 4),
+        ];
         let mut cfg = MdesConfig {
-            window: WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 },
+            window: WindowConfig {
+                word_len: 4,
+                word_stride: 1,
+                sent_len: 5,
+                sent_stride: 5,
+            },
             ..MdesConfig::default()
         };
         cfg.detection.valid_range = ScoreRange::closed(60.0, 100.0);
@@ -178,8 +197,7 @@ mod tests {
         let mut monitor = m.into_online_monitor(3);
         let mut streamed: Vec<f64> = Vec::new();
         for t in 450..700 {
-            let sample: Vec<String> =
-                traces.iter().map(|tr| tr.events[t].clone()).collect();
+            let sample: Vec<String> = traces.iter().map(|tr| tr.events[t].clone()).collect();
             if let Some(d) = monitor.push(&sample).expect("push") {
                 streamed.push(d.score);
             }
@@ -201,8 +219,7 @@ mod tests {
         assert_eq!(monitor.warmup(), warmup);
         let mut emissions = Vec::new();
         for t in 0..(warmup + 11) {
-            let sample: Vec<String> =
-                traces.iter().map(|tr| tr.events[t].clone()).collect();
+            let sample: Vec<String> = traces.iter().map(|tr| tr.events[t].clone()).collect();
             if monitor.push(&sample).expect("push").is_some() {
                 emissions.push(t);
             }
@@ -217,7 +234,13 @@ mod tests {
         let (m, _) = fitted();
         let mut monitor = m.into_online_monitor(3);
         let r = monitor.push(&["on".to_owned()]);
-        assert!(matches!(r, Err(CoreError::MisalignedCorpora { expected: 3, found: 1 })));
+        assert!(matches!(
+            r,
+            Err(CoreError::MisalignedCorpora {
+                expected: 3,
+                found: 1
+            })
+        ));
     }
 
     #[test]

@@ -120,7 +120,10 @@ impl Mdes {
 
     /// Sensor communities of the local subgraph via Walktrap (§II-B).
     pub fn communities(&self, range: &ScoreRange, popular_threshold: Option<usize>) -> Communities {
-        walktrap(&self.local_subgraph(range, popular_threshold), &WalktrapConfig::default())
+        walktrap(
+            &self.local_subgraph(range, popular_threshold),
+            &WalktrapConfig::default(),
+        )
     }
 
     /// Diagnoses one detection timestamp against the local subgraph at the
@@ -138,7 +141,12 @@ mod tests {
 
     fn small_plant_cfg() -> MdesConfig {
         MdesConfig {
-            window: WindowConfig { word_len: 5, word_stride: 1, sent_len: 6, sent_stride: 6 },
+            window: WindowConfig {
+                word_len: 5,
+                word_stride: 1,
+                sent_len: 6,
+                sent_stride: 6,
+            },
             ..MdesConfig::default()
         }
     }
@@ -206,8 +214,12 @@ mod tests {
         let json = serde_json::to_string(&m).expect("serialize");
         let restored: Mdes = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(restored.graph(), m.graph());
-        let ra = m.detect_range(&plant.traces, plant.day_range(8)).expect("orig");
-        let rb = restored.detect_range(&plant.traces, plant.day_range(8)).expect("restored");
+        let ra = m
+            .detect_range(&plant.traces, plant.day_range(8))
+            .expect("orig");
+        let rb = restored
+            .detect_range(&plant.traces, plant.day_range(8))
+            .expect("restored");
         assert_eq!(ra, rb);
     }
 
@@ -215,14 +227,18 @@ mod tests {
     fn diagnose_alerts_roundtrip() {
         let (mut m, plant) = fitted();
         m.cfg.detection.valid_range = ScoreRange::closed(40.0, 100.0);
-        let res = m.detect_range(&plant.traces, plant.day_range(11)).expect("detect");
+        let res = m
+            .detect_range(&plant.traces, plant.day_range(11))
+            .expect("detect");
         let worst = (0..res.scores.len())
             .max_by(|&a, &b| res.scores[a].partial_cmp(&res.scores[b]).expect("finite"))
             .expect("non-empty");
         let diag = m.diagnose_alerts(&res.alerts[worst]);
         // Ranking lists every sensor that participates in a broken pair.
-        let alerted: std::collections::HashSet<usize> =
-            res.alerts[worst].iter().flat_map(|&(s, d)| [s, d]).collect();
+        let alerted: std::collections::HashSet<usize> = res.alerts[worst]
+            .iter()
+            .flat_map(|&(s, d)| [s, d])
+            .collect();
         assert_eq!(diag.sensor_ranking.len(), alerted.len());
     }
 }

@@ -23,6 +23,15 @@ use std::collections::HashMap;
 pub trait Translator: Send {
     /// Translates a source sentence into `out_len` target word ids.
     fn translate(&self, src: &[u32], out_len: usize) -> Vec<u32>;
+
+    /// Translates a batch of source sentences, one output row per input.
+    ///
+    /// Must return exactly what per-sentence [`Translator::translate`] calls
+    /// would: implementations may batch for throughput (the NMT path decodes
+    /// the whole batch through one GEMM per step) but not change results.
+    fn translate_batch(&self, srcs: &[&[u32]], out_len: usize) -> Vec<Vec<u32>> {
+        srcs.iter().map(|s| self.translate(s, out_len)).collect()
+    }
 }
 
 /// Which translator family Algorithm 1 trains for every sensor pair.
@@ -60,6 +69,13 @@ impl Translator for AnyTranslator {
         match self {
             AnyTranslator::Ngram(t) => t.translate(src, out_len),
             AnyTranslator::Nmt(t) => t.translate(src, out_len),
+        }
+    }
+
+    fn translate_batch(&self, srcs: &[&[u32]], out_len: usize) -> Vec<Vec<u32>> {
+        match self {
+            AnyTranslator::Ngram(t) => t.translate_batch(srcs, out_len),
+            AnyTranslator::Nmt(t) => t.translate_batch(srcs, out_len),
         }
     }
 }
@@ -124,6 +140,24 @@ impl Translator for NmtTranslator {
             Err(_) => vec![0; out_len],
         }
     }
+
+    fn translate_batch(&self, srcs: &[&[u32]], out_len: usize) -> Vec<Vec<u32>> {
+        let usize_srcs: Vec<Vec<usize>> = srcs
+            .iter()
+            .map(|s| s.iter().map(|&w| w as usize).collect())
+            .collect();
+        let refs: Vec<&[usize]> = usize_srcs.iter().map(Vec::as_slice).collect();
+        match self.model.translate_batch(&refs, out_len) {
+            Ok(outs) => outs
+                .into_iter()
+                .map(|o| o.into_iter().map(|w| w as u32).collect())
+                .collect(),
+            // Batch decoding requires equal-length sentences; on malformed
+            // input fall back to the per-sentence path, which degrades to a
+            // deterministic degenerate translation sentence by sentence.
+            Err(_) => srcs.iter().map(|s| self.translate(s, out_len)).collect(),
+        }
+    }
 }
 
 /// Hyper-parameters for [`NgramTranslator`].
@@ -142,7 +176,11 @@ pub struct NgramConfig {
 
 impl Default for NgramConfig {
     fn default() -> Self {
-        Self { alpha: 0.1, lm_weight: 0.3, fallback_beam: 50 }
+        Self {
+            alpha: 0.1,
+            lm_weight: 0.3,
+            fallback_beam: 50,
+        }
     }
 }
 
@@ -177,12 +215,14 @@ impl NgramTranslator {
     /// Panics if `pairs` is empty (call through [`train_translator`] for a
     /// `Result`-based entry point).
     pub fn fit(pairs: &[(Vec<u32>, Vec<u32>)], cfg: &NgramConfig) -> Self {
-        assert!(!pairs.is_empty(), "ngram translator needs at least one pair");
+        assert!(
+            !pairs.is_empty(),
+            "ngram translator needs at least one pair"
+        );
         let tgt_len = pairs[0].1.len();
         let src_len = pairs[0].0.len();
         let positions = tgt_len.min(src_len).max(tgt_len);
-        let mut channel: Vec<HashMap<u32, HashMap<u32, u32>>> =
-            vec![HashMap::new(); positions];
+        let mut channel: Vec<HashMap<u32, HashMap<u32, u32>>> = vec![HashMap::new(); positions];
         let mut marginal: Vec<HashMap<u32, u32>> = vec![HashMap::new(); tgt_len];
         let mut bigram: HashMap<u32, HashMap<u32, u32>> = HashMap::new();
         for (src, tgt) in pairs {
@@ -220,7 +260,15 @@ impl NgramTranslator {
             .iter()
             .map(|pos| pos.iter().map(|(&src, m)| (src, top_k(m))).collect())
             .collect();
-        Self { cfg: *cfg, channel, marginal, marginal_top, channel_top, bigram, tgt_len }
+        Self {
+            cfg: *cfg,
+            channel,
+            marginal,
+            marginal_top,
+            channel_top,
+            bigram,
+            tgt_len,
+        }
     }
 
     /// Mean per-word natural-log likelihood of `tgt` given `src` under the
@@ -253,7 +301,9 @@ impl NgramTranslator {
             let counts = src
                 .get(sp)
                 .and_then(|sw| {
-                    self.channel.get(mp.min(self.channel.len().checked_sub(1)?))?.get(sw)
+                    self.channel
+                        .get(mp.min(self.channel.len().checked_sub(1)?))?
+                        .get(sw)
                 })
                 .filter(|m| !m.is_empty())
                 .or_else(|| self.marginal.get(mp));
@@ -275,11 +325,7 @@ impl NgramTranslator {
     /// # Panics
     ///
     /// Panics if `tgt_vocab` is zero.
-    pub fn likelihood_score(
-        &self,
-        pairs: &[(&[u32], &[u32])],
-        tgt_vocab: usize,
-    ) -> f64 {
+    pub fn likelihood_score(&self, pairs: &[(&[u32], &[u32])], tgt_vocab: usize) -> f64 {
         if pairs.is_empty() {
             return 0.0;
         }
@@ -316,14 +362,18 @@ impl Translator for NgramTranslator {
                 (p * src.len() / out_len.max(1)).min(src.len() - 1)
             };
             let chan = src.get(sp).and_then(|s| {
-                self.channel.get(mp.min(self.channel.len().checked_sub(1)?))?.get(s)
+                self.channel
+                    .get(mp.min(self.channel.len().checked_sub(1)?))?
+                    .get(s)
             });
             // Candidates: precomputed channel beam if the source word was
             // seen at this position, else the positional-marginal beam. The
             // beams have a deterministic order (count-desc, then id), so
             // tie-breaking does not depend on hash iteration order.
             let chan_candidates = src.get(sp).and_then(|s| {
-                self.channel_top.get(mp.min(self.channel_top.len().checked_sub(1)?))?.get(s)
+                self.channel_top
+                    .get(mp.min(self.channel_top.len().checked_sub(1)?))?
+                    .get(s)
             });
             let candidates: &[u32] = match chan_candidates {
                 Some(c) if !c.is_empty() => c,
@@ -337,8 +387,7 @@ impl Translator for NgramTranslator {
             let lm_counts = prev.and_then(|pr| self.bigram.get(&pr));
             let mut best = (candidates[0], f64::NEG_INFINITY);
             for &cand in candidates {
-                let s = self.score(chan, cand)
-                    + self.cfg.lm_weight * self.score(lm_counts, cand);
+                let s = self.score(chan, cand) + self.cfg.lm_weight * self.score(lm_counts, cand);
                 if s > best.1 {
                     best = (cand, s);
                 }
@@ -414,19 +463,71 @@ mod tests {
     }
 
     #[test]
+    fn ngram_batch_matches_per_sentence() {
+        let pairs = mapped_pairs(30, 6);
+        let t = NgramTranslator::fit(&pairs, &NgramConfig::default());
+        let srcs: Vec<&[u32]> = pairs.iter().take(8).map(|(s, _)| s.as_slice()).collect();
+        let batched = t.translate_batch(&srcs, 6);
+        for (src, hyp) in srcs.iter().zip(&batched) {
+            assert_eq!(hyp, &t.translate(src, 6));
+        }
+    }
+
+    #[test]
+    fn nmt_batch_matches_per_sentence() {
+        let pairs = mapped_pairs(20, 4);
+        let cfg = TranslatorConfig::Nmt(Seq2SeqConfig {
+            embed_dim: 12,
+            hidden: 12,
+            train_steps: 60,
+            ..Seq2SeqConfig::default()
+        });
+        let t = train_translator(&cfg, &pairs, 8, 108, 1).expect("train");
+        let srcs: Vec<&[u32]> = pairs.iter().take(6).map(|(s, _)| s.as_slice()).collect();
+        // Batched decoding routes every step through one GEMM over the whole
+        // batch; rows are independent, so outputs must match exactly.
+        let batched = t.translate_batch(&srcs, 4);
+        for (src, hyp) in srcs.iter().zip(&batched) {
+            assert_eq!(hyp, &t.translate(src, 4));
+        }
+    }
+
+    #[test]
+    fn nmt_batch_falls_back_on_ragged_input() {
+        let pairs = mapped_pairs(20, 4);
+        let cfg = TranslatorConfig::Nmt(Seq2SeqConfig {
+            embed_dim: 12,
+            hidden: 12,
+            train_steps: 10,
+            ..Seq2SeqConfig::default()
+        });
+        let t = train_translator(&cfg, &pairs, 8, 108, 1).expect("train");
+        let a: Vec<u32> = pairs[0].0.clone();
+        let b: Vec<u32> = pairs[1].0[..2].to_vec();
+        let out = t.translate_batch(&[a.as_slice(), b.as_slice()], 4);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], t.translate(&a, 4));
+        assert_eq!(out[1], t.translate(&b, 4));
+    }
+
+    #[test]
     fn likelihood_ranks_coupled_above_uncoupled() {
         let coupled = mapped_pairs(30, 6);
         let t = NgramTranslator::fit(&coupled, &NgramConfig::default());
-        let good: Vec<(&[u32], &[u32])> =
-            coupled.iter().map(|(s, g)| (s.as_slice(), g.as_slice())).collect();
+        let good: Vec<(&[u32], &[u32])> = coupled
+            .iter()
+            .map(|(s, g)| (s.as_slice(), g.as_slice()))
+            .collect();
         // Scramble targets to simulate an unrelated sensor.
         let scrambled: Vec<(Vec<u32>, Vec<u32>)> = coupled
             .iter()
             .enumerate()
             .map(|(i, (s, _))| (s.clone(), coupled[(i + 7) % coupled.len()].1.clone()))
             .collect();
-        let bad: Vec<(&[u32], &[u32])> =
-            scrambled.iter().map(|(s, g)| (s.as_slice(), g.as_slice())).collect();
+        let bad: Vec<(&[u32], &[u32])> = scrambled
+            .iter()
+            .map(|(s, g)| (s.as_slice(), g.as_slice()))
+            .collect();
         let hi = t.likelihood_score(&good, 120);
         let lo = t.likelihood_score(&bad, 120);
         assert!(hi > lo, "coupled {hi} should beat scrambled {lo}");

@@ -21,7 +21,11 @@ pub struct PageRankConfig {
 
 impl Default for PageRankConfig {
     fn default() -> Self {
-        Self { damping: 0.85, max_iters: 100, tol: 1e-10 }
+        Self {
+            damping: 0.85,
+            max_iters: 100,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -154,14 +158,23 @@ mod tests {
         g.set_score(0, 1, 95.0);
         g.set_score(0, 2, 5.0);
         let pr = pagerank(&g, &PageRankConfig::default());
-        assert!(pr[1] > pr[2], "heavier edge should attract more rank: {pr:?}");
+        assert!(
+            pr[1] > pr[2],
+            "heavier edge should attract more rank: {pr:?}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "damping")]
     fn bad_damping_panics() {
         let g = RelGraph::new(names(2));
-        let _ = pagerank(&g, &PageRankConfig { damping: 1.5, ..Default::default() });
+        let _ = pagerank(
+            &g,
+            &PageRankConfig {
+                damping: 1.5,
+                ..Default::default()
+            },
+        );
     }
 
     #[test]

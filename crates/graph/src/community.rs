@@ -50,7 +50,10 @@ struct Community {
 pub fn walktrap(g: &RelGraph, cfg: &WalktrapConfig) -> Communities {
     let active = g.active_nodes();
     if active.is_empty() {
-        return Communities { groups: Vec::new(), modularity: 0.0 };
+        return Communities {
+            groups: Vec::new(),
+            modularity: 0.0,
+        };
     }
     let w = g.undirected_weights();
     let n = active.len();
@@ -82,7 +85,12 @@ pub fn walktrap(g: &RelGraph, cfg: &WalktrapConfig) -> Communities {
     }
 
     let mut comms: Vec<Option<Community>> = (0..n)
-        .map(|a| Some(Community { nodes: vec![a], profile: p[a].clone() }))
+        .map(|a| {
+            Some(Community {
+                nodes: vec![a],
+                profile: p[a].clone(),
+            })
+        })
         .collect();
 
     // Track the best partition by modularity across the merge sequence.
@@ -141,7 +149,9 @@ fn mat_mul(a: &[Vec<f64>], b: &[Vec<f64>]) -> Vec<Vec<f64>> {
 }
 
 fn communities_adjacent(a: &Community, b: &Community, adj: &[Vec<f64>]) -> bool {
-    a.nodes.iter().any(|&x| b.nodes.iter().any(|&y| adj[x][y] > 0.0))
+    a.nodes
+        .iter()
+        .any(|&x| b.nodes.iter().any(|&y| adj[x][y] > 0.0))
 }
 
 /// Ward-like merge cost: `|C1||C2| / (|C1| + |C2|) * r^2(C1, C2)` with the

@@ -28,8 +28,11 @@ pub fn to_dot(g: &RelGraph, opts: &DotOptions) -> String {
         let _ = writeln!(out, "  label=\"{}\";", escape(&opts.title));
     }
     out.push_str("  node [shape=circle, fontsize=10];\n");
-    let nodes: Vec<usize> =
-        if opts.include_isolated { (0..g.len()).collect() } else { g.active_nodes() };
+    let nodes: Vec<usize> = if opts.include_isolated {
+        (0..g.len()).collect()
+    } else {
+        g.active_nodes()
+    };
     for i in nodes {
         let extra = if opts.highlight_nodes.contains(&i) {
             ", width=1.2, style=filled, fillcolor=lightblue"
@@ -39,7 +42,11 @@ pub fn to_dot(g: &RelGraph, opts: &DotOptions) -> String {
         let _ = writeln!(out, "  n{i} [label=\"{}\"{extra}];", escape(g.name(i)));
     }
     for (s, d, w) in g.edges() {
-        let color = if opts.broken_edges.contains(&(s, d)) { ", color=red" } else { "" };
+        let color = if opts.broken_edges.contains(&(s, d)) {
+            ", color=red"
+        } else {
+            ""
+        };
         let _ = writeln!(out, "  n{s} -> n{d} [label=\"{w:.1}\"{color}];");
     }
     out.push_str("}\n");
@@ -75,7 +82,13 @@ mod tests {
     fn isolated_nodes_omitted_by_default() {
         let dot = to_dot(&sample(), &DotOptions::default());
         assert!(!dot.contains("n2"));
-        let all = to_dot(&sample(), &DotOptions { include_isolated: true, ..Default::default() });
+        let all = to_dot(
+            &sample(),
+            &DotOptions {
+                include_isolated: true,
+                ..Default::default()
+            },
+        );
         assert!(all.contains("n2"));
     }
 
@@ -91,7 +104,10 @@ mod tests {
 
     #[test]
     fn title_and_escaping() {
-        let opts = DotOptions { title: "range \"80-90\"".into(), ..Default::default() };
+        let opts = DotOptions {
+            title: "range \"80-90\"".into(),
+            ..Default::default()
+        };
         let dot = to_dot(&sample(), &opts);
         assert!(dot.contains("label=\"range \\\"80-90\\\"\";"));
     }

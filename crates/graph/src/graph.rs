@@ -26,7 +26,10 @@ impl RelGraph {
     /// Creates an edgeless graph over the given sensor names.
     pub fn new(names: Vec<String>) -> Self {
         let n = names.len();
-        Self { names, scores: vec![None; n * n] }
+        Self {
+            names,
+            scores: vec![None; n * n],
+        }
     }
 
     /// Number of nodes (including isolated ones).
@@ -66,8 +69,14 @@ impl RelGraph {
     /// outside `[0, 100]`.
     pub fn set_score(&mut self, src: usize, dst: usize, score: f64) {
         assert_ne!(src, dst, "self-edges are not allowed");
-        assert!(src < self.len() && dst < self.len(), "edge ({src}, {dst}) out of bounds");
-        assert!((0.0..=100.0).contains(&score), "score {score} outside [0, 100]");
+        assert!(
+            src < self.len() && dst < self.len(),
+            "edge ({src}, {dst}) out of bounds"
+        );
+        assert!(
+            (0.0..=100.0).contains(&score),
+            "score {score} outside [0, 100]"
+        );
         let n = self.len();
         self.scores[src * n + dst] = Some(score);
     }
@@ -100,12 +109,16 @@ impl RelGraph {
 
     /// In-degree of node `i` (edges arriving at `i`).
     pub fn in_degree(&self, i: usize) -> usize {
-        (0..self.len()).filter(|&src| self.score(src, i).is_some()).count()
+        (0..self.len())
+            .filter(|&src| self.score(src, i).is_some())
+            .count()
     }
 
     /// Out-degree of node `i` (edges leaving `i`).
     pub fn out_degree(&self, i: usize) -> usize {
-        (0..self.len()).filter(|&dst| self.score(i, dst).is_some()).count()
+        (0..self.len())
+            .filter(|&dst| self.score(i, dst).is_some())
+            .count()
     }
 
     /// Nodes that participate in at least one edge.
@@ -131,7 +144,9 @@ impl RelGraph {
     /// (§III-B1 uses 100 with N = 128). These are broadly-translatable
     /// sensors that act as system-health indicators.
     pub fn popular(&self, threshold: usize) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.in_degree(i) >= threshold).collect()
+        (0..self.len())
+            .filter(|&i| self.in_degree(i) >= threshold)
+            .collect()
     }
 
     /// The threshold the paper's in-degree >= 100 criterion corresponds to,

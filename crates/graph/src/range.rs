@@ -19,7 +19,11 @@ impl ScoreRange {
     /// Panics if `lo > hi`.
     pub fn half_open(lo: f64, hi: f64) -> Self {
         assert!(lo <= hi, "invalid score range [{lo}, {hi})");
-        Self { lo, hi, inclusive_hi: false }
+        Self {
+            lo,
+            hi,
+            inclusive_hi: false,
+        }
     }
 
     /// Closed range `[lo, hi]`.
@@ -29,7 +33,11 @@ impl ScoreRange {
     /// Panics if `lo > hi`.
     pub fn closed(lo: f64, hi: f64) -> Self {
         assert!(lo <= hi, "invalid score range [{lo}, {hi}]");
-        Self { lo, hi, inclusive_hi: true }
+        Self {
+            lo,
+            hi,
+            inclusive_hi: true,
+        }
     }
 
     /// Lower bound (inclusive).

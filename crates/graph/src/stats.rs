@@ -50,12 +50,18 @@ pub fn table_stats(
 
 /// In-degrees of all active nodes (for the CDF of Fig. 5a).
 pub fn in_degrees(g: &RelGraph) -> Vec<usize> {
-    g.active_nodes().into_iter().map(|i| g.in_degree(i)).collect()
+    g.active_nodes()
+        .into_iter()
+        .map(|i| g.in_degree(i))
+        .collect()
 }
 
 /// Out-degrees of all active nodes (for the CDF of Fig. 5b).
 pub fn out_degrees(g: &RelGraph) -> Vec<usize> {
-    g.active_nodes().into_iter().map(|i| g.out_degree(i)).collect()
+    g.active_nodes()
+        .into_iter()
+        .map(|i| g.out_degree(i))
+        .collect()
 }
 
 /// Empirical CDF over integer observations: returns `(value, fraction <= value)`

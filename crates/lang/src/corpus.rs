@@ -29,7 +29,10 @@ pub struct RawTrace {
 impl RawTrace {
     /// Convenience constructor.
     pub fn new(name: impl Into<String>, events: Vec<String>) -> Self {
-        Self { name: name.into(), events }
+        Self {
+            name: name.into(),
+            events,
+        }
     }
 }
 
@@ -97,7 +100,10 @@ impl LanguagePipeline {
         }
         let len = train.end - train.start;
         if len < cfg.min_samples() {
-            return Err(LangError::SegmentTooShort { available: len, required: cfg.min_samples() });
+            return Err(LangError::SegmentTooShort {
+                available: len,
+                required: cfg.min_samples(),
+            });
         }
         let mut languages = Vec::new();
         for (idx, trace) in traces.iter().enumerate() {
@@ -179,10 +185,14 @@ impl LanguagePipeline {
             }
             let segment = &trace.events[range.clone()];
             let encoded = lang.alphabet.encode(segment);
-            let word_ids: Vec<u32> =
-                window::words(&encoded, &self.cfg).iter().map(|w| lang.vocab.encode(w)).collect();
+            let word_ids: Vec<u32> = window::words(&encoded, &self.cfg)
+                .iter()
+                .map(|w| lang.vocab.encode(w))
+                .collect();
             let sentences = window::sentences(&word_ids, &self.cfg);
-            let starts = (0..sentences.len()).map(|s| self.cfg.sentence_start(s)).collect();
+            let starts = (0..sentences.len())
+                .map(|s| self.cfg.sentence_start(s))
+                .collect();
             out.push(SentenceSet { sentences, starts });
         }
         Ok(out)
@@ -194,13 +204,26 @@ mod tests {
     use super::*;
 
     fn toggling(name: &str, n: usize, period: usize) -> RawTrace {
-        let events =
-            (0..n).map(|t| if (t / period).is_multiple_of(2) { "on" } else { "off" }.to_owned()).collect();
+        let events = (0..n)
+            .map(|t| {
+                if (t / period).is_multiple_of(2) {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned()
+            })
+            .collect();
         RawTrace::new(name, events)
     }
 
     fn small_cfg() -> WindowConfig {
-        WindowConfig { word_len: 3, word_stride: 1, sent_len: 4, sent_stride: 4 }
+        WindowConfig {
+            word_len: 3,
+            word_stride: 1,
+            sent_len: 4,
+            sent_stride: 4,
+        }
     }
 
     #[test]
@@ -288,7 +311,11 @@ mod tests {
         let traces = vec![toggling("a", 300, 3)];
         let p = LanguagePipeline::fit(&traces, 0..300, small_cfg()).expect("fit");
         let vocab = &p.languages()[0].vocab;
-        assert!(vocab.word_count() <= 6, "vocab too large: {}", vocab.word_count());
+        assert!(
+            vocab.word_count() <= 6,
+            "vocab too large: {}",
+            vocab.word_count()
+        );
         assert!(vocab.word_count() >= 2);
     }
 

@@ -106,7 +106,11 @@ pub fn dedupe_sensors(traces: &[RawTrace], train: Range<usize>, similarity: f64)
             // information: low direct agreement means high complementary
             // agreement when both have cardinality 2.
             let binary = encoded[i].iter().all(|&c| c < 2) && encoded[r].iter().all(|&c| c < 2);
-            let effective = if binary { agree.max(1.0 - agree) } else { agree };
+            let effective = if binary {
+                agree.max(1.0 - agree)
+            } else {
+                agree
+            };
             if effective >= similarity {
                 rep = Some(r);
                 break;
@@ -120,13 +124,20 @@ pub fn dedupe_sensors(traces: &[RawTrace], train: Range<usize>, similarity: f64)
             }
         }
     }
-    DedupResult { representatives, assignment }
+    DedupResult {
+        representatives,
+        assignment,
+    }
 }
 
 /// Returns the representative traces selected by a [`DedupResult`], cloned
 /// in representative order.
 pub fn representative_traces(traces: &[RawTrace], dedup: &DedupResult) -> Vec<RawTrace> {
-    dedup.representatives.iter().map(|&r| traces[r].clone()).collect()
+    dedup
+        .representatives
+        .iter()
+        .map(|&r| traces[r].clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -138,7 +149,12 @@ mod tests {
             name,
             (0..n)
                 .map(|t| {
-                    if ((t + phase) / period).is_multiple_of(2) { labels.0 } else { labels.1 }.to_owned()
+                    if ((t + phase) / period).is_multiple_of(2) {
+                        labels.0
+                    } else {
+                        labels.1
+                    }
+                    .to_owned()
                 })
                 .collect(),
         )
@@ -178,7 +194,11 @@ mod tests {
             square("b", 100, 4, 4, ("a0", "a1")),
         ];
         let d = dedupe_sensors(&traces, 0..100, 0.95);
-        assert_eq!(d.representatives.len(), 1, "inverted binary pair should group");
+        assert_eq!(
+            d.representatives.len(),
+            1,
+            "inverted binary pair should group"
+        );
     }
 
     #[test]

@@ -149,7 +149,9 @@ mod tests {
 
     #[test]
     fn quintile_buckets_are_roughly_even() {
-        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 50.0 + 50.0).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 50.0 + 50.0)
+            .collect();
         let s = Scheme::fit_default(&values);
         let cats = s.apply_all(&values);
         for q in 0..5 {

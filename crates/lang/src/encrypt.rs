@@ -46,7 +46,9 @@ impl Alphabet {
                 max: LETTERS.len(),
             });
         }
-        Ok(Self { records: distinct.into_iter().map(str::to_owned).collect() })
+        Ok(Self {
+            records: distinct.into_iter().map(str::to_owned).collect(),
+        })
     }
 
     /// Number of distinct records (the sensor's cardinality).
@@ -138,7 +140,10 @@ mod tests {
         let events: Vec<String> = (0..100).map(|i| format!("state{i:03}")).collect();
         assert!(matches!(
             Alphabet::fit(&events),
-            Err(LangError::TooManyCategories { found: 100, max: 52 })
+            Err(LangError::TooManyCategories {
+                found: 100,
+                max: 52
+            })
         ));
     }
 

@@ -43,13 +43,22 @@ impl fmt::Display for LangError {
         match self {
             LangError::EmptyInput => write!(f, "empty input sequence or corpus"),
             LangError::TooManyCategories { found, max } => {
-                write!(f, "sensor reports {found} distinct categories, alphabet supports {max}")
+                write!(
+                    f,
+                    "sensor reports {found} distinct categories, alphabet supports {max}"
+                )
             }
             LangError::RangeOutOfBounds { end, len } => {
                 write!(f, "sample range end {end} exceeds trace length {len}")
             }
-            LangError::SegmentTooShort { available, required } => {
-                write!(f, "segment of {available} samples cannot produce a sentence needing {required}")
+            LangError::SegmentTooShort {
+                available,
+                required,
+            } => {
+                write!(
+                    f,
+                    "segment of {available} samples cannot produce a sentence needing {required}"
+                )
             }
             LangError::AllSequencesConstant => {
                 write!(f, "all training sequences are constant; nothing to model")
@@ -73,7 +82,10 @@ mod tests {
             LangError::EmptyInput,
             LangError::TooManyCategories { found: 99, max: 52 },
             LangError::RangeOutOfBounds { end: 10, len: 5 },
-            LangError::SegmentTooShort { available: 3, required: 30 },
+            LangError::SegmentTooShort {
+                available: 3,
+                required: 30,
+            },
             LangError::AllSequencesConstant,
             LangError::ZeroWindowParameter,
         ];

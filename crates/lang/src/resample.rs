@@ -21,7 +21,10 @@ pub struct Event {
 impl Event {
     /// Convenience constructor.
     pub fn new(time: u64, state: impl Into<String>) -> Self {
-        Self { time, state: state.into() }
+        Self {
+            time,
+            state: state.into(),
+        }
     }
 }
 
@@ -50,7 +53,10 @@ pub fn resample(
     }
     for (i, w) in events.windows(2).enumerate() {
         if w[1].time < w[0].time {
-            return Err(LangError::RangeOutOfBounds { end: i + 1, len: events.len() });
+            return Err(LangError::RangeOutOfBounds {
+                end: i + 1,
+                len: events.len(),
+            });
         }
     }
     let mut out = Vec::with_capacity(((end - start) / period) as usize);
@@ -80,7 +86,9 @@ pub fn resample_all(
     end: u64,
     period: u64,
 ) -> Result<Vec<RawTrace>, LangError> {
-    logs.iter().map(|(name, events)| resample(name, events, start, end, period)).collect()
+    logs.iter()
+        .map(|(name, events)| resample(name, events, start, end, period))
+        .collect()
 }
 
 #[cfg(test)]
@@ -89,7 +97,11 @@ mod tests {
 
     #[test]
     fn holds_last_observation() {
-        let events = vec![Event::new(0, "off"), Event::new(25, "on"), Event::new(40, "off")];
+        let events = vec![
+            Event::new(0, "off"),
+            Event::new(25, "on"),
+            Event::new(40, "off"),
+        ];
         let trace = resample("s", &events, 0, 60, 10).expect("resample");
         assert_eq!(trace.events, vec!["off", "off", "off", "on", "off", "off"]);
     }
@@ -118,7 +130,10 @@ mod tests {
     #[test]
     fn rejects_bad_inputs() {
         let ev = vec![Event::new(0, "x")];
-        assert_eq!(resample("s", &ev, 0, 10, 0), Err(LangError::ZeroWindowParameter));
+        assert_eq!(
+            resample("s", &ev, 0, 10, 0),
+            Err(LangError::ZeroWindowParameter)
+        );
         assert_eq!(resample("s", &[], 0, 10, 1), Err(LangError::EmptyInput));
         assert_eq!(resample("s", &ev, 10, 10, 1), Err(LangError::EmptyInput));
         let unsorted = vec![Event::new(5, "a"), Event::new(1, "b")];
@@ -131,7 +146,10 @@ mod tests {
     #[test]
     fn resample_all_aligns_sensors() {
         let logs = vec![
-            ("a".to_owned(), vec![Event::new(0, "x"), Event::new(12, "y")]),
+            (
+                "a".to_owned(),
+                vec![Event::new(0, "x"), Event::new(12, "y")],
+            ),
             ("b".to_owned(), vec![Event::new(3, "p")]),
         ];
         let traces = resample_all(&logs, 0, 30, 5).expect("resample all");

@@ -49,7 +49,11 @@ pub fn corpus_stats(set: &SentenceSet) -> CorpusStats {
         sentences: set.sentences.len(),
         tokens,
         distinct_words: seen.len(),
-        oov_rate: if tokens == 0 { 0.0 } else { unk as f64 / tokens as f64 },
+        oov_rate: if tokens == 0 {
+            0.0
+        } else {
+            unk as f64 / tokens as f64
+        },
         oov_sentence_rate: if set.sentences.is_empty() {
             0.0
         } else {

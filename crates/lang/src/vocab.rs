@@ -28,7 +28,10 @@ struct VocabShadow {
 
 impl From<VocabShadow> for Vocab {
     fn from(shadow: VocabShadow) -> Self {
-        let mut v = Vocab { words: shadow.words, index: HashMap::new() };
+        let mut v = Vocab {
+            words: shadow.words,
+            index: HashMap::new(),
+        };
         v.rebuild_index();
         v
     }
@@ -97,7 +100,9 @@ impl Vocab {
         if id < Self::RESERVED {
             return None;
         }
-        self.words.get((id - Self::RESERVED) as usize).map(Vec::as_slice)
+        self.words
+            .get((id - Self::RESERVED) as usize)
+            .map(Vec::as_slice)
     }
 
     /// Renders an id as a human-readable string of letters (`<unk>`/`<s>` for

@@ -26,7 +26,12 @@ pub struct WindowConfig {
 impl Default for WindowConfig {
     /// The paper's physical-plant settings.
     fn default() -> Self {
-        Self { word_len: 10, word_stride: 1, sent_len: 20, sent_stride: 20 }
+        Self {
+            word_len: 10,
+            word_stride: 1,
+            sent_len: 20,
+            sent_stride: 20,
+        }
     }
 }
 
@@ -34,7 +39,12 @@ impl WindowConfig {
     /// The paper's HDD settings (daily sampling): 5-character words, 7-word
     /// sentences, both strides 1.
     pub fn hdd() -> Self {
-        Self { word_len: 5, word_stride: 1, sent_len: 7, sent_stride: 1 }
+        Self {
+            word_len: 5,
+            word_stride: 1,
+            sent_len: 7,
+            sent_stride: 1,
+        }
     }
 
     /// Validates that all lengths and strides are positive.
@@ -43,7 +53,10 @@ impl WindowConfig {
     ///
     /// Returns [`LangError::ZeroWindowParameter`] when any field is zero.
     pub fn validate(&self) -> Result<(), LangError> {
-        if self.word_len == 0 || self.word_stride == 0 || self.sent_len == 0 || self.sent_stride == 0
+        if self.word_len == 0
+            || self.word_stride == 0
+            || self.sent_len == 0
+            || self.sent_stride == 0
         {
             return Err(LangError::ZeroWindowParameter);
         }
@@ -84,7 +97,9 @@ impl WindowConfig {
 /// Extracts fixed-length words from a character stream.
 pub fn words<'a>(chars: &'a [u8], cfg: &WindowConfig) -> Vec<&'a [u8]> {
     let n = cfg.word_count(chars.len());
-    (0..n).map(|w| &chars[w * cfg.word_stride..w * cfg.word_stride + cfg.word_len]).collect()
+    (0..n)
+        .map(|w| &chars[w * cfg.word_stride..w * cfg.word_stride + cfg.word_len])
+        .collect()
 }
 
 /// Groups a stream of word ids into fixed-length sentences.
@@ -106,7 +121,10 @@ mod tests {
     #[test]
     fn default_matches_paper_plant_settings() {
         let cfg = WindowConfig::default();
-        assert_eq!((cfg.word_len, cfg.word_stride, cfg.sent_len, cfg.sent_stride), (10, 1, 20, 20));
+        assert_eq!(
+            (cfg.word_len, cfg.word_stride, cfg.sent_len, cfg.sent_stride),
+            (10, 1, 20, 20)
+        );
     }
 
     #[test]
@@ -123,7 +141,12 @@ mod tests {
     #[test]
     fn words_overlap_by_stride() {
         let chars = vec![0u8, 1, 2, 3, 4];
-        let cfg = WindowConfig { word_len: 3, word_stride: 1, sent_len: 1, sent_stride: 1 };
+        let cfg = WindowConfig {
+            word_len: 3,
+            word_stride: 1,
+            sent_len: 1,
+            sent_stride: 1,
+        };
         let ws = words(&chars, &cfg);
         assert_eq!(ws, vec![&[0u8, 1, 2][..], &[1, 2, 3], &[2, 3, 4]]);
     }
@@ -131,7 +154,12 @@ mod tests {
     #[test]
     fn words_with_larger_stride() {
         let chars = vec![0u8, 1, 2, 3, 4, 5];
-        let cfg = WindowConfig { word_len: 2, word_stride: 2, sent_len: 1, sent_stride: 1 };
+        let cfg = WindowConfig {
+            word_len: 2,
+            word_stride: 2,
+            sent_len: 1,
+            sent_stride: 1,
+        };
         let ws = words(&chars, &cfg);
         assert_eq!(ws, vec![&[0u8, 1][..], &[2, 3], &[4, 5]]);
     }
@@ -139,7 +167,12 @@ mod tests {
     #[test]
     fn sentences_non_overlapping() {
         let ids: Vec<u32> = (0..10).collect();
-        let cfg = WindowConfig { word_len: 1, word_stride: 1, sent_len: 3, sent_stride: 3 };
+        let cfg = WindowConfig {
+            word_len: 1,
+            word_stride: 1,
+            sent_len: 3,
+            sent_stride: 3,
+        };
         let ss = sentences(&ids, &cfg);
         assert_eq!(ss, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6, 7, 8]]);
     }
@@ -147,7 +180,12 @@ mod tests {
     #[test]
     fn sentences_sliding() {
         let ids: Vec<u32> = (0..5).collect();
-        let cfg = WindowConfig { word_len: 1, word_stride: 1, sent_len: 3, sent_stride: 1 };
+        let cfg = WindowConfig {
+            word_len: 1,
+            word_stride: 1,
+            sent_len: 3,
+            sent_stride: 1,
+        };
         let ss = sentences(&ids, &cfg);
         assert_eq!(ss.len(), 3);
         assert_eq!(ss[2], vec![2, 3, 4]);
@@ -162,7 +200,12 @@ mod tests {
 
     #[test]
     fn min_samples_is_tight() {
-        let cfg = WindowConfig { word_len: 4, word_stride: 2, sent_len: 3, sent_stride: 1 };
+        let cfg = WindowConfig {
+            word_len: 4,
+            word_stride: 2,
+            sent_len: 3,
+            sent_stride: 1,
+        };
         let min = cfg.min_samples();
         assert_eq!(cfg.sentence_count(min), 1);
         assert_eq!(cfg.sentence_count(min - 1), 0);
@@ -170,7 +213,10 @@ mod tests {
 
     #[test]
     fn zero_parameter_rejected() {
-        let cfg = WindowConfig { word_len: 0, ..WindowConfig::default() };
+        let cfg = WindowConfig {
+            word_len: 0,
+            ..WindowConfig::default()
+        };
         assert_eq!(cfg.validate(), Err(LangError::ZeroWindowParameter));
         assert!(WindowConfig::default().validate().is_ok());
     }

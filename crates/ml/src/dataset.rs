@@ -28,7 +28,11 @@ impl Dataset {
             let d = first.len();
             assert!(x.iter().all(|r| r.len() == d), "ragged feature rows");
         }
-        Self { x, y, feature_names: Vec::new() }
+        Self {
+            x,
+            y,
+            feature_names: Vec::new(),
+        }
     }
 
     /// Attaches feature names.
@@ -37,7 +41,11 @@ impl Dataset {
     ///
     /// Panics if the name count differs from the feature count.
     pub fn with_feature_names(mut self, names: Vec<String>) -> Self {
-        assert_eq!(names.len(), self.n_features(), "feature name count mismatch");
+        assert_eq!(
+            names.len(),
+            self.n_features(),
+            "feature name count mismatch"
+        );
         self.feature_names = names;
         self
     }
@@ -91,7 +99,12 @@ impl Dataset {
         for (i, &c) in self.y.iter().enumerate() {
             by_class[c].push(i);
         }
-        let min = by_class.iter().filter(|v| !v.is_empty()).map(Vec::len).min().unwrap_or(0);
+        let min = by_class
+            .iter()
+            .filter(|v| !v.is_empty())
+            .map(Vec::len)
+            .min()
+            .unwrap_or(0);
         let mut keep: Vec<usize> = Vec::new();
         for ids in &mut by_class {
             ids.shuffle(rng);
@@ -107,8 +120,7 @@ impl Dataset {
 
     /// Rows belonging to one class (e.g. the healthy majority for OC-SVM).
     pub fn filter_class(&self, class: usize) -> Dataset {
-        let ids: Vec<usize> =
-            (0..self.len()).filter(|&i| self.y[i] == class).collect();
+        let ids: Vec<usize> = (0..self.len()).filter(|&i| self.y[i] == class).collect();
         Dataset {
             x: ids.iter().map(|&i| self.x[i].clone()).collect(),
             y: ids.iter().map(|&i| self.y[i]).collect(),

@@ -24,7 +24,11 @@ pub struct ForestConfig {
 
 impl Default for ForestConfig {
     fn default() -> Self {
-        Self { n_trees: 50, tree: TreeConfig::default(), seed: 42 }
+        Self {
+            n_trees: 50,
+            tree: TreeConfig::default(),
+            seed: 42,
+        }
     }
 }
 
@@ -77,7 +81,11 @@ impl RandomForest {
                 *imp /= total;
             }
         }
-        Self { trees, n_classes: data.n_classes(), importances }
+        Self {
+            trees,
+            n_classes: data.n_classes(),
+            importances,
+        }
     }
 
     /// Majority-vote prediction for one row.
@@ -86,7 +94,12 @@ impl RandomForest {
         for t in &self.trees {
             votes[t.predict_one(row)] += 1;
         }
-        votes.iter().enumerate().max_by_key(|&(_, &v)| v).map(|(i, _)| i).unwrap_or(0)
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 
     /// Majority-vote predictions for a matrix of rows.
@@ -96,7 +109,11 @@ impl RandomForest {
 
     /// Fraction of trees voting for `class` on `row`.
     pub fn predict_proba(&self, row: &[f64], class: usize) -> f64 {
-        let votes = self.trees.iter().filter(|t| t.predict_one(row) == class).count();
+        let votes = self
+            .trees
+            .iter()
+            .filter(|t| t.predict_one(row) == class)
+            .count();
         votes as f64 / self.trees.len() as f64
     }
 
@@ -108,8 +125,7 @@ impl RandomForest {
 
     /// Features sorted by decreasing importance: `(feature index, weight)`.
     pub fn ranked_features(&self) -> Vec<(usize, f64)> {
-        let mut ranked: Vec<(usize, f64)> =
-            self.importances.iter().copied().enumerate().collect();
+        let mut ranked: Vec<(usize, f64)> = self.importances.iter().copied().enumerate().collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("importances are finite"));
         ranked
     }
@@ -146,7 +162,13 @@ mod tests {
     #[test]
     fn forest_learns_xor_rule() {
         let data = dataset(400);
-        let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 30, ..Default::default() });
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
+        );
         let preds = forest.predict(&data.x);
         let acc =
             preds.iter().zip(&data.y).filter(|(a, b)| a == b).count() as f64 / data.len() as f64;
@@ -156,7 +178,13 @@ mod tests {
     #[test]
     fn importances_identify_informative_features() {
         let data = dataset(400);
-        let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 30, ..Default::default() });
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
+        );
         let imp = forest.feature_importances();
         assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         let ranked = forest.ranked_features();
@@ -167,7 +195,13 @@ mod tests {
     #[test]
     fn proba_bounded_and_consistent() {
         let data = dataset(100);
-        let forest = RandomForest::fit(&data, &ForestConfig { n_trees: 15, ..Default::default() });
+        let forest = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 15,
+                ..Default::default()
+            },
+        );
         for row in data.x.iter().take(10) {
             let p0 = forest.predict_proba(row, 0);
             let p1 = forest.predict_proba(row, 1);
@@ -181,7 +215,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let data = dataset(100);
-        let cfg = ForestConfig { n_trees: 10, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 10,
+            ..Default::default()
+        };
         let a = RandomForest::fit(&data, &cfg);
         let b = RandomForest::fit(&data, &cfg);
         assert_eq!(a.predict(&data.x), b.predict(&data.x));
@@ -192,6 +229,12 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn zero_trees_rejected() {
         let data = dataset(10);
-        let _ = RandomForest::fit(&data, &ForestConfig { n_trees: 0, ..Default::default() });
+        let _ = RandomForest::fit(
+            &data,
+            &ForestConfig {
+                n_trees: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -36,7 +36,11 @@ pub struct HawkesConfig {
 
 impl Default for HawkesConfig {
     fn default() -> Self {
-        Self { beta: 1.0, iters: 30, kernel_cutoff: 1e-4 }
+        Self {
+            beta: 1.0,
+            iters: 30,
+            kernel_cutoff: 1e-4,
+        }
     }
 }
 
@@ -164,7 +168,9 @@ impl Hawkes {
             events.windows(2).all(|w| w[0].0 <= w[1].0),
             "events must be sorted by time"
         );
-        assert!(events.iter().all(|&(t, d)| d < dims && t >= 0.0 && t < horizon));
+        assert!(events
+            .iter()
+            .all(|&(t, d)| d < dims && t >= 0.0 && t < horizon));
 
         let lookback = -(cfg.kernel_cutoff.ln()) / cfg.beta;
         let counts: Vec<f64> = {
@@ -213,11 +219,19 @@ impl Hawkes {
                 for j in 0..dims {
                     // Each type-j event contributes kernel mass ~1 inside the
                     // horizon (exponential integrates to 1).
-                    alpha[i][j] = if counts[j] > 0.0 { alpha_acc[i][j] / counts[j] } else { 0.0 };
+                    alpha[i][j] = if counts[j] > 0.0 {
+                        alpha_acc[i][j] / counts[j]
+                    } else {
+                        0.0
+                    };
                 }
             }
         }
-        Self { mu, alpha, beta: cfg.beta }
+        Self {
+            mu,
+            alpha,
+            beta: cfg.beta,
+        }
     }
 
     /// Mean log-likelihood per event (up to the constant horizon term of
@@ -261,7 +275,10 @@ mod tests {
         let horizon = 2000.0;
         let events = h.simulate(horizon, &mut rng);
         let rate = events.len() as f64 / horizon;
-        assert!((rate - 1.0).abs() < 0.15, "empirical rate {rate}, expected 1.0");
+        assert!(
+            (rate - 1.0).abs() < 0.15,
+            "empirical rate {rate}, expected 1.0"
+        );
     }
 
     #[test]
@@ -270,19 +287,22 @@ mod tests {
         let truth = Hawkes::new(vec![0.4, 0.05], vec![vec![0.0, 0.0], vec![0.7, 0.0]], 1.5);
         let mut rng = StdRng::seed_from_u64(2);
         let events = truth.simulate(3000.0, &mut rng);
-        assert!(events.len() > 1000, "need a large sample, got {}", events.len());
+        assert!(
+            events.len() > 1000,
+            "need a large sample, got {}",
+            events.len()
+        );
         let fitted = Hawkes::fit(
             &events,
             2,
             3000.0,
-            &HawkesConfig { beta: 1.5, ..Default::default() },
+            &HawkesConfig {
+                beta: 1.5,
+                ..Default::default()
+            },
         );
         let a = fitted.alpha();
-        assert!(
-            a[1][0] > 0.3,
-            "driven edge should be strong: {:?}",
-            a
-        );
+        assert!(a[1][0] > 0.3, "driven edge should be strong: {:?}", a);
         assert!(
             a[1][0] > 3.0 * a[0][1],
             "direction must be recovered: a10 {} vs a01 {}",
@@ -301,7 +321,10 @@ mod tests {
         let fitted = Hawkes::fit(&events, 2, 3000.0, &HawkesConfig::default());
         for row in fitted.alpha() {
             for &a in row {
-                assert!(a < 0.15, "independent streams should fit near-zero alpha: {a}");
+                assert!(
+                    a < 0.15,
+                    "independent streams should fit near-zero alpha: {a}"
+                );
             }
         }
     }

@@ -17,7 +17,11 @@ pub struct KMeansConfig {
 
 impl Default for KMeansConfig {
     fn default() -> Self {
-        Self { k: 2, max_iters: 100, tol: 1e-6 }
+        Self {
+            k: 2,
+            max_iters: 100,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -183,7 +187,14 @@ mod tests {
     fn k_equals_one_gives_mean_centroid() {
         let x = vec![vec![0.0], vec![2.0], vec![4.0]];
         let mut rng = StdRng::seed_from_u64(3);
-        let km = KMeans::fit(&x, &KMeansConfig { k: 1, ..Default::default() }, &mut rng);
+        let km = KMeans::fit(
+            &x,
+            &KMeansConfig {
+                k: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!((km.centroids()[0][0] - 2.0).abs() < 1e-9);
     }
 
@@ -191,6 +202,13 @@ mod tests {
     #[should_panic(expected = "must be in 1..=")]
     fn k_larger_than_points_rejected() {
         let mut rng = StdRng::seed_from_u64(4);
-        let _ = KMeans::fit(&[vec![0.0]], &KMeansConfig { k: 5, ..Default::default() }, &mut rng);
+        let _ = KMeans::fit(
+            &[vec![0.0]],
+            &KMeansConfig {
+                k: 5,
+                ..Default::default()
+            },
+            &mut rng,
+        );
     }
 }

@@ -84,12 +84,25 @@ mod tests {
         let pred = [1, 1, 0, 0, 1];
         let truth = [1, 0, 0, 1, 1];
         let c = Confusion::from_predictions(&pred, &truth);
-        assert_eq!(c, Confusion { tp: 2, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 2,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
     fn metric_values() {
-        let c = Confusion { tp: 8, fp: 2, tn: 85, fn_: 5 };
+        let c = Confusion {
+            tp: 8,
+            fp: 2,
+            tn: 85,
+            fn_: 5,
+        };
         assert!((c.recall() - 8.0 / 13.0).abs() < 1e-12);
         assert!((c.precision() - 0.8).abs() < 1e-12);
         assert!((c.accuracy() - 0.93).abs() < 1e-12);

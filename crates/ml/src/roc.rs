@@ -30,7 +30,11 @@ pub fn roc_curve(scores: &[f64], labels: &[usize]) -> Vec<RocPoint> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
 
-    let mut points = vec![RocPoint { threshold: f64::INFINITY, tpr: 0.0, fpr: 0.0 }];
+    let mut points = vec![RocPoint {
+        threshold: f64::INFINITY,
+        tpr: 0.0,
+        fpr: 0.0,
+    }];
     let (mut tp, mut fp) = (0usize, 0usize);
     let mut i = 0;
     while i < order.len() {

@@ -41,7 +41,12 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        Self { nu: 0.1, gamma: Gamma::Scale, max_epochs: 60, tol: 1e-6 }
+        Self {
+            nu: 0.1,
+            gamma: Gamma::Scale,
+            max_epochs: 60,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -61,8 +66,15 @@ impl OneClassSvm {
     ///
     /// Panics if `data` is empty or `nu` is outside `(0, 1]`.
     pub fn fit(data: &Dataset, cfg: &SvmConfig) -> Self {
-        assert!(!data.is_empty(), "cannot fit a one-class SVM on an empty dataset");
-        assert!(cfg.nu > 0.0 && cfg.nu <= 1.0, "nu must be in (0, 1], got {}", cfg.nu);
+        assert!(
+            !data.is_empty(),
+            "cannot fit a one-class SVM on an empty dataset"
+        );
+        assert!(
+            cfg.nu > 0.0 && cfg.nu <= 1.0,
+            "nu must be in (0, 1], got {}",
+            cfg.nu
+        );
         let n = data.len();
         let gamma = resolve_gamma(cfg.gamma, data);
         // Precompute the kernel matrix (training sets are sub-sampled, so n
@@ -125,7 +137,12 @@ impl OneClassSvm {
             .map(|i| data.x[i].clone())
             .collect();
         let alphas: Vec<f64> = alpha.into_iter().filter(|&a| a > 1e-9).collect();
-        Self { support, alphas, rho, gamma }
+        Self {
+            support,
+            alphas,
+            rho,
+            gamma,
+        }
     }
 
     /// Signed decision value: non-negative for inliers.
@@ -163,8 +180,13 @@ fn resolve_gamma(gamma: Gamma, data: &Dataset) -> f64 {
             let d = data.n_features().max(1) as f64;
             let n = (data.len() * data.n_features()).max(1) as f64;
             let mean: f64 = data.x.iter().flatten().sum::<f64>() / n;
-            let var: f64 =
-                data.x.iter().flatten().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+            let var: f64 = data
+                .x
+                .iter()
+                .flatten()
+                .map(|v| (v - mean).powi(2))
+                .sum::<f64>()
+                / n;
             1.0 / (d * var.max(1e-12))
         }
     }
@@ -210,9 +232,14 @@ mod tests {
     fn nu_controls_training_outlier_fraction() {
         let train = Dataset::new(cluster(100, 0.0, 1.0, 4), vec![0; 100]);
         for nu in [0.05, 0.3] {
-            let svm = OneClassSvm::fit(&train, &SvmConfig { nu, ..Default::default() });
-            let rejected =
-                train.x.iter().filter(|r| !svm.is_inlier(r)).count() as f64 / 100.0;
+            let svm = OneClassSvm::fit(
+                &train,
+                &SvmConfig {
+                    nu,
+                    ..Default::default()
+                },
+            );
+            let rejected = train.x.iter().filter(|r| !svm.is_inlier(r)).count() as f64 / 100.0;
             // The training rejection rate tracks nu loosely from below.
             assert!(
                 rejected <= nu + 0.12,
@@ -229,7 +256,10 @@ mod tests {
         // interior dips with uniform data).
         let svm = OneClassSvm::fit(
             &train,
-            &SvmConfig { gamma: Gamma::Value(1.0), ..Default::default() },
+            &SvmConfig {
+                gamma: Gamma::Value(1.0),
+                ..Default::default()
+            },
         );
         let preds = svm.predict(&[vec![0.0, 0.0], vec![50.0, 50.0]]);
         assert_eq!(preds, vec![0, 1]);
@@ -250,7 +280,10 @@ mod tests {
         let train = Dataset::new(cluster(50, 0.0, 1.0, 7), vec![0; 50]);
         let svm = OneClassSvm::fit(
             &train,
-            &SvmConfig { gamma: Gamma::Value(0.5), ..Default::default() },
+            &SvmConfig {
+                gamma: Gamma::Value(0.5),
+                ..Default::default()
+            },
         );
         assert!(svm.support_count() > 0);
     }
@@ -259,6 +292,12 @@ mod tests {
     #[should_panic(expected = "nu must be in (0, 1]")]
     fn invalid_nu_rejected() {
         let train = Dataset::new(cluster(10, 0.0, 1.0, 8), vec![0; 10]);
-        let _ = OneClassSvm::fit(&train, &SvmConfig { nu: 0.0, ..Default::default() });
+        let _ = OneClassSvm::fit(
+            &train,
+            &SvmConfig {
+                nu: 0.0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -18,7 +18,11 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 2, max_features: None }
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: None,
+        }
     }
 }
 
@@ -75,9 +79,7 @@ impl DecisionTree {
         let counts = class_counts(data, rows, n_classes);
         let majority = argmax(&counts);
         let node_gini = gini(&counts, rows.len());
-        let stop = depth >= cfg.max_depth
-            || rows.len() < cfg.min_samples_split
-            || node_gini == 0.0;
+        let stop = depth >= cfg.max_depth || rows.len() < cfg.min_samples_split || node_gini == 0.0;
         if stop {
             self.nodes.push(Node::Leaf { class: majority });
             return self.nodes.len() - 1;
@@ -90,15 +92,20 @@ impl DecisionTree {
             }
             Some(s) => {
                 self.importances[s.feature] += s.gain * rows.len() as f64;
-                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
-                    rows.iter().partition(|&&r| data.x[r][s.feature] <= s.threshold);
+                let (left_rows, right_rows): (Vec<usize>, Vec<usize>) = rows
+                    .iter()
+                    .partition(|&&r| data.x[r][s.feature] <= s.threshold);
                 // Reserve our slot before growing children.
                 self.nodes.push(Node::Leaf { class: majority });
                 let slot = self.nodes.len() - 1;
                 let left = self.grow(data, &left_rows, n_classes, cfg, depth + 1, rng);
                 let right = self.grow(data, &right_rows, n_classes, cfg, depth + 1, rng);
-                self.nodes[slot] =
-                    Node::Split { feature: s.feature, threshold: s.threshold, left, right };
+                self.nodes[slot] = Node::Split {
+                    feature: s.feature,
+                    threshold: s.threshold,
+                    left,
+                    right,
+                };
                 slot
             }
         }
@@ -170,8 +177,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { class } => return *class,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -234,7 +250,9 @@ mod tests {
     fn axis_separable(n: usize) -> Dataset {
         // Class determined by x0 > 0.5; x1 is noise.
         let mut rng = StdRng::seed_from_u64(7);
-        let x: Vec<Vec<f64>> = (0..n).map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()]).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen::<f64>(), rng.gen::<f64>()])
+            .collect();
         let y = x.iter().map(|r| usize::from(r[0] > 0.5)).collect();
         Dataset::new(x, y)
     }
@@ -265,7 +283,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let stump = DecisionTree::fit(
             &data,
-            &TreeConfig { max_depth: 1, ..TreeConfig::default() },
+            &TreeConfig {
+                max_depth: 1,
+                ..TreeConfig::default()
+            },
             &mut rng,
         );
         // A depth-1 tree has at most 3 nodes.

@@ -32,7 +32,10 @@ impl fmt::Display for NnError {
         match self {
             NnError::EmptyCorpus => write!(f, "training corpus contains no sentence pairs"),
             NnError::RaggedSequences { expected, found } => {
-                write!(f, "inconsistent sequence lengths in batch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "inconsistent sequence lengths in batch: expected {expected}, found {found}"
+                )
             }
             NnError::TokenOutOfRange { token, vocab } => {
                 write!(f, "token id {token} out of vocabulary range {vocab}")
@@ -52,7 +55,10 @@ mod tests {
     fn display_is_lowercase_and_nonempty() {
         let errs = [
             NnError::EmptyCorpus,
-            NnError::RaggedSequences { expected: 3, found: 5 },
+            NnError::RaggedSequences {
+                expected: 3,
+                found: 5,
+            },
             NnError::TokenOutOfRange { token: 9, vocab: 4 },
             NnError::EmptySequence,
         ];

@@ -31,8 +31,17 @@ pub struct GruLayer {
 }
 
 /// Tape-bound handles to a [`GruLayer`]'s parameters.
+///
+/// Binding pre-concatenates each weight pair (`[wx_gates; wh_gates]` and
+/// `[wx_cand; wh_cand]`) so [`BoundGru::step`] issues one GEMM per block
+/// instead of two; gradients flow back through the concatenation to the
+/// original parameter slots.
 #[derive(Clone, Copy, Debug)]
 pub struct BoundGru {
+    /// Packed `[wx_gates; wh_gates]`, the fused gate GEMM operand.
+    w_gates: TensorId,
+    /// Packed `[wx_cand; wh_cand]`, the fused candidate GEMM operand.
+    w_cand: TensorId,
     wx_gates: TensorId,
     wh_gates: TensorId,
     b_gates: TensorId,
@@ -68,14 +77,21 @@ impl GruLayer {
         self.hidden
     }
 
-    /// Binds the layer parameters onto `tape` (once per forward pass).
+    /// Binds the layer parameters onto `tape` (once per forward pass),
+    /// packing the input/hidden weight pairs into fused GEMM operands.
     pub fn bind(&self, tape: &mut Tape, params: &ParamSet) -> BoundGru {
+        let wx_gates = tape.param(params, self.wx_gates);
+        let wh_gates = tape.param(params, self.wh_gates);
+        let wx_cand = tape.param(params, self.wx_cand);
+        let wh_cand = tape.param(params, self.wh_cand);
         BoundGru {
-            wx_gates: tape.param(params, self.wx_gates),
-            wh_gates: tape.param(params, self.wh_gates),
+            w_gates: tape.concat_rows(wx_gates, wh_gates),
+            w_cand: tape.concat_rows(wx_cand, wh_cand),
+            wx_gates,
+            wh_gates,
             b_gates: tape.param(params, self.b_gates),
-            wx_cand: tape.param(params, self.wx_cand),
-            wh_cand: tape.param(params, self.wh_cand),
+            wx_cand,
+            wh_cand,
             b_cand: tape.param(params, self.b_cand),
             hidden: self.hidden,
         }
@@ -96,7 +112,31 @@ impl BoundGru {
     /// c = tanh(x Wxc + (r ⊙ h) Whc + bc)   (candidate)
     /// h' = z ⊙ h + (1 - z) ⊙ c
     /// ```
+    /// Uses the fused path: one GEMM of `[x | h]` against `[wx; wh]` per
+    /// block. Results can differ from [`BoundGru::step_unfused`] by
+    /// floating-point rounding only.
     pub fn step(&self, tape: &mut Tape, x: TensorId, h: TensorId) -> TensorId {
+        let hd = self.hidden;
+        let xh = tape.concat_cols(x, h);
+        let g = tape.matmul(xh, self.w_gates);
+        let g = tape.add_row(g, self.b_gates);
+        let r_pre = tape.slice_cols(g, 0, hd);
+        let z_pre = tape.slice_cols(g, hd, hd);
+        let r = tape.sigmoid(r_pre);
+        let z = tape.sigmoid(z_pre);
+
+        let rh = tape.hadamard(r, h);
+        let xrh = tape.concat_cols(x, rh);
+        let c = tape.matmul(xrh, self.w_cand);
+        let c = tape.add_row(c, self.b_cand);
+        let c = tape.tanh(c);
+
+        self.combine(tape, h, z, c)
+    }
+
+    /// The original two-GEMM-per-block step, kept as the oracle for the fused
+    /// path's parity tests and benches.
+    pub fn step_unfused(&self, tape: &mut Tape, x: TensorId, h: TensorId) -> TensorId {
         let hd = self.hidden;
         let gx = tape.matmul(x, self.wx_gates);
         let gh = tape.matmul(h, self.wh_gates);
@@ -114,7 +154,11 @@ impl BoundGru {
         let c = tape.add_row(c, self.b_cand);
         let c = tape.tanh(c);
 
-        // h' = z ⊙ h + (1 - z) ⊙ c = z ⊙ (h - c) + c.
+        self.combine(tape, h, z, c)
+    }
+
+    /// `h' = z ⊙ h + (1 - z) ⊙ c = z ⊙ (h - c) + c`, shared by both variants.
+    fn combine(&self, tape: &mut Tape, h: TensorId, z: TensorId, c: TensorId) -> TensorId {
         let h_minus_c = {
             let neg_c = tape.scale(c, -1.0);
             tape.add(h, neg_c)
@@ -170,12 +214,17 @@ impl GruStack {
 
     /// Binds all layers onto `tape`.
     pub fn bind(&self, tape: &mut Tape, params: &ParamSet) -> BoundGruStack {
-        BoundGruStack { layers: self.layers.iter().map(|l| l.bind(tape, params)).collect() }
+        BoundGruStack {
+            layers: self.layers.iter().map(|l| l.bind(tape, params)).collect(),
+        }
     }
 
     /// Zero hidden state for every layer.
     pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Vec<TensorId> {
-        self.layers.iter().map(|l| l.zero_state(tape, batch)).collect()
+        self.layers
+            .iter()
+            .map(|l| l.zero_state(tape, batch))
+            .collect()
     }
 }
 
@@ -269,7 +318,10 @@ mod tests {
         let lstm_count: usize = (0..lstm_params.len())
             .map(|i| lstm_params.value(i).data().len())
             .sum();
-        assert!(gru_count < lstm_count, "gru {gru_count} vs lstm {lstm_count}");
+        assert!(
+            gru_count < lstm_count,
+            "gru {gru_count} vs lstm {lstm_count}"
+        );
     }
 
     #[test]

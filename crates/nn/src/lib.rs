@@ -39,13 +39,14 @@ pub mod gru;
 pub mod lstm;
 pub mod matrix;
 pub mod optim;
+pub mod reference;
 pub mod seq2seq;
 pub mod tape;
 
 pub use error::NnError;
+pub use gru::{GruLayer, GruStack};
 pub use lstm::{LstmLayer, LstmStack};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
-pub use gru::{GruLayer, GruStack};
 pub use seq2seq::{AttentionKind, CellKind, Seq2Seq, Seq2SeqConfig};
 pub use tape::{ParamSet, Tape, TensorId};

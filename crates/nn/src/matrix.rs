@@ -27,12 +27,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -100,6 +108,12 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Consumes the matrix and returns its flat row-major storage, letting
+    /// callers (the tape's buffer pool) recycle the allocation.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// Returns element `(r, c)`.
     ///
     /// # Panics
@@ -134,88 +148,166 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self * other` using an i-k-j loop order for cache
-    /// friendliness.
+    /// Matrix product `self * other`.
+    ///
+    /// Uses a register-blocked 4×4 micro-kernel (four output rows, four
+    /// accumulated `other` rows per pass) with unrolled, branch-free inner
+    /// loops that the compiler can vectorize. Build with
+    /// `--features reference-kernels` to route through the original naive
+    /// loops in [`crate::reference`] instead.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        if cfg!(feature = "reference-kernels") {
+            return crate::reference::matmul(self, other);
+        }
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
-            }
-        }
-        out
+        fast_matmul(self, other)
     }
 
     /// Computes `self^T * other` without materializing the transpose.
+    ///
+    /// Accumulates four shared rows per pass (rank-4 update) so each output
+    /// row is loaded and stored once per four `k` steps instead of once per
+    /// step. Build with `--features reference-kernels` for the naive loops.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != other.rows()`.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        if cfg!(feature = "reference-kernels") {
+            return crate::reference::matmul_tn(self, other);
+        }
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn shape mismatch: ({}x{})^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        fast_matmul_tn(self, other)
     }
 
     /// Computes `self * other^T` without materializing the transpose.
+    ///
+    /// Computes a 4×4 tile of dot products per pass: sixteen independent
+    /// accumulator chains hide the floating-point add latency while each chain
+    /// still sums strictly in ascending shared-index order, so the result is
+    /// identical to the naive loops. Build with `--features reference-kernels`
+    /// for the naive loops.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != other.cols()`.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        if cfg!(feature = "reference-kernels") {
+            return crate::reference::matmul_nt(self, other);
+        }
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = other.row(j);
-                let mut acc = 0.0;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        fast_matmul_nt(self, other)
+    }
+
+    /// Computes `self * other` into an existing output matrix, reusing its
+    /// allocation. `out` must already have shape `self.rows x other.cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul shape mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.cols),
+            "matmul_into output shape mismatch"
+        );
+        if cfg!(feature = "reference-kernels") {
+            *out = crate::reference::matmul(self, other);
+            return;
         }
-        out
+        out.data.fill(0.0);
+        gemm_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    /// Computes `self^T * other` into an existing output matrix.
+    /// `out` must already have shape `self.cols x other.cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn shape mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_tn_into output shape mismatch"
+        );
+        if cfg!(feature = "reference-kernels") {
+            *out = crate::reference::matmul_tn(self, other);
+            return;
+        }
+        out.data.fill(0.0);
+        gemm_tn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
+    }
+
+    /// Computes `self * other^T` into an existing output matrix.
+    /// `out` must already have shape `self.rows x other.rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape mismatch.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.rows, other.rows),
+            "matmul_nt_into output shape mismatch"
+        );
+        if cfg!(feature = "reference-kernels") {
+            *out = crate::reference::matmul_nt(self, other);
+            return;
+        }
+        gemm_nt(
+            self.rows,
+            self.cols,
+            other.rows,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
     }
 
     /// Returns the transpose of the matrix.
@@ -278,8 +370,17 @@ impl Matrix {
     /// Panics if shapes differ.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.shape(), other.shape(), "hadamard shape mismatch");
-        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| a * b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Applies `f` to every element, returning a new matrix.
@@ -332,6 +433,367 @@ impl Matrix {
         }
         out
     }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked GEMM kernels
+// ---------------------------------------------------------------------------
+//
+// All three kernels preserve the reference implementations' per-element
+// accumulation order: every output element is the sum of its products in
+// strictly ascending shared-index order, and dropping the `== 0.0` skip is
+// exact for finite inputs (`x + 0.0 * y == x`). The speedup comes from
+// register blocking (a 4-row × 16-column accumulator tile lives in registers
+// across the whole shared dimension), branch-free unrolled inner loops the
+// compiler can keep vectorized, and — for the `nt` case, where a true dot
+// product cannot be vectorized without reassociating — sixteen independent
+// scalar chains that hide the floating-point add latency.
+
+/// Output rows held in registers per micro-kernel pass.
+const MR: usize = 4;
+/// Output columns held in registers per micro-kernel pass.
+const NR: usize = 16;
+
+fn fast_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.cols);
+    gemm_nn(a.rows, a.cols, b.cols, &a.data, &b.data, &mut out.data);
+    out
+}
+
+fn fast_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols, b.cols);
+    gemm_tn(a.rows, a.cols, b.cols, &a.data, &b.data, &mut out.data);
+    out
+}
+
+fn fast_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows, b.rows);
+    gemm_nt(a.rows, a.cols, b.rows, &a.data, &b.data, &mut out.data);
+    out
+}
+
+/// `out += a * b` where `a` is `m x k`, `b` is `k x n`, `out` is `m x n`
+/// (zeroed by the caller). Dispatches to an AVX2-compiled clone of the
+/// kernel when the CPU supports it.
+fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check; the function has no
+        // other preconditions.
+        return unsafe { avx2::gemm_nn(m, k, n, a, b, out) };
+    }
+    kernel_nn(m, k, n, a, b, out);
+}
+
+/// `out += a^T * b` — see [`kernel_tn`]; dispatches like [`gemm_nn`].
+fn gemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check; the function has no
+        // other preconditions.
+        return unsafe { avx2::gemm_tn(k, m, n, a, b, out) };
+    }
+    kernel_tn(k, m, n, a, b, out);
+}
+
+/// `out = a * b^T` — see [`kernel_nt`]; dispatches like [`gemm_nn`].
+fn gemm_nt(m: usize, c: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check; the function has no
+        // other preconditions.
+        return unsafe { avx2::gemm_nt(m, c, n, a, b, out) };
+    }
+    kernel_nt(m, c, n, a, b, out);
+}
+
+/// Clones of the scalar kernels compiled with AVX2 enabled, so the
+/// autovectorizer emits 256-bit `vmulps`/`vaddps` for the unrolled tile
+/// loops. Rust never contracts `mul` + `add` into FMA, and vector lanes map
+/// to distinct output elements, so each element is still accumulated in
+/// ascending shared-index order with one rounding per product and per sum —
+/// results remain bit-identical to the reference loops.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{kernel_nn, kernel_nt, kernel_tn};
+
+    #[target_feature(enable = "avx2")]
+    pub fn gemm_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        kernel_nn(m, k, n, a, b, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn gemm_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        kernel_tn(k, m, n, a, b, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn gemm_nt(m: usize, c: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+        kernel_nt(m, c, n, a, b, out);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn sigmoid_slice(src: &[f32], dst: &mut [f32]) {
+        super::sigmoid_kernel(src, dst);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub fn tanh_slice(src: &[f32], dst: &mut [f32]) {
+        super::tanh_kernel(src, dst);
+    }
+}
+
+/// Element-wise logistic sigmoid of `src` into `dst`.
+///
+/// The fast path evaluates `1 / (1 + e^-x)` with the polynomial
+/// [`exp_approx`], which vectorizes 8-wide under AVX2; absolute error stays
+/// below `1e-7` (see the accuracy test in this module). Build with
+/// `--features reference-kernels` to route through the libm-exact
+/// [`crate::reference::sigmoid_slice`] instead.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn sigmoid_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "sigmoid_slice length mismatch");
+    if cfg!(feature = "reference-kernels") {
+        return crate::reference::sigmoid_slice(src, dst);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check; the function has no
+        // other preconditions.
+        return unsafe { avx2::sigmoid_slice(src, dst) };
+    }
+    sigmoid_kernel(src, dst);
+}
+
+/// Element-wise hyperbolic tangent of `src` into `dst`.
+///
+/// Fast path: `tanh x = (e^2x - 1) / (e^2x + 1)` on the polynomial
+/// [`exp_approx`], absolute error below `1e-6` (worst near saturation).
+/// Build with `--features reference-kernels` for libm
+/// [`crate::reference::tanh_slice`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn tanh_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "tanh_slice length mismatch");
+    if cfg!(feature = "reference-kernels") {
+        return crate::reference::tanh_slice(src, dst);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by the runtime AVX2 check; the function has no
+        // other preconditions.
+        return unsafe { avx2::tanh_slice(src, dst) };
+    }
+    tanh_kernel(src, dst);
+}
+
+#[inline(always)]
+fn sigmoid_kernel(src: &[f32], dst: &mut [f32]) {
+    for (o, &x) in dst.iter_mut().zip(src) {
+        *o = 1.0 / (1.0 + exp_approx(-x));
+    }
+}
+
+#[inline(always)]
+fn tanh_kernel(src: &[f32], dst: &mut [f32]) {
+    for (o, &x) in dst.iter_mut().zip(src) {
+        // Clamp the doubled argument so `t` stays finite: beyond |x| = 8.5
+        // f32 tanh is within one ulp of +/-1 anyway.
+        let t = exp_approx((2.0 * x).clamp(-17.0, 17.0));
+        *o = (t - 1.0) / (t + 1.0);
+    }
+}
+
+/// Branch-free polynomial `e^x` (the Cephes `expf` scheme): split
+/// `x = n ln 2 + r`, evaluate a degree-6 polynomial on `r` and scale by
+/// `2^n` through exponent bits. Maximum relative error is about `2e-7`
+/// over the clamped range. `inline(always)` so the loops above inline into
+/// the AVX2-attributed wrappers and vectorize; every lane computes an
+/// independent element with the same operations, so scalar and vector
+/// evaluation produce identical bits.
+#[inline(always)]
+#[allow(clippy::excessive_precision)]
+fn exp_approx(x: f32) -> f32 {
+    // High/low split of ln 2 keeps the range reduction exact in f32.
+    const LN2_HI: f32 = 0.693_359_375;
+    const LN2_LO: f32 = -2.121_944_4e-4;
+    let x = x.clamp(-87.3, 88.7);
+    let n = (x * std::f32::consts::LOG2_E + 0.5).floor();
+    let r = x - n * LN2_HI - n * LN2_LO;
+    let mut p = 1.987_569_1e-4;
+    p = p * r + 1.398_199_9e-3;
+    p = p * r + 8.333_452e-3;
+    p = p * r + 4.166_579_6e-2;
+    p = p * r + 1.666_666_6e-1;
+    p = p * r + 0.5;
+    let p = p * (r * r) + r + 1.0;
+    // 2^n assembled directly in the exponent field; n is in [-126, 128]
+    // after the clamp (n = 128 overflows to +inf, matching exp overflow).
+    let scale = f32::from_bits(((n as i32 + 127) << 23) as u32);
+    p * scale
+}
+
+/// `out += a * b` where `a` is `m x k`, `b` is `k x n`, `out` is `m x n`
+/// (zeroed by the caller). `inline(always)` so the body inlines into the
+/// AVX2-attributed wrappers above and gets vectorized with their features.
+#[inline(always)]
+fn kernel_nn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                let bp = &b[p * n + j..p * n + j + NR];
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let a_rp = a[(i + r) * k + p];
+                    for (av, &bv) in acc_r.iter_mut().zip(bp) {
+                        *av += a_rp * bv;
+                    }
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(acc_r);
+            }
+            j += NR;
+        }
+        if j < n {
+            // Narrow column tail: rank-1 updates, still ascending in `p`.
+            for p in 0..k {
+                let bp = &b[p * n + j..(p + 1) * n];
+                for r in 0..MR {
+                    let a_rp = a[(i + r) * k + p];
+                    let or = &mut out[(i + r) * n + j..(i + r + 1) * n];
+                    for (o, &bv) in or.iter_mut().zip(bp) {
+                        *o += a_rp * bv;
+                    }
+                }
+            }
+        }
+        i += MR;
+    }
+    while i < m {
+        for p in 0..k {
+            let a_ip = a[i * k + p];
+            let bp = &b[p * n..(p + 1) * n];
+            let or = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in or.iter_mut().zip(bp) {
+                *o += a_ip * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `out += a^T * b` where `a` is `k x m`, `b` is `k x n`, `out` is `m x n`
+/// (zeroed by the caller).
+#[inline(always)]
+fn kernel_tn(k: usize, m: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    let mut i = 0;
+    while i + MR <= m {
+        let mut j = 0;
+        while j + NR <= n {
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..k {
+                // The four `a` scalars for this tile are contiguous in memory.
+                let ap = &a[p * m + i..p * m + i + MR];
+                let bp = &b[p * n + j..p * n + j + NR];
+                for (acc_r, &a_rp) in acc.iter_mut().zip(ap) {
+                    for (av, &bv) in acc_r.iter_mut().zip(bp) {
+                        *av += a_rp * bv;
+                    }
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + NR].copy_from_slice(acc_r);
+            }
+            j += NR;
+        }
+        if j < n {
+            for p in 0..k {
+                let bp = &b[p * n + j..(p + 1) * n];
+                for r in 0..MR {
+                    let a_rp = a[p * m + i + r];
+                    let or = &mut out[(i + r) * n + j..(i + r + 1) * n];
+                    for (o, &bv) in or.iter_mut().zip(bp) {
+                        *o += a_rp * bv;
+                    }
+                }
+            }
+        }
+        i += MR;
+    }
+    while i < m {
+        for p in 0..k {
+            let a_ip = a[p * m + i];
+            let bp = &b[p * n..(p + 1) * n];
+            let or = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in or.iter_mut().zip(bp) {
+                *o += a_ip * bv;
+            }
+        }
+        i += 1;
+    }
+}
+
+/// `out = a * b^T` where `a` is `m x c`, `b` is `n x c`, `out` is `m x n`.
+/// Every output element is written exactly once, so `out` need not be zeroed.
+#[inline(always)]
+fn kernel_nt(m: usize, c: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    /// Square tile edge: 16 concurrent dot-product chains.
+    const DR: usize = 4;
+    let mut i = 0;
+    while i + DR <= m {
+        let mut j = 0;
+        while j + DR <= n {
+            let mut acc = [[0.0f32; DR]; DR];
+            for p in 0..c {
+                let mut bvals = [0.0f32; DR];
+                for (s, bv) in bvals.iter_mut().enumerate() {
+                    *bv = b[(j + s) * c + p];
+                }
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let av = a[(i + r) * c + p];
+                    for (ac, &bv) in acc_r.iter_mut().zip(&bvals) {
+                        *ac += av * bv;
+                    }
+                }
+            }
+            for (r, acc_r) in acc.iter().enumerate() {
+                out[(i + r) * n + j..(i + r) * n + j + DR].copy_from_slice(acc_r);
+            }
+            j += DR;
+        }
+        for jj in j..n {
+            let brow = &b[jj * c..(jj + 1) * c];
+            for r in 0..DR {
+                out[(i + r) * n + jj] = dot(&a[(i + r) * c..(i + r + 1) * c], brow);
+            }
+        }
+        i += DR;
+    }
+    while i < m {
+        let arow = &a[i * c..(i + 1) * c];
+        for jj in 0..n {
+            out[i * n + jj] = dot(arow, &b[jj * c..(jj + 1) * c]);
+        }
+        i += 1;
+    }
+}
+
+/// Scalar dot product in strict left-to-right order (matches the reference).
+#[inline(always)]
+fn dot(x: &[f32], y: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for (&a, &b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -424,6 +886,60 @@ mod tests {
         let a = Matrix::from_vec(2, 3, vec![0.1, 0.9, 0.5, 3.0, 2.0, 1.0]);
         assert_eq!(a.argmax_row(0), 1);
         assert_eq!(a.argmax_row(1), 0);
+    }
+
+    #[test]
+    fn fast_kernels_bit_identical_to_reference_on_odd_shapes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        // Shapes straddling the 4x16 tile boundaries, plus degenerate ones.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 4, 16),
+            (5, 17, 19),
+            (8, 2, 33),
+            (0, 3, 4),
+            (6, 0, 5),
+        ] {
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            assert_eq!(
+                a.matmul(&b),
+                crate::reference::matmul(&a, &b),
+                "{m}x{k}x{n}"
+            );
+            let at = Matrix::uniform(k, m, 1.0, &mut rng);
+            assert_eq!(
+                at.matmul_tn(&b),
+                crate::reference::matmul_tn(&at, &b),
+                "{m}x{k}x{n} tn"
+            );
+            let bt = Matrix::uniform(n, k, 1.0, &mut rng);
+            assert_eq!(
+                a.matmul_nt(&bt),
+                crate::reference::matmul_nt(&a, &bt),
+                "{m}x{k}x{n} nt"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::uniform(5, 7, 1.0, &mut rng);
+        let b = Matrix::uniform(7, 9, 1.0, &mut rng);
+        let mut out = Matrix::filled(5, 9, f32::NAN);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        let mut out_tn = Matrix::filled(7, 9, f32::NAN);
+        let at = Matrix::uniform(5, 7, 1.0, &mut rng);
+        let bt = Matrix::uniform(5, 9, 1.0, &mut rng);
+        at.matmul_tn_into(&bt, &mut out_tn);
+        assert_eq!(out_tn, at.matmul_tn(&bt));
+        let mut out_nt = Matrix::filled(5, 5, f32::NAN);
+        let c = Matrix::uniform(5, 7, 1.0, &mut rng);
+        a.matmul_nt_into(&c, &mut out_nt);
+        assert_eq!(out_nt, a.matmul_nt(&c));
     }
 
     #[test]

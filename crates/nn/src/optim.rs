@@ -20,7 +20,15 @@ impl Adam {
     /// Creates an Adam optimizer with the given learning rate and standard
     /// moment coefficients (`beta1 = 0.9`, `beta2 = 0.999`, `eps = 1e-8`).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Learning rate currently in effect.
@@ -128,7 +136,10 @@ mod tests {
         params.add(Matrix::uniform(2, 3, 0.1, &mut rng));
         let mut adam = Adam::new(0.05);
         let (first, last) = train_loss_curve(|p| adam.step(p), &mut params);
-        assert!(last < first * 0.2, "adam failed to optimize: {first} -> {last}");
+        assert!(
+            last < first * 0.2,
+            "adam failed to optimize: {first} -> {last}"
+        );
     }
 
     #[test]
@@ -138,7 +149,10 @@ mod tests {
         params.add(Matrix::uniform(2, 3, 0.1, &mut rng));
         let sgd = Sgd::new(0.5);
         let (first, last) = train_loss_curve(|p| sgd.step(p), &mut params);
-        assert!(last < first * 0.5, "sgd failed to optimize: {first} -> {last}");
+        assert!(
+            last < first * 0.5,
+            "sgd failed to optimize: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Reference GEMM kernels — the original naive loops, kept verbatim.
+//!
+//! These are the straightforward triple loops the crate shipped with before
+//! the blocked kernels in [`crate::matrix`] replaced them on the hot path.
+//! They stay compiled in every build and serve two purposes:
+//!
+//! 1. **Test oracle.** The parity suite (`tests/parity.rs`) checks the fast
+//!    kernels against these implementations on random shapes.
+//! 2. **Escape hatch.** Building with `--features reference-kernels` routes
+//!    `Matrix::matmul` / `matmul_tn` / `matmul_nt` back through these
+//!    functions, so any suspected kernel miscompare can be bisected at the
+//!    pipeline level without touching code.
+//!
+//! They are deliberately *not* optimized: the `== 0.0` skip and the scalar
+//! accumulation order are part of the historical behaviour being preserved.
+
+use crate::matrix::Matrix;
+
+/// Naive `a * b` (i-k-j loop order, zero-skip on `a[i][k]`).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul shape mismatch: {}x{} * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (k, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(k);
+            for (o, &v) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ik * v;
+            }
+        }
+    }
+    out
+}
+
+/// Naive `a^T * b` (rank-1 updates over the shared row index, zero-skip).
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn shape mismatch: ({}x{})^T * {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for k in 0..a.rows() {
+        let a_row = a.row(k);
+        let b_row = b.row(k);
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Naive `a * b^T` (one scalar dot product per output element).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt shape mismatch: {}x{} * ({}x{})^T",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (&x, &y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+    out
+}
+
+/// Libm-exact logistic sigmoid, `1 / (1 + e^-x)` with `f32::exp` — the
+/// activation the crate shipped with. Oracle for the polynomial fast path
+/// in [`crate::matrix::sigmoid_slice`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn sigmoid_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "sigmoid_slice length mismatch");
+    for (o, &x) in dst.iter_mut().zip(src) {
+        *o = 1.0 / (1.0 + (-x).exp());
+    }
+}
+
+/// Libm-exact hyperbolic tangent (`f32::tanh`). Oracle for the polynomial
+/// fast path in [`crate::matrix::tanh_slice`].
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn tanh_slice(src: &[f32], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "tanh_slice length mismatch");
+    for (o, &x) in dst.iter_mut().zip(src) {
+        *o = x.tanh();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matmul_known() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        assert_eq!(matmul(&a, &b).data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn reference_tn_nt_consistent_with_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.25 - 1.0);
+        let b = Matrix::from_fn(4, 5, |r, c| (r as f32 - c as f32) * 0.5);
+        let c = Matrix::from_fn(5, 3, |r, c| (r + c) as f32 * 0.125);
+        assert_eq!(matmul_tn(&a, &b), matmul(&a.transpose(), &b));
+        assert_eq!(matmul_nt(&a, &c), matmul(&a, &c.transpose()));
+    }
+}

@@ -234,8 +234,14 @@ impl Seq2Seq {
     /// Panics if either vocabulary is empty, `bos >= tgt_vocab`, or any
     /// config dimension is zero.
     pub fn new(src_vocab: usize, tgt_vocab: usize, bos: usize, cfg: Seq2SeqConfig) -> Self {
-        assert!(src_vocab > 0 && tgt_vocab > 0, "vocabularies must be non-empty");
-        assert!(bos < tgt_vocab, "bos token {bos} outside target vocabulary {tgt_vocab}");
+        assert!(
+            src_vocab > 0 && tgt_vocab > 0,
+            "vocabularies must be non-empty"
+        );
+        assert!(
+            bos < tgt_vocab,
+            "bos token {bos} outside target vocabulary {tgt_vocab}"
+        );
         assert!(
             cfg.embed_dim > 0 && cfg.hidden > 0 && cfg.layers > 0 && cfg.batch_size > 0,
             "model dimensions must be positive"
@@ -244,12 +250,27 @@ impl Seq2Seq {
         let mut params = ParamSet::new();
         let src_emb = params.add(Matrix::xavier(src_vocab, cfg.embed_dim, &mut rng));
         let tgt_emb = params.add(Matrix::xavier(tgt_vocab, cfg.embed_dim, &mut rng));
-        let encoder =
-            Recurrent::new(cfg.cell, &mut params, cfg.embed_dim, cfg.hidden, cfg.layers, &mut rng);
-        let dec_input =
-            if cfg.input_feeding { cfg.embed_dim + cfg.hidden } else { cfg.embed_dim };
-        let decoder =
-            Recurrent::new(cfg.cell, &mut params, dec_input, cfg.hidden, cfg.layers, &mut rng);
+        let encoder = Recurrent::new(
+            cfg.cell,
+            &mut params,
+            cfg.embed_dim,
+            cfg.hidden,
+            cfg.layers,
+            &mut rng,
+        );
+        let dec_input = if cfg.input_feeding {
+            cfg.embed_dim + cfg.hidden
+        } else {
+            cfg.embed_dim
+        };
+        let decoder = Recurrent::new(
+            cfg.cell,
+            &mut params,
+            dec_input,
+            cfg.hidden,
+            cfg.layers,
+            &mut rng,
+        );
         let w_a = match cfg.attention {
             AttentionKind::Dot => None,
             AttentionKind::General => {
@@ -297,7 +318,9 @@ impl Seq2Seq {
 
     /// Total number of scalar parameters.
     pub fn parameter_count(&self) -> usize {
-        (0..self.params.len()).map(|i| self.params.value(i).data().len()).sum()
+        (0..self.params.len())
+            .map(|i| self.params.value(i).data().len())
+            .sum()
     }
 
     fn bind(&self, tape: &mut Tape) -> Bound {
@@ -334,7 +357,9 @@ impl Seq2Seq {
             if let Some(r) = rng.as_deref_mut() {
                 x = tape.dropout(x, self.cfg.dropout, r);
             }
-            state = bound.enc.step(tape, x, &state, self.cfg.dropout, rng.as_deref_mut());
+            state = bound
+                .enc
+                .step(tape, x, &state, self.cfg.dropout, rng.as_deref_mut());
             enc_hs.push(state.top_h());
         }
         (enc_hs, state)
@@ -344,6 +369,7 @@ impl Seq2Seq {
     /// over `enc_hs` and returns `(logits, new_state, h_att)` — the
     /// attentional hidden state is fed back as extra input when input
     /// feeding is enabled.
+    #[allow(clippy::too_many_arguments)]
     fn decode_step(
         &self,
         tape: &mut Tape,
@@ -366,7 +392,9 @@ impl Seq2Seq {
             };
             x = tape.concat_cols(x, feed);
         }
-        let new_state = bound.dec.step(tape, x, state, self.cfg.dropout, rng.as_deref_mut());
+        let new_state = bound
+            .dec
+            .step(tape, x, state, self.cfg.dropout, rng.as_deref_mut());
         let h_top = new_state.top_h();
 
         // Luong attention over the encoder states: the query is h_t (dot)
@@ -375,8 +403,7 @@ impl Seq2Seq {
             Some(w_a) => tape.matmul(h_top, w_a),
             None => h_top,
         };
-        let score_cols: Vec<TensorId> =
-            enc_hs.iter().map(|&hs| tape.row_dot(query, hs)).collect();
+        let score_cols: Vec<TensorId> = enc_hs.iter().map(|&hs| tape.row_dot(query, hs)).collect();
         let mut scores = score_cols[0];
         for &c in &score_cols[1..] {
             scores = tape.concat_cols(scores, c);
@@ -407,11 +434,18 @@ impl Seq2Seq {
     }
 
     /// Runs one teacher-forced training step on a batch and returns the mean
-    /// per-token cross-entropy loss.
-    fn train_batch(&mut self, src: &[&[usize]], tgt: &[&[usize]], rng: &mut StdRng) -> f32 {
-        let mut tape = Tape::new();
-        let bound = self.bind(&mut tape);
-        let (enc_hs, final_state) = self.encode(&mut tape, &bound, src, Some(rng));
+    /// per-token cross-entropy loss. The caller owns the tape and resets it
+    /// between steps so buffer allocations are reused across the whole run.
+    fn train_batch(
+        &mut self,
+        tape: &mut Tape,
+        src: &[&[usize]],
+        tgt: &[&[usize]],
+        rng: &mut StdRng,
+    ) -> f32 {
+        tape.reset();
+        let bound = self.bind(tape);
+        let (enc_hs, final_state) = self.encode(tape, &bound, src, Some(rng));
         let tgt_len = tgt[0].len();
         let batch = tgt.len();
         let mut state = final_state;
@@ -424,7 +458,7 @@ impl Seq2Seq {
                 tgt.iter().map(|s| s[t - 1]).collect()
             };
             let (logits, new_state, new_att) =
-                self.decode_step(&mut tape, &bound, &prev, &state, att, &enc_hs, Some(rng));
+                self.decode_step(tape, &bound, &prev, &state, att, &enc_hs, Some(rng));
             state = new_state;
             att = Some(new_att);
             let targets: Vec<usize> = tgt.iter().map(|s| s[t]).collect();
@@ -432,9 +466,8 @@ impl Seq2Seq {
         }
         let loss = tape.mean_of(&losses);
         let loss_value = tape.value(loss).get(0, 0);
-        let grads = tape.backward(loss);
         self.params.zero_grads();
-        tape.accumulate_param_grads(&grads, &mut self.params);
+        tape.backward_accumulate(loss, &mut self.params);
         self.params.clip_grads(self.cfg.grad_clip);
         self.optimizer.step(&mut self.params);
         loss_value
@@ -451,12 +484,17 @@ impl Seq2Seq {
         self.validate(pairs)?;
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
         let mut losses = Vec::with_capacity(self.cfg.train_steps);
+        // One tape for the whole run: every step replays the same op sequence,
+        // so after the first step the forward+backward pass reuses its buffers
+        // instead of allocating.
+        let mut tape = Tape::new();
         for _ in 0..self.cfg.train_steps {
-            let batch: Vec<usize> =
-                (0..self.cfg.batch_size).map(|_| rng.gen_range(0..pairs.len())).collect();
+            let batch: Vec<usize> = (0..self.cfg.batch_size)
+                .map(|_| rng.gen_range(0..pairs.len()))
+                .collect();
             let src: Vec<&[usize]> = batch.iter().map(|&i| pairs[i].0.as_slice()).collect();
             let tgt: Vec<&[usize]> = batch.iter().map(|&i| pairs[i].1.as_slice()).collect();
-            losses.push(self.train_batch(&src, &tgt, &mut rng));
+            losses.push(self.train_batch(&mut tape, &src, &tgt, &mut rng));
         }
         Ok(losses)
     }
@@ -471,16 +509,28 @@ impl Seq2Seq {
         }
         for (s, t) in pairs {
             if s.len() != src_len {
-                return Err(NnError::RaggedSequences { expected: src_len, found: s.len() });
+                return Err(NnError::RaggedSequences {
+                    expected: src_len,
+                    found: s.len(),
+                });
             }
             if t.len() != tgt_len {
-                return Err(NnError::RaggedSequences { expected: tgt_len, found: t.len() });
+                return Err(NnError::RaggedSequences {
+                    expected: tgt_len,
+                    found: t.len(),
+                });
             }
             if let Some(&tok) = s.iter().find(|&&tok| tok >= self.src_vocab) {
-                return Err(NnError::TokenOutOfRange { token: tok, vocab: self.src_vocab });
+                return Err(NnError::TokenOutOfRange {
+                    token: tok,
+                    vocab: self.src_vocab,
+                });
             }
             if let Some(&tok) = t.iter().find(|&&tok| tok >= self.tgt_vocab) {
-                return Err(NnError::TokenOutOfRange { token: tok, vocab: self.tgt_vocab });
+                return Err(NnError::TokenOutOfRange {
+                    token: tok,
+                    vocab: self.tgt_vocab,
+                });
             }
         }
         Ok(())
@@ -496,10 +546,16 @@ impl Seq2Seq {
         let src_len = srcs[0].len();
         for s in srcs {
             if s.len() != src_len {
-                return Err(NnError::RaggedSequences { expected: src_len, found: s.len() });
+                return Err(NnError::RaggedSequences {
+                    expected: src_len,
+                    found: s.len(),
+                });
             }
             if let Some(&tok) = s.iter().find(|&&tok| tok >= self.src_vocab) {
-                return Err(NnError::TokenOutOfRange { token: tok, vocab: self.src_vocab });
+                return Err(NnError::TokenOutOfRange {
+                    token: tok,
+                    vocab: self.src_vocab,
+                });
             }
         }
         Ok(())
@@ -535,7 +591,10 @@ impl Seq2Seq {
                 let tok = tape.value(logits).argmax_row(b);
                 o.push(tok);
             }
-            prev = out.iter().map(|o| *o.last().expect("pushed above")).collect();
+            prev = out
+                .iter()
+                .map(|o| *o.last().expect("pushed above"))
+                .collect();
         }
         Ok(out)
     }
@@ -546,7 +605,10 @@ impl Seq2Seq {
     ///
     /// Same conditions as [`Seq2Seq::translate_batch`].
     pub fn translate(&self, src: &[usize], out_len: usize) -> Result<Vec<usize>, NnError> {
-        Ok(self.translate_batch(&[src], out_len)?.pop().expect("one output per input"))
+        Ok(self
+            .translate_batch(&[src], out_len)?
+            .pop()
+            .expect("one output per input"))
     }
 
     /// Beam-search translation of a single source sentence: keeps the
@@ -578,13 +640,25 @@ impl Seq2Seq {
             state: RecState,
             att: Option<TensorId>,
         }
-        let mut beam = vec![Hyp { tokens: Vec::new(), logp: 0.0, state: final_state, att: None }];
+        let mut beam = vec![Hyp {
+            tokens: Vec::new(),
+            logp: 0.0,
+            state: final_state,
+            att: None,
+        }];
         for _ in 0..out_len {
             let mut candidates: Vec<Hyp> = Vec::with_capacity(beam.len() * beam_width);
             for hyp in &beam {
                 let prev = *hyp.tokens.last().unwrap_or(&self.bos);
-                let (logits, new_state, new_att) =
-                    self.decode_step(&mut tape, &bound, &[prev], &hyp.state, hyp.att, &enc_hs, None);
+                let (logits, new_state, new_att) = self.decode_step(
+                    &mut tape,
+                    &bound,
+                    &[prev],
+                    &hyp.state,
+                    hyp.att,
+                    &enc_hs,
+                    None,
+                );
                 let log_probs = row_log_softmax(tape.value(logits).row(0));
                 for &(tok, lp) in top_k(&log_probs, beam_width).iter() {
                     let mut tokens = hyp.tokens.clone();
@@ -608,7 +682,12 @@ impl Seq2Seq {
 /// Row log-softmax in f64 for numerically stable beam scoring.
 fn row_log_softmax(row: &[f32]) -> Vec<f64> {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
-    let log_z: f64 = row.iter().map(|&v| ((v as f64) - max).exp()).sum::<f64>().ln() + max;
+    let log_z: f64 = row
+        .iter()
+        .map(|&v| ((v as f64) - max).exp())
+        .sum::<f64>()
+        .ln()
+        + max;
     row.iter().map(|&v| v as f64 - log_z).collect()
 }
 
@@ -683,7 +762,11 @@ mod tests {
             8,
             8,
             1,
-            Seq2SeqConfig { cell: CellKind::Gru, train_steps: 150, ..tiny_config() },
+            Seq2SeqConfig {
+                cell: CellKind::Gru,
+                train_steps: 150,
+                ..tiny_config()
+            },
         );
         assert!(model.parameter_count() < lstm.parameter_count());
         model.fit(&corpus).expect("fit");
@@ -698,7 +781,10 @@ mod tests {
             8,
             8,
             1,
-            Seq2SeqConfig { attention: AttentionKind::General, ..tiny_config() },
+            Seq2SeqConfig {
+                attention: AttentionKind::General,
+                ..tiny_config()
+            },
         );
         model.fit(&corpus).expect("fit");
         let acc = accuracy(&model, &corpus);
@@ -712,7 +798,11 @@ mod tests {
             8,
             8,
             1,
-            Seq2SeqConfig { input_feeding: true, train_steps: 150, ..tiny_config() },
+            Seq2SeqConfig {
+                input_feeding: true,
+                train_steps: 150,
+                ..tiny_config()
+            },
         );
         model.fit(&corpus).expect("fit");
         let acc = accuracy(&model, &corpus);
@@ -726,7 +816,11 @@ mod tests {
             8,
             8,
             1,
-            Seq2SeqConfig { layers: 2, train_steps: 160, ..tiny_config() },
+            Seq2SeqConfig {
+                layers: 2,
+                train_steps: 160,
+                ..tiny_config()
+            },
         );
         model.fit(&corpus).expect("fit");
         let acc = accuracy(&model, &corpus);
@@ -765,7 +859,10 @@ mod tests {
     #[test]
     fn beam_zero_rejected() {
         let model = Seq2Seq::new(4, 4, 0, tiny_config());
-        assert_eq!(model.translate_beam(&[1, 2], 2, 0), Err(NnError::EmptySequence));
+        assert_eq!(
+            model.translate_beam(&[1, 2], 2, 0),
+            Err(NnError::EmptySequence)
+        );
     }
 
     #[test]
@@ -790,14 +887,23 @@ mod tests {
     fn fit_rejects_ragged_sources() {
         let mut model = Seq2Seq::new(4, 4, 0, tiny_config());
         let pairs = vec![(vec![1, 2], vec![1, 2]), (vec![1], vec![1, 2])];
-        assert_eq!(model.fit(&pairs), Err(NnError::RaggedSequences { expected: 2, found: 1 }));
+        assert_eq!(
+            model.fit(&pairs),
+            Err(NnError::RaggedSequences {
+                expected: 2,
+                found: 1
+            })
+        );
     }
 
     #[test]
     fn fit_rejects_out_of_vocab_token() {
         let mut model = Seq2Seq::new(4, 4, 0, tiny_config());
         let pairs = vec![(vec![1, 9], vec![1, 2])];
-        assert_eq!(model.fit(&pairs), Err(NnError::TokenOutOfRange { token: 9, vocab: 4 }));
+        assert_eq!(
+            model.fit(&pairs),
+            Err(NnError::TokenOutOfRange { token: 9, vocab: 4 })
+        );
     }
 
     #[test]

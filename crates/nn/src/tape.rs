@@ -5,6 +5,18 @@
 //! the recorded nodes in reverse, producing gradients for every node.
 //! Parameters live outside the tape in a [`ParamSet`] so the tape can be
 //! discarded and rebuilt every training step.
+//!
+//! # Buffer reuse
+//!
+//! Every forward op and every gradient draws its storage from an internal
+//! arena of recycled `Vec<f32>` buffers. Training loops should keep **one**
+//! tape alive and call [`Tape::reset`] between steps instead of constructing a
+//! fresh `Tape`: because a step replays the same op sequence, after the first
+//! step the arena hands back same-sized buffers in the same order and the
+//! forward+backward pass stops allocating entirely. Combined with
+//! [`Tape::backward_accumulate`] — which harvests parameter gradients in the
+//! reverse walk and recycles every intermediate gradient — a seq2seq training
+//! step performs no per-op heap allocation in steady state.
 
 use crate::matrix::Matrix;
 use serde::{Deserialize, Serialize};
@@ -65,10 +77,10 @@ impl ParamSet {
         &mut self.grads[idx]
     }
 
-    /// Resets all gradient accumulators to zero.
+    /// Resets all gradient accumulators to zero in place.
     pub fn zero_grads(&mut self) {
         for g in &mut self.grads {
-            *g = Matrix::zeros(g.rows(), g.cols());
+            g.data_mut().fill(0.0);
         }
     }
 
@@ -98,6 +110,7 @@ enum Op {
     /// [`Tape::accumulate_param_grads`].
     Param(usize),
     MatMul(TensorId, TensorId),
+    ConcatRows(TensorId, TensorId),
     Add(TensorId, TensorId),
     AddRow(TensorId, TensorId),
     Hadamard(TensorId, TensorId),
@@ -112,7 +125,11 @@ enum Op {
     RowDot(TensorId, TensorId),
     MulCol(TensorId, TensorId),
     Dropout(TensorId, Vec<f32>),
-    CrossEntropy { logits: TensorId, targets: Vec<usize>, probs: Matrix },
+    CrossEntropy {
+        logits: TensorId,
+        targets: Vec<usize>,
+        probs: Matrix,
+    },
     MeanOf(Vec<TensorId>),
 }
 
@@ -121,16 +138,96 @@ struct Node {
     op: Op,
 }
 
-/// The autodiff tape. See the [module documentation](self) for the life cycle.
+/// Arena of recycled flat buffers, bucketed by capacity. A training step
+/// replays roughly the same op sequence every iteration, so each request
+/// finds a bucket whose capacity matches exactly and no allocation happens
+/// in steady state. (A single LIFO stack does not work here: buffers are
+/// recycled in recording order but requested in the same order, so nearly
+/// every request would pop a wrong-sized buffer and reallocate it.)
+#[derive(Default)]
+struct Pool {
+    buckets: std::collections::BTreeMap<usize, Vec<Vec<f32>>>,
+}
+
+impl Pool {
+    /// Pops a recycled buffer with capacity at least `len`, preferring the
+    /// tightest fit.
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        let (&cap, bucket) = self.buckets.range_mut(len..).next()?;
+        let buf = bucket.pop().expect("pool buckets are never left empty");
+        if bucket.is_empty() {
+            self.buckets.remove(&cap);
+        }
+        Some(buf)
+    }
+
+    /// Returns a buffer of exactly `len` zeros, reusing a recycled allocation
+    /// when one is available.
+    fn zeros(&mut self, len: usize) -> Vec<f32> {
+        match self.take(len) {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer of exactly `len` elements with *unspecified* (stale
+    /// but valid) contents. Callers must overwrite every element before the
+    /// buffer is read; skipping the zero fill is what makes this cheaper
+    /// than [`Pool::zeros`] for ops that fully define their output.
+    fn scratch(&mut self, len: usize) -> Vec<f32> {
+        match self.take(len) {
+            Some(mut buf) => {
+                if buf.len() < len {
+                    buf.resize(len, 0.0);
+                } else {
+                    buf.truncate(len);
+                }
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer's allocation to the arena.
+    fn put(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.buckets.entry(buf.capacity()).or_default().push(buf);
+        }
+    }
+}
+
+/// The autodiff tape. See the [module documentation](self) for the life cycle
+/// and the buffer-reuse contract.
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: Pool,
 }
 
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
+    }
+
+    /// Clears all recorded nodes, recycling their storage into the tape's
+    /// buffer arena. Call this between training steps instead of building a
+    /// fresh `Tape` — the next forward pass then reuses the allocations.
+    pub fn reset(&mut self) {
+        // Split borrows: drain `nodes` while feeding `pool`.
+        let Tape { nodes, pool } = self;
+        for node in nodes.drain(..) {
+            pool.put(node.value.into_data());
+            match node.op {
+                Op::CrossEntropy { probs, .. } => pool.put(probs.into_data()),
+                Op::Dropout(_, mask) => pool.put(mask),
+                _ => {}
+            }
+        }
     }
 
     /// Number of recorded nodes.
@@ -153,6 +250,27 @@ impl Tape {
         TensorId(self.nodes.len() - 1)
     }
 
+    /// Pooled `rows x cols` matrix of zeros.
+    fn pooled(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.pool.zeros(rows * cols))
+    }
+
+    /// Pooled `rows x cols` matrix with unspecified contents, for ops that
+    /// overwrite every output element (see [`Pool::scratch`]).
+    fn pooled_scratch(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(rows, cols, self.pool.scratch(rows * cols))
+    }
+
+    /// Pooled element-wise map of node `a` recorded as `op`.
+    fn unary_map(&mut self, a: TensorId, op: Op, f: impl Fn(f32) -> f32) -> TensorId {
+        let (r, c) = self.value(a).shape();
+        let mut out = self.pooled_scratch(r, c);
+        for (o, &x) in out.data_mut().iter_mut().zip(self.value(a).data()) {
+            *o = f(x);
+        }
+        self.push(out, op)
+    }
+
     /// Records a constant (non-differentiable) input.
     pub fn leaf(&mut self, value: Matrix) -> TensorId {
         self.push(value, Op::Leaf)
@@ -160,7 +278,10 @@ impl Tape {
 
     /// Records parameter `idx` from `params` as a differentiable leaf.
     pub fn param(&mut self, params: &ParamSet, idx: usize) -> TensorId {
-        self.push(params.value(idx).clone(), Op::Param(idx))
+        let (r, c) = params.value(idx).shape();
+        let mut v = self.pooled_scratch(r, c);
+        v.data_mut().copy_from_slice(params.value(idx).data());
+        self.push(v, Op::Param(idx))
     }
 
     /// Matrix product.
@@ -169,13 +290,30 @@ impl Tape {
     ///
     /// Panics if inner dimensions disagree.
     pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).matmul(self.value(b));
+        let m = self.value(a).rows();
+        let n = self.value(b).cols();
+        let mut v = self.pooled(m, n);
+        self.value(a).matmul_into(self.value(b), &mut v);
         self.push(v, Op::MatMul(a, b))
     }
 
     /// Element-wise sum of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
     pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).add(self.value(b));
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "add shape mismatch"
+        );
+        let (r, c) = self.value(a).shape();
+        let mut v = self.pooled_scratch(r, c);
+        let (va, vb) = (self.value(a), self.value(b));
+        for ((o, &x), &y) in v.data_mut().iter_mut().zip(va.data()).zip(vb.data()) {
+            *o = x + y;
+        }
         self.push(v, Op::Add(a, b))
     }
 
@@ -187,50 +325,92 @@ impl Tape {
     pub fn add_row(&mut self, a: TensorId, bias: TensorId) -> TensorId {
         let (ar, ac) = self.value(a).shape();
         let (br, bc) = self.value(bias).shape();
-        assert_eq!((br, bc), (1, ac), "add_row bias must be 1x{ac}, got {br}x{bc}");
-        let mut v = self.value(a).clone();
+        assert_eq!(
+            (br, bc),
+            (1, ac),
+            "add_row bias must be 1x{ac}, got {br}x{bc}"
+        );
+        let mut v = self.pooled_scratch(ar, ac);
+        let (va, vb) = (self.value(a), self.value(bias));
         for r in 0..ar {
-            let bias_row: Vec<f32> = self.value(bias).row(0).to_vec();
-            for (x, b) in v.row_mut(r).iter_mut().zip(bias_row) {
-                *x += b;
+            let bias_row = vb.row(0);
+            for ((o, &x), &b) in v.row_mut(r).iter_mut().zip(va.row(r)).zip(bias_row) {
+                *o = x + b;
             }
         }
         self.push(v, Op::AddRow(a, bias))
     }
 
     /// Element-wise product of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
     pub fn hadamard(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.value(a).hadamard(self.value(b));
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "hadamard shape mismatch"
+        );
+        let (r, c) = self.value(a).shape();
+        let mut v = self.pooled_scratch(r, c);
+        let (va, vb) = (self.value(a), self.value(b));
+        for ((o, &x), &y) in v.data_mut().iter_mut().zip(va.data()).zip(vb.data()) {
+            *o = x * y;
+        }
         self.push(v, Op::Hadamard(a, b))
     }
 
     /// Multiplies a tensor by a scalar.
     pub fn scale(&mut self, a: TensorId, s: f32) -> TensorId {
-        let v = self.value(a).map(|x| x * s);
-        self.push(v, Op::Scale(a, s))
+        self.unary_map(a, Op::Scale(a, s), |x| x * s)
     }
 
     /// Logistic sigmoid, element-wise.
+    ///
+    /// Routes through [`crate::matrix::sigmoid_slice`], whose vectorized
+    /// polynomial fast path stays within `1e-7` of the libm-exact reference
+    /// (`--features reference-kernels` restores the latter).
     pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
-        self.push(v, Op::Sigmoid(a))
+        let (r, c) = self.value(a).shape();
+        let mut out = self.pooled_scratch(r, c);
+        crate::matrix::sigmoid_slice(self.value(a).data(), out.data_mut());
+        self.push(out, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent, element-wise.
+    ///
+    /// Routes through [`crate::matrix::tanh_slice`] (see [`Tape::sigmoid`]
+    /// for the fast-path/reference split).
     pub fn tanh(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(f32::tanh);
-        self.push(v, Op::Tanh(a))
+        let (r, c) = self.value(a).shape();
+        let mut out = self.pooled_scratch(r, c);
+        crate::matrix::tanh_slice(self.value(a).data(), out.data_mut());
+        self.push(out, Op::Tanh(a))
     }
 
     /// Rectified linear unit, element-wise.
     pub fn relu(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).map(|x| x.max(0.0));
-        self.push(v, Op::Relu(a))
+        self.unary_map(a, Op::Relu(a), |x| x.max(0.0))
     }
 
     /// Row-wise softmax.
     pub fn softmax(&mut self, a: TensorId) -> TensorId {
-        let v = self.value(a).softmax_rows();
+        let (r, c) = self.value(a).shape();
+        let mut v = self.pooled_scratch(r, c);
+        v.data_mut().copy_from_slice(self.value(a).data());
+        for r in 0..v.rows() {
+            let row = v.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
         self.push(v, Op::Softmax(a))
     }
 
@@ -243,12 +423,31 @@ impl Tape {
         let (ar, ac) = self.value(a).shape();
         let (br, bc) = self.value(b).shape();
         assert_eq!(ar, br, "concat_cols row mismatch: {ar} vs {br}");
-        let mut v = Matrix::zeros(ar, ac + bc);
+        let mut v = self.pooled_scratch(ar, ac + bc);
+        let (va, vb) = (self.value(a), self.value(b));
         for r in 0..ar {
-            v.row_mut(r)[..ac].copy_from_slice(self.value(a).row(r));
-            v.row_mut(r)[ac..].copy_from_slice(self.value(b).row(r));
+            v.row_mut(r)[..ac].copy_from_slice(va.row(r));
+            v.row_mut(r)[ac..].copy_from_slice(vb.row(r));
         }
         self.push(v, Op::ConcatCols(a, b))
+    }
+
+    /// Stacks two tensors with equal column counts along rows: `a` on top of
+    /// `b`. Used to pack separate weight matrices into one GEMM operand (the
+    /// fused LSTM/GRU gate path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if column counts differ.
+    pub fn concat_rows(&mut self, a: TensorId, b: TensorId) -> TensorId {
+        let (ar, ac) = self.value(a).shape();
+        let (br, bc) = self.value(b).shape();
+        assert_eq!(ac, bc, "concat_rows col mismatch: {ac} vs {bc}");
+        let mut v = self.pooled_scratch(ar + br, ac);
+        let (va, vb) = (self.value(a), self.value(b));
+        v.data_mut()[..ar * ac].copy_from_slice(va.data());
+        v.data_mut()[ar * ac..].copy_from_slice(vb.data());
+        self.push(v, Op::ConcatRows(a, b))
     }
 
     /// Takes columns `[start, start + len)` of a tensor.
@@ -258,10 +457,15 @@ impl Tape {
     /// Panics if the range exceeds the column count.
     pub fn slice_cols(&mut self, a: TensorId, start: usize, len: usize) -> TensorId {
         let (ar, ac) = self.value(a).shape();
-        assert!(start + len <= ac, "slice_cols [{start}, {}) out of 0..{ac}", start + len);
-        let mut v = Matrix::zeros(ar, len);
+        assert!(
+            start + len <= ac,
+            "slice_cols [{start}, {}) out of 0..{ac}",
+            start + len
+        );
+        let mut v = self.pooled_scratch(ar, len);
+        let va = self.value(a);
         for r in 0..ar {
-            v.row_mut(r).copy_from_slice(&self.value(a).row(r)[start..start + len]);
+            v.row_mut(r).copy_from_slice(&va.row(r)[start..start + len]);
         }
         self.push(v, Op::SliceCols(a, start, len))
     }
@@ -274,11 +478,11 @@ impl Tape {
     /// Panics if any index is out of bounds.
     pub fn gather(&mut self, src: TensorId, indices: &[usize]) -> TensorId {
         let (sr, sc) = self.value(src).shape();
-        let mut v = Matrix::zeros(indices.len(), sc);
+        let mut v = self.pooled_scratch(indices.len(), sc);
+        let vs = self.value(src);
         for (r, &i) in indices.iter().enumerate() {
             assert!(i < sr, "gather index {i} out of bounds for {sr} rows");
-            let src_row: Vec<f32> = self.value(src).row(i).to_vec();
-            v.row_mut(r).copy_from_slice(&src_row);
+            v.row_mut(r).copy_from_slice(vs.row(i));
         }
         self.push(v, Op::Gather(src, indices.to_vec()))
     }
@@ -289,12 +493,16 @@ impl Tape {
     ///
     /// Panics if shapes differ.
     pub fn row_dot(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        assert_eq!(self.value(a).shape(), self.value(b).shape(), "row_dot shape mismatch");
+        assert_eq!(
+            self.value(a).shape(),
+            self.value(b).shape(),
+            "row_dot shape mismatch"
+        );
         let (rows, _) = self.value(a).shape();
-        let mut v = Matrix::zeros(rows, 1);
+        let mut v = self.pooled_scratch(rows, 1);
+        let (va, vb) = (self.value(a), self.value(b));
         for r in 0..rows {
-            let d: f32 =
-                self.value(a).row(r).iter().zip(self.value(b).row(r)).map(|(&x, &y)| x * y).sum();
+            let d: f32 = va.row(r).iter().zip(vb.row(r)).map(|(&x, &y)| x * y).sum();
             v.set(r, 0, d);
         }
         self.push(v, Op::RowDot(a, b))
@@ -307,13 +515,18 @@ impl Tape {
     ///
     /// Panics if `col` is not `B x 1`.
     pub fn mul_col(&mut self, a: TensorId, col: TensorId) -> TensorId {
-        let (ar, _) = self.value(a).shape();
-        assert_eq!(self.value(col).shape(), (ar, 1), "mul_col expects a {ar}x1 column");
-        let mut v = self.value(a).clone();
+        let (ar, ac) = self.value(a).shape();
+        assert_eq!(
+            self.value(col).shape(),
+            (ar, 1),
+            "mul_col expects a {ar}x1 column"
+        );
+        let mut v = self.pooled_scratch(ar, ac);
+        let (va, vc) = (self.value(a), self.value(col));
         for r in 0..ar {
-            let s = self.value(col).get(r, 0);
-            for x in v.row_mut(r) {
-                *x *= s;
+            let s = vc.get(r, 0);
+            for (o, &x) in v.row_mut(r).iter_mut().zip(va.row(r)) {
+                *o = x * s;
             }
         }
         self.push(v, Op::MulCol(a, col))
@@ -326,18 +539,29 @@ impl Tape {
     ///
     /// Panics if `p` is not in `[0, 1)`.
     pub fn dropout(&mut self, a: TensorId, p: f32, rng: &mut impl rand::Rng) -> TensorId {
-        assert!((0.0..1.0).contains(&p), "dropout probability {p} must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability {p} must be in [0, 1)"
+        );
         if p == 0.0 {
             return a;
         }
-        let n = self.value(a).data().len();
-        let keep = 1.0 - p;
-        let mask: Vec<f32> =
-            (0..n).map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
         let (r, c) = self.value(a).shape();
-        let data: Vec<f32> =
-            self.value(a).data().iter().zip(mask.iter()).map(|(&x, &m)| x * m).collect();
-        self.push(Matrix::from_vec(r, c, data), Op::Dropout(a, mask))
+        let keep = 1.0 - p;
+        let mut mask = self.pool.scratch(r * c);
+        for m in mask.iter_mut() {
+            *m = if rng.gen::<f32>() < keep {
+                1.0 / keep
+            } else {
+                0.0
+            };
+        }
+        let mut v = self.pooled_scratch(r, c);
+        let va = self.value(a);
+        for ((o, &x), &m) in v.data_mut().iter_mut().zip(va.data()).zip(mask.iter()) {
+            *o = x * m;
+        }
+        self.push(v, Op::Dropout(a, mask))
     }
 
     /// Mean cross-entropy loss of row-wise logits against integer targets.
@@ -350,16 +574,35 @@ impl Tape {
     pub fn cross_entropy(&mut self, logits: TensorId, targets: &[usize]) -> TensorId {
         let (rows, cols) = self.value(logits).shape();
         assert_eq!(rows, targets.len(), "cross_entropy target count mismatch");
-        let probs = self.value(logits).softmax_rows();
+        let mut probs = self.pooled_scratch(rows, cols);
+        probs.data_mut().copy_from_slice(self.value(logits).data());
+        for r in 0..rows {
+            let row = probs.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
         let mut loss = 0.0;
         for (r, &t) in targets.iter().enumerate() {
             assert!(t < cols, "cross_entropy target {t} out of vocab {cols}");
             loss -= probs.get(r, t).max(1e-12).ln();
         }
         loss /= rows as f32;
+        let mut v = self.pooled(1, 1);
+        v.set(0, 0, loss);
         self.push(
-            Matrix::from_vec(1, 1, vec![loss]),
-            Op::CrossEntropy { logits, targets: targets.to_vec(), probs },
+            v,
+            Op::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
         )
     }
 
@@ -372,11 +615,17 @@ impl Tape {
         assert!(!ids.is_empty(), "mean_of needs at least one node");
         let mut acc = 0.0;
         for &id in ids {
-            assert_eq!(self.value(id).shape(), (1, 1), "mean_of expects scalar nodes");
+            assert_eq!(
+                self.value(id).shape(),
+                (1, 1),
+                "mean_of expects scalar nodes"
+            );
             acc += self.value(id).get(0, 0);
         }
         acc /= ids.len() as f32;
-        self.push(Matrix::from_vec(1, 1, vec![acc]), Op::MeanOf(ids.to_vec()))
+        let mut v = self.pooled(1, 1);
+        v.set(0, 0, acc);
+        self.push(v, Op::MeanOf(ids.to_vec()))
     }
 
     /// Runs the reverse pass from `loss` (which must be `1 x 1`) and returns
@@ -385,159 +634,262 @@ impl Tape {
     /// # Panics
     ///
     /// Panics if `loss` is not a scalar node.
-    pub fn backward(&self, loss: TensorId) -> Vec<Option<Matrix>> {
-        assert_eq!(self.value(loss).shape(), (1, 1), "backward root must be a 1x1 scalar");
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+    pub fn backward(&mut self, loss: TensorId) -> Vec<Option<Matrix>> {
+        self.backward_impl(loss, None)
+    }
 
-        for i in (0..self.nodes.len()).rev() {
-            let g = match &grads[i] {
-                Some(g) => g.clone(),
-                None => continue,
+    /// Runs the reverse pass and adds every `Param` node's gradient straight
+    /// into the matching [`ParamSet`] accumulator, recycling all intermediate
+    /// gradient buffers into the tape's arena. This is the allocation-free
+    /// training path; use [`Tape::backward`] when per-node gradients are
+    /// needed (tests, diagnostics). The gradient values are identical to
+    /// `backward` + [`Tape::accumulate_param_grads`].
+    pub fn backward_accumulate(&mut self, loss: TensorId, params: &mut ParamSet) {
+        self.backward_impl(loss, Some(params));
+    }
+
+    fn backward_impl(
+        &mut self,
+        loss: TensorId,
+        mut harvest: Option<&mut ParamSet>,
+    ) -> Vec<Option<Matrix>> {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward root must be a 1x1 scalar"
+        );
+        // When harvesting, gradients are consumed as soon as their node is
+        // processed, so each buffer can go straight back to the arena.
+        let recycle = harvest.is_some();
+        // Split borrows: node reads and pool writes coexist below.
+        let Tape { nodes, pool } = self;
+        /// Pooled `rows x cols` zero matrix.
+        fn pz(pool: &mut Pool, rows: usize, cols: usize) -> Matrix {
+            Matrix::from_vec(rows, cols, pool.zeros(rows * cols))
+        }
+        /// Pooled copy of `src`.
+        fn pc(pool: &mut Pool, src: &Matrix) -> Matrix {
+            let mut out = pz(pool, src.rows(), src.cols());
+            out.data_mut().copy_from_slice(src.data());
+            out
+        }
+        let mut grads: Vec<Option<Matrix>> = vec![None; nodes.len()];
+        let mut seed = pz(pool, 1, 1);
+        seed.set(0, 0, 1.0);
+        grads[loss.0] = Some(seed);
+
+        for i in (0..nodes.len()).rev() {
+            let g = if recycle {
+                match grads[i].take() {
+                    Some(g) => g,
+                    None => continue,
+                }
+            } else {
+                match &grads[i] {
+                    Some(g) => g.clone(),
+                    None => continue,
+                }
             };
-            match &self.nodes[i].op {
-                Op::Leaf | Op::Param(_) => {}
+            match &nodes[i].op {
+                Op::Leaf => {}
+                Op::Param(idx) => {
+                    if let Some(params) = harvest.as_deref_mut() {
+                        params.grad_mut(*idx).add_assign(&g);
+                    }
+                }
                 Op::MatMul(a, b) => {
-                    let ga = g.matmul_nt(self.value(*b));
-                    let gb = self.value(*a).matmul_tn(&g);
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut ga = pz(pool, g.rows(), vb.rows());
+                    g.matmul_nt_into(vb, &mut ga);
+                    let mut gb = pz(pool, va.cols(), g.cols());
+                    va.matmul_tn_into(&g, &mut gb);
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, b.0, gb);
+                }
+                Op::ConcatRows(a, b) => {
+                    let ar = nodes[a.0].value.rows();
+                    let (br, c) = nodes[b.0].value.shape();
+                    let mut ga = pz(pool, ar, c);
+                    ga.data_mut().copy_from_slice(&g.data()[..ar * c]);
+                    let mut gb = pz(pool, br, c);
+                    gb.data_mut().copy_from_slice(&g.data()[ar * c..]);
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, b.0, gb);
                 }
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, a.0, g.clone());
-                    accumulate(&mut grads, b.0, g);
+                    let ga = pc(pool, &g);
+                    let gb = pc(pool, &g);
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, b.0, gb);
                 }
                 Op::AddRow(a, bias) => {
-                    let mut gb = Matrix::zeros(1, g.cols());
+                    let mut gb = pz(pool, 1, g.cols());
                     for r in 0..g.rows() {
-                        for (c, &v) in g.row(r).iter().enumerate() {
-                            gb.set(0, c, gb.get(0, c) + v);
+                        for (o, &v) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
                         }
                     }
-                    accumulate(&mut grads, a.0, g);
-                    accumulate(&mut grads, bias.0, gb);
+                    let ga = pc(pool, &g);
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, bias.0, gb);
                 }
                 Op::Hadamard(a, b) => {
-                    let ga = g.hadamard(self.value(*b));
-                    let gb = g.hadamard(self.value(*a));
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut ga = pz(pool, g.rows(), g.cols());
+                    for ((o, &gv), &bv) in ga.data_mut().iter_mut().zip(g.data()).zip(vb.data()) {
+                        *o = gv * bv;
+                    }
+                    let mut gb = pz(pool, g.rows(), g.cols());
+                    for ((o, &gv), &av) in gb.data_mut().iter_mut().zip(g.data()).zip(va.data()) {
+                        *o = gv * av;
+                    }
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, b.0, gb);
                 }
                 Op::Scale(a, s) => {
-                    accumulate(&mut grads, a.0, g.map(|x| x * s));
+                    let mut ga = pz(pool, g.rows(), g.cols());
+                    for (o, &gv) in ga.data_mut().iter_mut().zip(g.data()) {
+                        *o = gv * s;
+                    }
+                    accumulate(&mut grads, pool, a.0, ga);
                 }
                 Op::Sigmoid(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.hadamard(&y.map(|v| v * (1.0 - v)));
-                    accumulate(&mut grads, a.0, ga);
+                    let y = &nodes[i].value;
+                    let mut ga = pz(pool, g.rows(), g.cols());
+                    for ((o, &gv), &yv) in ga.data_mut().iter_mut().zip(g.data()).zip(y.data()) {
+                        *o = gv * (yv * (1.0 - yv));
+                    }
+                    accumulate(&mut grads, pool, a.0, ga);
                 }
                 Op::Tanh(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.hadamard(&y.map(|v| 1.0 - v * v));
-                    accumulate(&mut grads, a.0, ga);
+                    let y = &nodes[i].value;
+                    let mut ga = pz(pool, g.rows(), g.cols());
+                    for ((o, &gv), &yv) in ga.data_mut().iter_mut().zip(g.data()).zip(y.data()) {
+                        *o = gv * (1.0 - yv * yv);
+                    }
+                    accumulate(&mut grads, pool, a.0, ga);
                 }
                 Op::Relu(a) => {
-                    let y = &self.nodes[i].value;
-                    let ga = g.hadamard(&y.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
-                    accumulate(&mut grads, a.0, ga);
+                    let y = &nodes[i].value;
+                    let mut ga = pz(pool, g.rows(), g.cols());
+                    for ((o, &gv), &yv) in ga.data_mut().iter_mut().zip(g.data()).zip(y.data()) {
+                        *o = gv * if yv > 0.0 { 1.0 } else { 0.0 };
+                    }
+                    accumulate(&mut grads, pool, a.0, ga);
                 }
                 Op::Softmax(a) => {
-                    let y = &self.nodes[i].value;
-                    let mut ga = Matrix::zeros(y.rows(), y.cols());
+                    let y = &nodes[i].value;
+                    let mut ga = pz(pool, y.rows(), y.cols());
                     for r in 0..y.rows() {
-                        let dot: f32 =
-                            g.row(r).iter().zip(y.row(r)).map(|(&gv, &yv)| gv * yv).sum();
-                        for c in 0..y.cols() {
-                            ga.set(r, c, (g.get(r, c) - dot) * y.get(r, c));
+                        let dot: f32 = g
+                            .row(r)
+                            .iter()
+                            .zip(y.row(r))
+                            .map(|(&gv, &yv)| gv * yv)
+                            .sum();
+                        for ((o, &gv), &yv) in ga.row_mut(r).iter_mut().zip(g.row(r)).zip(y.row(r))
+                        {
+                            *o = (gv - dot) * yv;
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, pool, a.0, ga);
                 }
                 Op::ConcatCols(a, b) => {
-                    let ac = self.value(*a).cols();
-                    let bc = self.value(*b).cols();
+                    let ac = nodes[a.0].value.cols();
+                    let bc = nodes[b.0].value.cols();
                     let rows = g.rows();
-                    let mut ga = Matrix::zeros(rows, ac);
-                    let mut gb = Matrix::zeros(rows, bc);
+                    let mut ga = pz(pool, rows, ac);
+                    let mut gb = pz(pool, rows, bc);
                     for r in 0..rows {
                         ga.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
                         gb.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
                     }
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, b.0, gb);
                 }
                 Op::SliceCols(a, start, len) => {
-                    let (ar, ac) = self.value(*a).shape();
-                    let mut ga = Matrix::zeros(ar, ac);
+                    let (ar, ac) = nodes[a.0].value.shape();
+                    let mut ga = pz(pool, ar, ac);
                     for r in 0..ar {
                         ga.row_mut(r)[*start..start + len].copy_from_slice(g.row(r));
                     }
-                    accumulate(&mut grads, a.0, ga);
+                    accumulate(&mut grads, pool, a.0, ga);
                 }
                 Op::Gather(src, indices) => {
-                    let (sr, sc) = self.value(*src).shape();
-                    let mut gs = Matrix::zeros(sr, sc);
+                    let (sr, sc) = nodes[src.0].value.shape();
+                    let mut gs = pz(pool, sr, sc);
                     for (r, &idx) in indices.iter().enumerate() {
-                        for (c, &v) in g.row(r).iter().enumerate() {
-                            gs.set(idx, c, gs.get(idx, c) + v);
+                        for (o, &v) in gs.row_mut(idx).iter_mut().zip(g.row(r)) {
+                            *o += v;
                         }
                     }
-                    accumulate(&mut grads, src.0, gs);
+                    accumulate(&mut grads, pool, src.0, gs);
                 }
                 Op::RowDot(a, b) => {
-                    let va = self.value(*a);
-                    let vb = self.value(*b);
-                    let mut ga = Matrix::zeros(va.rows(), va.cols());
-                    let mut gb = Matrix::zeros(vb.rows(), vb.cols());
+                    let (va, vb) = (&nodes[a.0].value, &nodes[b.0].value);
+                    let mut ga = pz(pool, va.rows(), va.cols());
+                    let mut gb = pz(pool, vb.rows(), vb.cols());
                     for r in 0..va.rows() {
                         let gr = g.get(r, 0);
-                        for c in 0..va.cols() {
-                            ga.set(r, c, gr * vb.get(r, c));
-                            gb.set(r, c, gr * va.get(r, c));
+                        for (o, &bv) in ga.row_mut(r).iter_mut().zip(vb.row(r)) {
+                            *o = gr * bv;
+                        }
+                        for (o, &av) in gb.row_mut(r).iter_mut().zip(va.row(r)) {
+                            *o = gr * av;
                         }
                     }
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, b.0, gb);
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, b.0, gb);
                 }
                 Op::MulCol(a, col) => {
-                    let va = self.value(*a);
-                    let vc = self.value(*col);
-                    let mut ga = Matrix::zeros(va.rows(), va.cols());
-                    let mut gc = Matrix::zeros(va.rows(), 1);
+                    let (va, vc) = (&nodes[a.0].value, &nodes[col.0].value);
+                    let mut ga = pz(pool, va.rows(), va.cols());
+                    let mut gc = pz(pool, va.rows(), 1);
                     for r in 0..va.rows() {
                         let s = vc.get(r, 0);
                         let mut dot = 0.0;
-                        for c in 0..va.cols() {
-                            ga.set(r, c, g.get(r, c) * s);
-                            dot += g.get(r, c) * va.get(r, c);
+                        for ((o, &gv), &av) in ga.row_mut(r).iter_mut().zip(g.row(r)).zip(va.row(r))
+                        {
+                            *o = gv * s;
+                            dot += gv * av;
                         }
                         gc.set(r, 0, dot);
                     }
-                    accumulate(&mut grads, a.0, ga);
-                    accumulate(&mut grads, col.0, gc);
+                    accumulate(&mut grads, pool, a.0, ga);
+                    accumulate(&mut grads, pool, col.0, gc);
                 }
                 Op::Dropout(a, mask) => {
-                    let (r, c) = g.shape();
-                    let data: Vec<f32> =
-                        g.data().iter().zip(mask.iter()).map(|(&gv, &m)| gv * m).collect();
-                    accumulate(&mut grads, a.0, Matrix::from_vec(r, c, data));
+                    let mut ga = pz(pool, g.rows(), g.cols());
+                    for ((o, &gv), &m) in ga.data_mut().iter_mut().zip(g.data()).zip(mask.iter()) {
+                        *o = gv * m;
+                    }
+                    accumulate(&mut grads, pool, a.0, ga);
                 }
-                Op::CrossEntropy { logits, targets, probs } => {
+                Op::CrossEntropy {
+                    logits,
+                    targets,
+                    probs,
+                } => {
                     let scale = g.get(0, 0) / targets.len() as f32;
-                    let mut gl = probs.clone();
+                    let mut gl = pc(pool, probs);
                     for (r, &t) in targets.iter().enumerate() {
                         gl.set(r, t, gl.get(r, t) - 1.0);
                     }
                     gl.scale_assign(scale);
-                    accumulate(&mut grads, logits.0, gl);
+                    accumulate(&mut grads, pool, logits.0, gl);
                 }
                 Op::MeanOf(ids) => {
                     let share = g.get(0, 0) / ids.len() as f32;
                     for id in ids {
-                        accumulate(&mut grads, id.0, Matrix::from_vec(1, 1, vec![share]));
+                        let mut gi = pz(pool, 1, 1);
+                        gi.set(0, 0, share);
+                        accumulate(&mut grads, pool, id.0, gi);
                     }
                 }
             }
+            // `g` is always an owned temporary here (taken or cloned), so its
+            // allocation can be recycled regardless of mode.
+            pool.put(g.into_data());
         }
         grads
     }
@@ -555,9 +907,14 @@ impl Tape {
     }
 }
 
-fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+/// Adds `g` into the gradient slot `idx`, recycling `g`'s buffer when the
+/// slot is already populated.
+fn accumulate(grads: &mut [Option<Matrix>], pool: &mut Pool, idx: usize, g: Matrix) {
     match &mut grads[idx] {
-        Some(existing) => existing.add_assign(&g),
+        Some(existing) => {
+            existing.add_assign(&g);
+            pool.put(g.into_data());
+        }
         slot @ None => *slot = Some(g),
     }
 }
@@ -741,6 +1098,104 @@ mod tests {
         let loss = tape.cross_entropy(logits, &[0]);
         // Uniform distribution over 2 classes => loss = ln 2.
         assert!((tape.value(loss).get(0, 0) - 2.0f32.ln()).abs() < 1e-6);
+    }
+
+    /// Small two-layer network used by the arena tests below.
+    fn demo_net(tape: &mut Tape, params: &ParamSet, w1: usize, w2: usize, x: &Matrix) -> TensorId {
+        let xi = tape.leaf(x.clone());
+        let a = tape.param(params, w1);
+        let b = tape.param(params, w2);
+        let h = tape.matmul(xi, a);
+        let h = tape.tanh(h);
+        let logits = tape.matmul(h, b);
+        tape.cross_entropy(logits, &[0, 1])
+    }
+
+    #[test]
+    fn backward_accumulate_matches_backward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut params = ParamSet::new();
+        let w1 = params.add(Matrix::uniform(3, 4, 0.5, &mut rng));
+        let w2 = params.add(Matrix::uniform(4, 2, 0.5, &mut rng));
+        let x = Matrix::uniform(2, 3, 0.5, &mut rng);
+
+        let mut t1 = Tape::new();
+        let loss1 = demo_net(&mut t1, &params, w1, w2, &x);
+        let grads = t1.backward(loss1);
+        let mut via_backward = params.clone();
+        via_backward.zero_grads();
+        t1.accumulate_param_grads(&grads, &mut via_backward);
+
+        let mut t2 = Tape::new();
+        let loss2 = demo_net(&mut t2, &params, w1, w2, &x);
+        let mut via_accumulate = params.clone();
+        via_accumulate.zero_grads();
+        t2.backward_accumulate(loss2, &mut via_accumulate);
+
+        for p in 0..params.len() {
+            assert_eq!(via_backward.grad(p), via_accumulate.grad(p), "param {p}");
+        }
+    }
+
+    #[test]
+    fn reset_tape_replays_identically() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut params = ParamSet::new();
+        let w1 = params.add(Matrix::uniform(3, 4, 0.5, &mut rng));
+        let w2 = params.add(Matrix::uniform(4, 2, 0.5, &mut rng));
+        let x = Matrix::uniform(2, 3, 0.5, &mut rng);
+
+        // One long-lived tape with reset between steps must reproduce the
+        // fresh-tape-per-step losses and gradients exactly.
+        let mut reused = Tape::new();
+        for _ in 0..3 {
+            let mut fresh = Tape::new();
+            let fresh_loss = demo_net(&mut fresh, &params, w1, w2, &x);
+            let mut fresh_params = params.clone();
+            fresh_params.zero_grads();
+            fresh.backward_accumulate(fresh_loss, &mut fresh_params);
+
+            reused.reset();
+            let reused_loss = demo_net(&mut reused, &params, w1, w2, &x);
+            assert_eq!(fresh.value(fresh_loss), reused.value(reused_loss));
+            params.zero_grads();
+            reused.backward_accumulate(reused_loss, &mut params);
+            for p in 0..params.len() {
+                assert_eq!(fresh_params.grad(p), params.grad(p), "param {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn concat_rows_forward_and_gradient() {
+        let mut params = ParamSet::new();
+        let top = params.add(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        let bot = params.add(Matrix::from_vec(1, 2, vec![5.0, 6.0]));
+        let mut tape = Tape::new();
+        let a = tape.param(&params, top);
+        let b = tape.param(&params, bot);
+        let stacked = tape.concat_rows(a, b);
+        assert_eq!(tape.value(stacked).data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        // Rows of the 1x3 operand pick out rows of the stack: the loss
+        // gradient must split back into the two original parameters.
+        let x = tape.leaf(Matrix::from_vec(1, 3, vec![1.0, 1.0, 1.0]));
+        let prod = tape.matmul(x, stacked);
+        let loss = tape.cross_entropy(prod, &[0]);
+        params.zero_grads();
+        tape.backward_accumulate(loss, &mut params);
+        assert_eq!(params.grad(top).shape(), (2, 2));
+        assert_eq!(params.grad(bot).shape(), (1, 2));
+        let g: Vec<f32> = params
+            .grad(top)
+            .data()
+            .iter()
+            .chain(params.grad(bot).data())
+            .copied()
+            .collect();
+        assert!(
+            g.iter().any(|&v| v != 0.0),
+            "gradient should flow through concat_rows"
+        );
     }
 
     #[test]

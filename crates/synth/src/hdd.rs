@@ -197,8 +197,7 @@ fn simulate_drive(
         let sev = match failure_day {
             Some(f) if degradation_window > 0 && day + degradation_window >= f => {
                 let into = day + degradation_window - f;
-                (degradation_window as f64 - into as f64).max(0.0)
-                    / degradation_window as f64
+                (degradation_window as f64 - into as f64).max(0.0) / degradation_window as f64
             }
             _ => 0.0,
         };
@@ -218,8 +217,7 @@ fn simulate_drive(
         cum[10] += poisson_like(err_rate * 0.5, rng); // command timeout
         cum[16] += poisson_like(0.008, rng); // CRC errors (not failure-linked)
         cum[11] += poisson_like(0.022 + 3.0 * sev, rng); // power-off retract
-        pending = (pending + poisson_like(err_rate * 1.2, rng) - poisson_like(0.05, rng))
-            .max(0.0);
+        pending = (pending + poisson_like(err_rate * 1.2, rng) - poisson_like(0.05, rng)).max(0.0);
 
         // Activity counters.
         cum[5] += daily_hours;
@@ -257,7 +255,12 @@ fn simulate_drive(
         features[18].push(cum[18]);
         features[19].push(cum[19]);
     }
-    DriveRecord { serial: format!("Z{idx:03}"), failed: failure_day.is_some(), failure_day, features }
+    DriveRecord {
+        serial: format!("Z{idx:03}"),
+        failed: failure_day.is_some(),
+        failure_day,
+        features,
+    }
 }
 
 /// Small-mean integer event count (Poisson-like via thinning).
@@ -282,8 +285,9 @@ impl HddData {
     /// Returns `(rows, labels, column_names)`.
     pub fn to_tabular(&self) -> (Vec<Vec<f64>>, Vec<usize>, Vec<String>) {
         let mut names: Vec<String> = self.feature_names.clone();
-        let diffed: Vec<usize> =
-            (0..self.cumulative.len()).filter(|&f| self.cumulative[f]).collect();
+        let diffed: Vec<usize> = (0..self.cumulative.len())
+            .filter(|&f| self.cumulative[f])
+            .collect();
         for &f in &diffed {
             names.push(format!("{}_delta", self.feature_names[f]));
         }
@@ -291,11 +295,12 @@ impl HddData {
         let mut labels = Vec::new();
         for drive in &self.drives {
             let days = drive.days();
-            let deltas: Vec<Vec<f64>> =
-                diffed.iter().map(|&f| first_difference(&drive.features[f])).collect();
+            let deltas: Vec<Vec<f64>> = diffed
+                .iter()
+                .map(|&f| first_difference(&drive.features[f]))
+                .collect();
             for day in 0..days {
-                let mut row: Vec<f64> =
-                    drive.features.iter().map(|f| f[day]).collect();
+                let mut row: Vec<f64> = drive.features.iter().map(|f| f[day]).collect();
                 row.extend(deltas.iter().map(|d| d[day]));
                 rows.push(row);
                 labels.push(usize::from(drive.failure_day == Some(day)));
@@ -326,7 +331,9 @@ impl HddData {
     /// Drives with at least `min_days` days of telemetry (the paper keeps
     /// drives with 10+ months of data).
     pub fn drives_with_min_days(&self, min_days: usize) -> Vec<usize> {
-        (0..self.drives.len()).filter(|&d| self.drives[d].days() >= min_days).collect()
+        (0..self.drives.len())
+            .filter(|&d| self.drives[d].days() >= min_days)
+            .collect()
     }
 
     /// Fits one discretization scheme per feature on the *pooled* training
@@ -350,12 +357,12 @@ impl HddData {
                 let mut pool = Vec::new();
                 for &d in drives {
                     let rec = &self.drives[d];
-                    let series: Vec<f64> =
-                        if self.cumulative[f] && is_cumulative(&rec.features[f]) {
-                            first_difference(&rec.features[f])
-                        } else {
-                            rec.features[f].clone()
-                        };
+                    let series: Vec<f64> = if self.cumulative[f] && is_cumulative(&rec.features[f])
+                    {
+                        first_difference(&rec.features[f])
+                    } else {
+                        rec.features[f].clone()
+                    };
                     let take = fit_days.min(series.len());
                     pool.extend_from_slice(&series[..take]);
                 }
@@ -388,7 +395,10 @@ impl HddData {
             } else {
                 rec.features[f].clone()
             };
-            traces.push(RawTrace::new(self.feature_names[f].clone(), scheme.apply_all(&series)));
+            traces.push(RawTrace::new(
+                self.feature_names[f].clone(),
+                scheme.apply_all(&series),
+            ));
         }
         traces
     }
@@ -437,7 +447,11 @@ mod tests {
 
     #[test]
     fn fleet_shape() {
-        let cfg = HddConfig { n_drives: 10, days: 60, ..Default::default() };
+        let cfg = HddConfig {
+            n_drives: 10,
+            days: 60,
+            ..Default::default()
+        };
         let data = generate(&cfg);
         assert_eq!(data.drives.len(), 10);
         assert_eq!(data.feature_names.len(), 20);
@@ -452,7 +466,10 @@ mod tests {
 
     #[test]
     fn failure_fraction_respected() {
-        let data = generate(&HddConfig { n_drives: 100, ..Default::default() });
+        let data = generate(&HddConfig {
+            n_drives: 100,
+            ..Default::default()
+        });
         let failed = data.drives.iter().filter(|d| d.failed).count();
         assert!((30..=70).contains(&failed), "failed {failed}/100");
     }
@@ -460,8 +477,11 @@ mod tests {
     #[test]
     fn error_counters_escalate_before_failure() {
         let data = generate(&HddConfig::default());
-        let failed: Vec<&DriveRecord> =
-            data.drives.iter().filter(|d| d.failed && d.days() > 40).collect();
+        let failed: Vec<&DriveRecord> = data
+            .drives
+            .iter()
+            .filter(|d| d.failed && d.days() > 40)
+            .collect();
         assert!(!failed.is_empty());
         // Mean uncorrectable-error delta in the final week far exceeds the
         // healthy baseline.
@@ -480,7 +500,11 @@ mod tests {
 
     #[test]
     fn tabular_conversion_shapes_and_labels() {
-        let cfg = HddConfig { n_drives: 8, days: 40, ..Default::default() };
+        let cfg = HddConfig {
+            n_drives: 8,
+            days: 40,
+            ..Default::default()
+        };
         let data = generate(&cfg);
         let (rows, labels, names) = data.to_tabular();
         assert_eq!(rows.len(), labels.len());
@@ -493,11 +517,17 @@ mod tests {
 
     #[test]
     fn drive_traces_drop_constant_features() {
-        let data = generate(&HddConfig { n_drives: 6, days: 80, ..Default::default() });
+        let data = generate(&HddConfig {
+            n_drives: 6,
+            days: 80,
+            ..Default::default()
+        });
         let traces = data.drive_traces(0, 40);
         // Spin retry and calibration retry are constant zero -> dropped.
         assert!(traces.iter().all(|t| t.name != "smart_10_spin_retry_count"));
-        assert!(traces.iter().all(|t| t.name != "smart_11_calibration_retry"));
+        assert!(traces
+            .iter()
+            .all(|t| t.name != "smart_11_calibration_retry"));
         assert!(traces.len() >= 10, "kept {} features", traces.len());
         let days = data.drives[0].days();
         assert!(traces.iter().all(|t| t.events.len() == days));
@@ -505,15 +535,25 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = HddConfig { n_drives: 4, days: 30, ..Default::default() };
+        let cfg = HddConfig {
+            n_drives: 4,
+            days: 30,
+            ..Default::default()
+        };
         assert_eq!(generate(&cfg), generate(&cfg));
     }
 
     #[test]
     fn min_days_filter() {
-        let data = generate(&HddConfig { n_drives: 30, days: 100, ..Default::default() });
+        let data = generate(&HddConfig {
+            n_drives: 30,
+            days: 100,
+            ..Default::default()
+        });
         let long = data.drives_with_min_days(100);
-        assert!(long.iter().all(|&d| !data.drives[d].failed || data.drives[d].days() >= 100));
+        assert!(long
+            .iter()
+            .all(|&d| !data.drives[d].failed || data.drives[d].days() >= 100));
     }
 
     #[test]

@@ -73,7 +73,11 @@ impl Default for PlantConfig {
 impl PlantConfig {
     /// A reduced-scale configuration for fast experiments and tests.
     pub fn small(n_sensors: usize, days: usize) -> Self {
-        Self { n_sensors, days, ..Self::default() }
+        Self {
+            n_sensors,
+            days,
+            ..Self::default()
+        }
     }
 
     /// Total samples per sensor.
@@ -143,8 +147,9 @@ pub fn generate(cfg: &PlantConfig) -> PlantData {
 
     // Component drivers: a period per component (in minutes).
     let periods = [24usize, 36, 48, 60, 90, 120];
-    let comp_period: Vec<usize> =
-        (0..cfg.n_components).map(|_| periods[rng.gen_range(0..periods.len())]).collect();
+    let comp_period: Vec<usize> = (0..cfg.n_components)
+        .map(|_| periods[rng.gen_range(0..periods.len())])
+        .collect();
 
     // Sensor static specs. Cardinalities follow the paper: ~97.6 % binary,
     // the rest uniform in 3..=7 (max observed cardinality 7).
@@ -244,7 +249,11 @@ pub fn generate(cfg: &PlantConfig) -> PlantData {
             cardinality: s.cardinality,
         })
         .collect();
-    PlantData { config: cfg.clone(), traces, sensors }
+    PlantData {
+        config: cfg.clone(),
+        traces,
+        sensors,
+    }
 }
 
 impl PlantData {
@@ -254,7 +263,11 @@ impl PlantData {
     ///
     /// Panics if `day` is zero or beyond the simulated horizon.
     pub fn day_range(&self, day: usize) -> std::ops::Range<usize> {
-        assert!(day >= 1 && day <= self.config.days, "day {day} outside 1..={}", self.config.days);
+        assert!(
+            day >= 1 && day <= self.config.days,
+            "day {day} outside 1..={}",
+            self.config.days
+        );
         let m = self.config.minutes_per_day;
         (day - 1) * m..day * m
     }
@@ -265,24 +278,34 @@ impl PlantData {
     ///
     /// Panics if the day interval is invalid.
     pub fn days_range(&self, from: usize, to: usize) -> std::ops::Range<usize> {
-        assert!(from >= 1 && from <= to && to <= self.config.days, "invalid day span {from}..={to}");
+        assert!(
+            from >= 1 && from <= to && to <= self.config.days,
+            "invalid day span {from}..={to}"
+        );
         let m = self.config.minutes_per_day;
         (from - 1) * m..to * m
     }
 
     /// Index of a representative periodic sensor (Fig. 2a), if any.
     pub fn representative_periodic(&self) -> Option<usize> {
-        self.sensors.iter().position(|s| s.kind == SensorKind::Periodic)
+        self.sensors
+            .iter()
+            .position(|s| s.kind == SensorKind::Periodic)
     }
 
     /// Index of a representative rare-event sensor (Fig. 2b), if any.
     pub fn representative_rare(&self) -> Option<usize> {
-        self.sensors.iter().position(|s| s.kind == SensorKind::RareEvent)
+        self.sensors
+            .iter()
+            .position(|s| s.kind == SensorKind::RareEvent)
     }
 
     /// Mean cardinality across sensors (paper reports 2.07).
     pub fn mean_cardinality(&self) -> f64 {
-        self.sensors.iter().map(|s| s.cardinality as f64).sum::<f64>()
+        self.sensors
+            .iter()
+            .map(|s| s.cardinality as f64)
+            .sum::<f64>()
             / self.sensors.len() as f64
     }
 }
@@ -303,8 +326,7 @@ mod tests {
     #[test]
     fn cardinality_distribution_matches_paper() {
         let data = generate(&PlantConfig::default());
-        let binary =
-            data.sensors.iter().filter(|s| s.cardinality == 2).count() as f64 / 128.0;
+        let binary = data.sensors.iter().filter(|s| s.cardinality == 2).count() as f64 / 128.0;
         assert!(binary > 0.9, "binary fraction {binary}");
         let mean = data.mean_cardinality();
         assert!((1.9..=2.4).contains(&mean), "mean cardinality {mean}");
@@ -329,16 +351,16 @@ mod tests {
         let same_comp: Vec<(usize, usize)> = periodic
             .iter()
             .flat_map(|&a| periodic.iter().map(move |&b| (a, b)))
-            .filter(|(a, b)| {
-                a < b && data.sensors[*a].component == data.sensors[*b].component
-            })
+            .filter(|(a, b)| a < b && data.sensors[*a].component == data.sensors[*b].component)
             .collect();
-        assert!(!same_comp.is_empty(), "need at least one same-component pair");
+        assert!(
+            !same_comp.is_empty(),
+            "need at least one same-component pair"
+        );
         let (a, b) = same_comp[0];
         let ea = &data.traces[a].events;
         let eb = &data.traces[b].events;
-        let agree =
-            ea.iter().zip(eb).filter(|(x, y)| x == y).count() as f64 / ea.len() as f64;
+        let agree = ea.iter().zip(eb).filter(|(x, y)| x == y).count() as f64 / ea.len() as f64;
         // Phase-locked square waves agree at a fixed rate; noise keeps it off
         // 0/1 but it must be far from coin-flipping OR nearly constant —
         // either way deterministic structure exists.
@@ -359,8 +381,11 @@ mod tests {
         let data = generate(&cfg);
         // Compare each day against day 1 via per-sensor mismatch; anomaly
         // days should diverge more than a typical normal day.
-        let base: Vec<&[String]> =
-            data.traces.iter().map(|t| &t.events[data.day_range(1)]).collect();
+        let base: Vec<&[String]> = data
+            .traces
+            .iter()
+            .map(|t| &t.events[data.day_range(1)])
+            .collect();
         let mismatch = |day: usize| -> f64 {
             let mut total = 0.0;
             for (s, t) in data.traces.iter().enumerate() {
@@ -407,7 +432,10 @@ mod tests {
         let rare = data.representative_rare().expect("rare sensor");
         let events = &data.traces[rare].events;
         let off = events.iter().filter(|e| *e == "OFF").count() as f64 / events.len() as f64;
-        assert!(off > 0.8, "rare-event sensor should be mostly OFF, got {off}");
+        assert!(
+            off > 0.8,
+            "rare-event sensor should be mostly OFF, got {off}"
+        );
         assert!(data.representative_periodic().is_some());
     }
 }

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..HddConfig::default()
     });
     let failed = fleet.drives.iter().filter(|d| d.failed).count();
-    println!("fleet: {} drives, {failed} fail within the horizon", fleet.drives.len());
+    println!(
+        "fleet: {} drives, {failed} fail within the horizon",
+        fleet.drives.len()
+    );
 
     // --- Baselines on the tabular drive-day view (34 features,
     //     3-day failure-prediction window labels). ---
@@ -47,7 +50,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scaler = Scaler::fit(&healthy.x);
     let sub_x: Vec<Vec<f64>> = healthy.x.iter().step_by(8).cloned().collect();
     let sub = Dataset::new(scaler.transform(&sub_x), vec![0; sub_x.len()]);
-    let svm = OneClassSvm::fit(&sub, &SvmConfig { nu: 0.05, ..SvmConfig::default() });
+    let svm = OneClassSvm::fit(
+        &sub,
+        &SvmConfig {
+            nu: 0.05,
+            ..SvmConfig::default()
+        },
+    );
     let oc = Confusion::from_predictions(&svm.predict(&scaler.transform(&test.x)), &test.y);
     println!("one-class SVM     : recall {:.0}%", 100.0 * oc.recall());
 
@@ -83,7 +92,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Aggregate aligned train/dev sentences across drives, then run
     // Algorithm 1 once: one model per ordered feature pair.
     let n = pipeline.sensor_count();
-    let empty = SentenceSet { sentences: Vec::new(), starts: Vec::new() };
+    let empty = SentenceSet {
+        sentences: Vec::new(),
+        starts: Vec::new(),
+    };
     let (mut train_sets, mut dev_sets) = (vec![empty.clone(); n], vec![empty; n]);
     for (d, traces) in &per_drive {
         let (train_r, dev_r, _) = windows(*d);
@@ -96,7 +108,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             dev_sets[k].starts.extend_from_slice(&v[k].starts);
         }
     }
-    let trained = build_graph(&pipeline, &train_sets, &dev_sets, &GraphBuildConfig::default())?;
+    let trained = build_graph(
+        &pipeline,
+        &train_sets,
+        &dev_sets,
+        &GraphBuildConfig::default(),
+    )?;
     println!(
         "framework         : {} features -> {} directional models",
         n,

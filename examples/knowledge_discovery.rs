@@ -22,12 +22,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     let cfg = MdesConfig {
-        window: WindowConfig { word_len: 6, word_stride: 1, sent_len: 8, sent_stride: 8 },
+        window: WindowConfig {
+            word_len: 6,
+            word_stride: 1,
+            sent_len: 8,
+            sent_stride: 8,
+        },
         ..MdesConfig::default()
     };
-    let mdes = Mdes::fit(&plant.traces, plant.days_range(1, 5), plant.days_range(6, 8), cfg)?;
+    let mdes = Mdes::fit(
+        &plant.traces,
+        plant.days_range(1, 5),
+        plant.days_range(6, 8),
+        cfg,
+    )?;
     let graph = mdes.graph();
-    println!("Ori-MVRG: {} sensors, {} relationships", graph.len(), graph.edge_count());
+    println!(
+        "Ori-MVRG: {} sensors, {} relationships",
+        graph.len(),
+        graph.edge_count()
+    );
 
     // Global subgraphs per BLEU bucket (Table I style).
     println!("\nrange      | %rel | sensors | popular");
@@ -68,9 +82,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Communities in a strong local subgraph vs ground-truth components.
     let range = ScoreRange::closed(60.0, 100.0);
     let comms = mdes.communities(&range, None);
-    println!("\ncommunities at {range} (modularity {:.2}):", comms.modularity);
-    let by_name: HashMap<&str, usize> =
-        plant.sensors.iter().map(|s| (s.name.as_str(), s.component)).collect();
+    println!(
+        "\ncommunities at {range} (modularity {:.2}):",
+        comms.modularity
+    );
+    let by_name: HashMap<&str, usize> = plant
+        .sensors
+        .iter()
+        .map(|s| (s.name.as_str(), s.component))
+        .collect();
     for (i, group) in comms.groups.iter().enumerate() {
         let members: Vec<String> = group
             .iter()
@@ -94,6 +114,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     std::fs::create_dir_all("results")?;
     std::fs::write("results/knowledge_discovery_global_80_90.dot", &dot)?;
-    println!("\nwrote results/knowledge_discovery_global_80_90.dot ({} bytes)", dot.len());
+    println!(
+        "\nwrote results/knowledge_discovery_global_80_90.dot ({} bytes)",
+        dot.len()
+    );
     Ok(())
 }

@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mut cfg = MdesConfig {
-        window: WindowConfig { word_len: 6, word_stride: 1, sent_len: 8, sent_stride: 8 },
+        window: WindowConfig {
+            word_len: 6,
+            word_stride: 1,
+            sent_len: 8,
+            sent_stride: 8,
+        },
         ..MdesConfig::default()
     };
     cfg.detection.valid_range = ScoreRange::closed(40.0, 95.0);

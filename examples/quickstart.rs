@@ -14,7 +14,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let events = (0..samples)
             .map(|t| {
                 let extra = slip_at.map_or(0, |s| if t >= s { 3 } else { 0 });
-                if ((t + phase + extra) / 5).is_multiple_of(2) { "on" } else { "off" }.to_owned()
+                if ((t + phase + extra) / 5).is_multiple_of(2) {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned()
             })
             .collect();
         RawTrace::new(name, events)
@@ -26,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let cfg = MdesConfig {
-        window: WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 },
+        window: WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        },
         ..MdesConfig::default()
     };
 
@@ -37,24 +47,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("relationship graph ({} sensors):", mdes.graph().len());
     for (s, d, w) in mdes.graph().edges() {
-        println!("  {} -> {}: BLEU {w:.1}", mdes.graph().name(s), mdes.graph().name(d));
+        println!(
+            "  {} -> {}: BLEU {w:.1}",
+            mdes.graph().name(s),
+            mdes.graph().name(d)
+        );
     }
 
     // Online: monitor the remaining samples (the slip happens mid-segment).
     let result = mdes.detect_range(&traces, 600..1200)?;
-    println!("\nanomaly scores over the test window ({} models valid):", result.valid_models);
+    println!(
+        "\nanomaly scores over the test window ({} models valid):",
+        result.valid_models
+    );
     for (k, (&start, &score)) in result.starts.iter().zip(&result.scores).enumerate() {
         let marker = if score > 0.5 { "  <-- anomaly" } else { "" };
-        println!("  sentence {k:2} (t={:4}): a_t = {score:.2}{marker}", 600 + start);
+        println!(
+            "  sentence {k:2} (t={:4}): a_t = {score:.2}{marker}",
+            600 + start
+        );
     }
 
     let spikes = result.detections(0.5);
-    println!("\ndetected {} anomalous windows (threshold 0.5)", spikes.len());
+    println!(
+        "\ndetected {} anomalous windows (threshold 0.5)",
+        spikes.len()
+    );
     if let Some(&first) = spikes.first() {
         let diag = mdes.diagnose_alerts(&result.alerts[first]);
         println!("diagnosis of the first spike: suspect sensors (by broken edges):");
         for (sensor, count) in &diag.sensor_ranking {
-            println!("  {}: {count} broken relationships", mdes.graph().name(*sensor));
+            println!(
+                "  {}: {count} broken relationships",
+                mdes.graph().name(*sensor)
+            );
         }
     }
     Ok(())

@@ -25,14 +25,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Offline: fit and persist. ---
     let mut cfg = MdesConfig {
-        window: WindowConfig { word_len: 6, word_stride: 1, sent_len: 8, sent_stride: 8 },
+        window: WindowConfig {
+            word_len: 6,
+            word_stride: 1,
+            sent_len: 8,
+            sent_stride: 8,
+        },
         ..MdesConfig::default()
     };
     cfg.detection.valid_range = ScoreRange::closed(60.0, 100.0);
     cfg.build.floor_quantile = 0.25;
     // Calibrated threshold: fewer false alarms than the paper's rule.
     cfg.detection.rule = BrokenRule::DevQuantileFloor;
-    let trained = Mdes::fit(&plant.traces, plant.days_range(1, 5), plant.days_range(6, 7), cfg)?;
+    let trained = Mdes::fit(
+        &plant.traces,
+        plant.days_range(1, 5),
+        plant.days_range(6, 7),
+        cfg,
+    )?;
     let model_path = std::env::temp_dir().join("mdes_streaming_model.json");
     std::fs::write(&model_path, serde_json::to_string(&trained)?)?;
     println!(
@@ -78,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             diag.faulty_clusters.len()
         );
         for (sensor, count) in diag.sensor_ranking.iter().take(5) {
-            println!("  {} ({count} broken relationships)", monitor.graph().name(*sensor));
+            println!(
+                "  {} ({count} broken relationships)",
+                monitor.graph().name(*sensor)
+            );
         }
         let spread: usize = timeline
             .iter()

@@ -97,9 +97,17 @@ fn require(args: &[String], key: &str) -> Result<String, String> {
 }
 
 fn parse_range(s: &str) -> Result<Range<usize>, String> {
-    let (a, b) = s.split_once("..").ok_or_else(|| format!("range `{s}` must be A..B"))?;
-    let a: usize = a.trim().parse().map_err(|_| format!("bad range start `{a}`"))?;
-    let b: usize = b.trim().parse().map_err(|_| format!("bad range end `{b}`"))?;
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| format!("range `{s}` must be A..B"))?;
+    let a: usize = a
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range start `{a}`"))?;
+    let b: usize = b
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad range end `{b}`"))?;
     if a >= b {
         return Err(format!("empty range `{s}`"));
     }
@@ -122,7 +130,9 @@ fn parse_score_range(s: &str) -> Result<ScoreRange, String> {
 fn parse_num<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
     match opt(args, key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad numeric value for --{key}: `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad numeric value for --{key}: `{v}`")),
     }
 }
 
@@ -140,8 +150,10 @@ fn load_traces(path: &str) -> Result<Vec<RawTrace>, Box<dyn std::error::Error>> 
 fn load_model(path: &str) -> Result<Mdes, Box<dyn std::error::Error>> {
     let data = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read model file `{path}`: {e}"))?;
-    Ok(serde_json::from_str(&data)
-        .map_err(|e| format!("cannot parse model file `{path}`: {e}"))?)
+    Ok(
+        serde_json::from_str(&data)
+            .map_err(|e| format!("cannot parse model file `{path}`: {e}"))?,
+    )
 }
 
 fn simulate_plant(args: &[String]) -> CliResult {
@@ -175,7 +187,10 @@ fn simulate_hdd(args: &[String]) -> CliResult {
     let fleet = hdd::generate(&cfg);
     std::fs::write(&out, serde_json::to_string(&fleet)?)?;
     let failed = fleet.drives.iter().filter(|d| d.failed).count();
-    println!("wrote {} drives ({failed} failing) to {out}", fleet.drives.len());
+    println!(
+        "wrote {} drives ({failed} failing) to {out}",
+        fleet.drives.len()
+    );
     Ok(())
 }
 
@@ -219,7 +234,11 @@ fn detect(args: &[String]) -> CliResult {
     let result = model.detect_range(&traces, range.clone())?;
     println!("window | start | a_t | broken");
     for (t, (&score, &start)) in result.scores.iter().zip(&result.starts).enumerate() {
-        let mark = if score >= threshold { "  <-- anomaly" } else { "" };
+        let mark = if score >= threshold {
+            "  <-- anomaly"
+        } else {
+            ""
+        };
         println!(
             "{t:6} | {:5} | {score:.3} | {}{mark}",
             range.start + start,
@@ -282,17 +301,15 @@ fn diagnose(args: &[String]) -> CliResult {
     let range = parse_range(&require(args, "range")?)?;
     let result = model.detect_range(&traces, range)?;
     let window = match opt(args, "window") {
-        Some(v) => v.parse::<usize>().map_err(|_| format!("bad --window `{v}`"))?,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| format!("bad --window `{v}`"))?,
         None => (0..result.scores.len())
             .max_by(|&a, &b| result.scores[a].total_cmp(&result.scores[b]))
             .ok_or("no detection windows")?,
     };
     if window >= result.scores.len() {
-        return Err(format!(
-            "window {window} out of range 0..{}",
-            result.scores.len()
-        )
-        .into());
+        return Err(format!("window {window} out of range 0..{}", result.scores.len()).into());
     }
     let diag = model.diagnose_alerts(&result.alerts[window]);
     println!(
@@ -308,7 +325,10 @@ fn diagnose(args: &[String]) -> CliResult {
     }
     println!("suspect sensors:");
     for (sensor, count) in diag.sensor_ranking.iter().take(10) {
-        println!("  {} ({count} broken relationships)", model.graph().name(*sensor));
+        println!(
+            "  {} ({count} broken relationships)",
+            model.graph().name(*sensor)
+        );
     }
     Ok(())
 }

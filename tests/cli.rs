@@ -36,7 +36,11 @@ fn full_cli_workflow() {
         "--minutes",
         "288",
     ]);
-    assert!(out.status.success(), "simulate: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "simulate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(std::fs::metadata(&traces).expect("traces file").len() > 1000);
 
     // fit on days 1-4, dev 5-6; use a wide validity range so detection on
@@ -58,33 +62,80 @@ fn full_cli_workflow() {
         "--valid",
         "40..100",
     ]);
-    assert!(out.status.success(), "fit: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "fit: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("directional models"), "fit output: {stdout}");
+    assert!(
+        stdout.contains("directional models"),
+        "fit output: {stdout}"
+    );
 
     // detect over days 7-10.
-    let out = mdes(&["detect", "--model", &model, "--traces", &traces, "--range", "1728..2880"]);
-    assert!(out.status.success(), "detect: {}", String::from_utf8_lossy(&out.stderr));
+    let out = mdes(&[
+        "detect",
+        "--model",
+        &model,
+        "--traces",
+        &traces,
+        "--range",
+        "1728..2880",
+    ]);
+    assert!(
+        out.status.success(),
+        "detect: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("a_t"), "detect output: {stdout}");
     assert!(stdout.contains("valid models"));
 
     // discover structure and export DOT.
-    let out = mdes(&["discover", "--model", &model, "--range", "40..100", "--dot", &dot]);
-    assert!(out.status.success(), "discover: {}", String::from_utf8_lossy(&out.stderr));
+    let out = mdes(&[
+        "discover", "--model", &model, "--range", "40..100", "--dot", &dot,
+    ]);
+    assert!(
+        out.status.success(),
+        "discover: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dot_content = std::fs::read_to_string(&dot).expect("dot file");
     assert!(dot_content.starts_with("digraph"));
 
     // diagnose the worst window.
-    let out = mdes(&["diagnose", "--model", &model, "--traces", &traces, "--range", "1728..2880"]);
-    assert!(out.status.success(), "diagnose: {}", String::from_utf8_lossy(&out.stderr));
+    let out = mdes(&[
+        "diagnose",
+        "--model",
+        &model,
+        "--traces",
+        &traces,
+        "--range",
+        "1728..2880",
+    ]);
+    assert!(
+        out.status.success(),
+        "diagnose: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("broken pairs"), "diagnose output: {stdout}");
 }
 
 #[test]
 fn cli_reports_clean_errors() {
-    let out = mdes(&["fit", "--traces", "/nonexistent.json", "--train", "0..10", "--dev", "10..20", "--out", "/tmp/x.json"]);
+    let out = mdes(&[
+        "fit",
+        "--traces",
+        "/nonexistent.json",
+        "--train",
+        "0..10",
+        "--dev",
+        "10..20",
+        "--out",
+        "/tmp/x.json",
+    ]);
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("cannot read traces file"), "stderr: {err}");
@@ -92,7 +143,15 @@ fn cli_reports_clean_errors() {
     let out = mdes(&["unknown-command"]);
     assert!(!out.status.success());
 
-    let out = mdes(&["detect", "--model", "/nonexistent.json", "--traces", "/also-nope.json", "--range", "0..10"]);
+    let out = mdes(&[
+        "detect",
+        "--model",
+        "/nonexistent.json",
+        "--traces",
+        "/also-nope.json",
+        "--range",
+        "0..10",
+    ]);
     assert!(!out.status.success());
 }
 

@@ -11,7 +11,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn fleet() -> mdes::synth::hdd::HddData {
-    generate(&HddConfig { n_drives: 12, days: 200, failure_fraction: 0.4, ..HddConfig::default() })
+    generate(&HddConfig {
+        n_drives: 12,
+        days: 200,
+        failure_fraction: 0.4,
+        ..HddConfig::default()
+    })
 }
 
 #[test]
@@ -64,10 +69,12 @@ fn pooled_graph_training_and_detection_work() {
             RawTrace::new(per_drive[0].1[f].name.clone(), events)
         })
         .collect();
-    let pipeline =
-        LanguagePipeline::fit(&cat, 0..cat[0].events.len(), window).expect("fit");
+    let pipeline = LanguagePipeline::fit(&cat, 0..cat[0].events.len(), window).expect("fit");
     let n = pipeline.sensor_count();
-    let empty = SentenceSet { sentences: Vec::new(), starts: Vec::new() };
+    let empty = SentenceSet {
+        sentences: Vec::new(),
+        starts: Vec::new(),
+    };
     let (mut train_sets, mut dev_sets) = (vec![empty.clone(); n], vec![empty; n]);
     for (d, traces) in &per_drive {
         let (tr, dv, _) = windows(*d);
@@ -80,9 +87,13 @@ fn pooled_graph_training_and_detection_work() {
             dev_sets[k].starts.extend_from_slice(&v[k].starts);
         }
     }
-    let trained =
-        build_graph(&pipeline, &train_sets, &dev_sets, &GraphBuildConfig::default())
-            .expect("build");
+    let trained = build_graph(
+        &pipeline,
+        &train_sets,
+        &dev_sets,
+        &GraphBuildConfig::default(),
+    )
+    .expect("build");
     assert_eq!(trained.models().len(), n * (n - 1));
 
     // Detection runs for every drive and yields bounded scores.
@@ -114,7 +125,13 @@ fn tabular_baseline_flow_is_consistent() {
     let mut rng = StdRng::seed_from_u64(5);
     let (train, test) = data.train_test_split(0.8, &mut rng);
     let balanced = train.undersample_balanced(&mut rng);
-    let forest = RandomForest::fit(&balanced, &ForestConfig { n_trees: 20, ..Default::default() });
+    let forest = RandomForest::fit(
+        &balanced,
+        &ForestConfig {
+            n_trees: 20,
+            ..Default::default()
+        },
+    );
     let conf = Confusion::from_predictions(&forest.predict(&test.x), &test.y);
     // The degradation signature is learnable: recall must beat coin flipping.
     assert!(conf.recall() > 0.5, "rf recall {}", conf.recall());

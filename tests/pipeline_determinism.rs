@@ -1,0 +1,102 @@
+//! Thread-count invariance of the full pipeline.
+//!
+//! Algorithm 1's sweep distributes sensor pairs over worker threads, but each
+//! pair model is trained independently and deterministically, so the fitted
+//! framework must not depend on the thread count in any way. These tests
+//! extend the `multithreaded_matches_single_thread` unit test (which compares
+//! graphs on a toy corpus) to the whole [`Mdes`] pipeline on synthetic plant
+//! data: the serialized MVRG must be byte identical between a
+//! single-threaded and a four-threaded fit, for both translator families;
+//! every pair model's score and calibrated floor must match; and detection on
+//! the fitted instance must agree too (for NMT that exercises every decoder
+//! weight of every pair model).
+
+use mdes::core::{Mdes, MdesConfig, TranslatorConfig};
+use mdes::graph::ScoreRange;
+use mdes::lang::WindowConfig;
+use mdes::nn::Seq2SeqConfig;
+use mdes::synth::plant::{generate, PlantConfig};
+
+struct FitOutput {
+    /// The serialized multivariate relationship graph.
+    graph_json: String,
+    /// `(src, dst, train_score, dev_floor)` per pair model.
+    models: Vec<(usize, usize, f64, f64)>,
+    /// Anomaly scores on the held-out anomalous day.
+    detection: Vec<f64>,
+}
+
+/// Fits the same plant with the given thread count.
+fn fit_plant(threads: usize, translator: TranslatorConfig) -> FitOutput {
+    let plant = generate(&PlantConfig {
+        n_sensors: 6,
+        days: 8,
+        minutes_per_day: 288,
+        n_components: 2,
+        anomaly_days: vec![7],
+        precursor_days: vec![],
+        ..PlantConfig::default()
+    });
+    let mut cfg = MdesConfig {
+        window: WindowConfig {
+            word_len: 5,
+            word_stride: 1,
+            sent_len: 6,
+            sent_stride: 6,
+        },
+        ..MdesConfig::default()
+    };
+    cfg.build.translator = translator;
+    cfg.build.threads = threads;
+    cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+    let m = Mdes::fit(
+        &plant.traces,
+        plant.days_range(1, 3),
+        plant.days_range(4, 5),
+        cfg,
+    )
+    .expect("fit");
+    FitOutput {
+        graph_json: serde_json::to_string(m.graph()).expect("serialize"),
+        models: m
+            .trained()
+            .models()
+            .iter()
+            .map(|p| (p.src, p.dst, p.train_score, p.dev_floor))
+            .collect(),
+        detection: m
+            .detect_range(&plant.traces, plant.day_range(7))
+            .expect("detect")
+            .scores,
+    }
+}
+
+#[test]
+fn ngram_pipeline_identical_across_thread_counts() {
+    let one = fit_plant(1, TranslatorConfig::fast());
+    let four = fit_plant(4, TranslatorConfig::fast());
+    assert_eq!(
+        one.graph_json, four.graph_json,
+        "MVRG differs across thread counts"
+    );
+    assert_eq!(one.models, four.models);
+    assert_eq!(one.detection, four.detection);
+}
+
+#[test]
+fn nmt_pipeline_identical_across_thread_counts() {
+    let tiny = TranslatorConfig::Nmt(Seq2SeqConfig {
+        embed_dim: 10,
+        hidden: 10,
+        train_steps: 25,
+        ..Seq2SeqConfig::default()
+    });
+    let one = fit_plant(1, tiny.clone());
+    let four = fit_plant(4, tiny);
+    assert_eq!(
+        one.graph_json, four.graph_json,
+        "MVRG differs across thread counts"
+    );
+    assert_eq!(one.models, four.models);
+    assert_eq!(one.detection, four.detection);
+}

@@ -11,7 +11,14 @@ fn toggling(name: &str, n: usize, period: usize, phase: usize) -> RawTrace {
     RawTrace::new(
         name,
         (0..n)
-            .map(|t| if ((t + phase) / period).is_multiple_of(2) { "on" } else { "off" }.to_owned())
+            .map(|t| {
+                if ((t + phase) / period).is_multiple_of(2) {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned()
+            })
             .collect(),
     )
 }
@@ -23,7 +30,12 @@ fn pair_score(cfg: &TranslatorConfig, src: usize, dst: usize) -> f64 {
         toggling("b", 700, 5, 2),
         toggling("c", 700, 7, 3),
     ];
-    let wcfg = WindowConfig { word_len: 4, word_stride: 1, sent_len: 5, sent_stride: 5 };
+    let wcfg = WindowConfig {
+        word_len: 4,
+        word_stride: 1,
+        sent_len: 5,
+        sent_stride: 5,
+    };
     let pipeline = LanguagePipeline::fit(&traces, 0..400, wcfg).expect("fit");
     let train = pipeline.encode_segment(&traces, 0..400).expect("train");
     let dev = pipeline.encode_segment(&traces, 400..700).expect("dev");
@@ -41,8 +53,11 @@ fn pair_score(cfg: &TranslatorConfig, src: usize, dst: usize) -> f64 {
         Vocab::BOS,
     )
     .expect("train translator");
-    let hyps: Vec<Vec<u32>> =
-        dev[src].sentences.iter().map(|s| translator.translate(s, 5)).collect();
+    let hyps: Vec<Vec<u32>> = dev[src]
+        .sentences
+        .iter()
+        .map(|s| translator.translate(s, 5))
+        .collect();
     corpus_bleu(&hyps, &dev[dst].sentences, &BleuConfig::sentence())
 }
 
@@ -61,7 +76,10 @@ fn both_translators_rank_related_above_unrelated() {
             related > unrelated + 10.0,
             "{cfg:?}: related {related:.1} should beat unrelated {unrelated:.1}"
         );
-        assert!(related > 70.0, "{cfg:?}: related pair too weak: {related:.1}");
+        assert!(
+            related > 70.0,
+            "{cfg:?}: related pair too weak: {related:.1}"
+        );
     }
 }
 

@@ -1,0 +1,250 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Each benchmark is
+//! auto-calibrated to a target measurement time and reports the median
+//! per-iteration latency in criterion-like `time: [..]` lines.
+//!
+//! Running a subset works the same way as real criterion: extra CLI
+//! arguments act as a substring filter on benchmark names, and `--test` /
+//! `--bench` flags are accepted (and ignored) so `cargo test` and
+//! `cargo bench` both drive these targets.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost; only the hint names are needed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine: batch many iterations per setup.
+    SmallInput,
+    /// Large routine: one setup per iteration.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Measurement state handed to each benchmark closure.
+pub struct Bencher {
+    /// Collected per-iteration times (ns) for the measurement phase.
+    samples: Vec<f64>,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` by timing batches of calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find a batch size taking ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            batch *= 2;
+        }
+        // Measure until the time budget is spent (at least 10 samples).
+        let deadline = Instant::now() + self.measurement_time;
+        while self.samples.len() < 10 || Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_secs_f64() * 1e9 / batch as f64);
+            if self.samples.len() >= 5000 {
+                break;
+            }
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs built by `setup`, excluding the
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.measurement_time;
+        while self.samples.len() < 10 || Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64() * 1e9);
+            if self.samples.len() >= 5000 {
+                break;
+            }
+        }
+    }
+}
+
+/// Benchmark driver; one instance runs every registered bench function.
+pub struct Criterion {
+    filter: Option<String>,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments: a positional substring filters benchmark
+    /// names; harness flags passed by `cargo test`/`cargo bench` are
+    /// accepted and ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "-q" | "--noplot" => {}
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.measurement_time = Duration::from_secs_f64(secs);
+                    }
+                }
+                other if !other.starts_with('-') => self.filter = Some(other.to_string()),
+                _ => {}
+            }
+        }
+        if let Ok(ms) = std::env::var("MDES_BENCH_MS") {
+            if let Ok(ms) = ms.parse::<u64>() {
+                self.measurement_time = Duration::from_millis(ms);
+            }
+        }
+        self
+    }
+
+    /// Sets the measurement time budget per benchmark.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Runs one benchmark if it passes the name filter, printing a
+    /// criterion-style `time: [lo mid hi]` line (min / median / max here).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        let mut s = bencher.samples;
+        if s.is_empty() {
+            println!("{id:<40} (no samples)");
+            return self;
+        }
+        s.sort_by(f64::total_cmp);
+        let lo = s[0];
+        let mid = s[s.len() / 2];
+        let hi = s[s.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(lo),
+            fmt_ns(mid),
+            fmt_ns(hi)
+        );
+        self
+    }
+
+    /// Finalizes the run (no-op; reports were printed inline).
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Re-exported measurement marker types (API compatibility).
+pub mod measurement {
+    /// Wall-clock time measurement (the only one supported).
+    pub struct WallTime;
+}
+
+/// Registers a named group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Opaque value barrier; re-export of `std::hint::black_box` for benches
+/// importing it from criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(2u64 + 2)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(2));
+        c.bench_function("smoke/batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(12.0), "12.00 ns");
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(2e9).ends_with(" s"));
+    }
+}

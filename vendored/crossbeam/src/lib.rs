@@ -1,0 +1,115 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::scope` with the 0.8 API shape — the spawn closure
+//! receives a `&Scope` argument, and panics in worker threads surface as an
+//! `Err` from `scope` rather than unwinding — implemented on top of
+//! `std::thread::scope`.
+
+#![warn(missing_docs)]
+
+use std::panic::AssertUnwindSafe;
+
+/// Scoped-thread handle passed to the `scope` closure and to each spawned
+/// worker (crossbeam spawns take a `|scope| ...` argument; std's do not).
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker thread scoped to this scope.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Join handle for a scoped worker thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result (or the panic
+    /// payload as `Err`).
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned; all
+/// spawned threads are joined before `scope` returns. A panic in any worker
+/// (or in `f`) is caught and returned as `Err` with the panic payload,
+/// matching crossbeam's contract.
+///
+/// # Errors
+///
+/// Returns the panic payload if `f` or any unjoined worker thread panics.
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias (the 0.8 layout re-exports `scope` at
+/// the crate root; some code paths spell it `crossbeam::thread::scope`).
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let v =
+            super::scope(|scope| scope.spawn(|_| 7usize).join().expect("join")).expect("no panics");
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,475 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serialization framework with serde-compatible *spelling*: the
+//! [`Serialize`] / [`Deserialize`] traits and `#[derive(Serialize,
+//! Deserialize)]` (via the vendored `serde_derive`). Instead of serde's
+//! visitor-based zero-copy model, values round-trip through an owned
+//! [`Content`] tree which `serde_json` renders to / parses from JSON.
+//!
+//! Coverage is intentionally limited to what this workspace uses: named
+//! structs, externally tagged enums, primitives, `String`, `Vec`, `Option`,
+//! 2/3-tuples, and `HashMap` with integer or string keys (serialized with
+//! sorted keys so output is deterministic).
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing intermediate tree every value serializes into.
+///
+/// Mirrors the JSON data model: maps preserve insertion order and carry
+/// string keys.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (always `< 0` when produced by the serializer).
+    I64(i64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object: ordered `(key, value)` pairs.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::I64(v) => Some(v),
+            Content::U64(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::F64(v) => Some(v),
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message plus no position info (errors are rare
+/// and always fatal for this workspace's trusted inputs).
+#[derive(Clone, Debug)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X" error.
+    pub fn expected(what: &str) -> Self {
+        DeError(format!("expected {what}"))
+    }
+
+    /// Type mismatch while deserializing.
+    pub fn mismatch(expected: &str, found: &Content) -> Self {
+        DeError(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// A required struct field is absent.
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+
+    /// An enum tag names no known variant.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` for enum {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Conversion into the [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the intermediate tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Conversion out of the [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes a value from the intermediate tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up and deserializes a struct field (used by generated code).
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(content: &Content, name: &str) -> Result<T, DeError> {
+    let Content::Map(entries) = content else {
+        return Err(DeError::mismatch("object", content));
+    };
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_content(v),
+        None => Err(DeError::missing_field(name)),
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                content
+                    .as_u64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::mismatch(stringify!($t), content))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v < 0 { Content::I64(v) } else { Content::U64(v as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                content
+                    .as_i64()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::mismatch(stringify!($t), content))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .ok_or_else(|| DeError::mismatch("f64", content))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::mismatch("f32", content))
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            other => Err(DeError::mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![self.0.to_content(), self.1.to_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                Ok((A::from_content(&items[0])?, B::from_content(&items[1])?))
+            }
+            other => Err(DeError::mismatch("2-element array", other)),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.to_content(),
+            self.1.to_content(),
+            self.2.to_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 3 => Ok((
+                A::from_content(&items[0])?,
+                B::from_content(&items[1])?,
+                C::from_content(&items[2])?,
+            )),
+            other => Err(DeError::mismatch("3-element array", other)),
+        }
+    }
+}
+
+/// Types usable as JSON object keys (JSON keys are always strings, so
+/// integer keys go through their decimal representation, as in real
+/// `serde_json`).
+pub trait MapKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a JSON object key.
+    fn parse_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn parse_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn parse_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::custom(format!(
+                    "invalid {} map key `{s}`", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K, V, S> Serialize for HashMap<K, V, S>
+where
+    K: MapKey,
+    V: Serialize,
+    S: std::hash::BuildHasher,
+{
+    fn to_content(&self) -> Content {
+        // Sorted keys: hash order is nondeterministic, and downstream
+        // consumers compare serialized artifacts byte-for-byte.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let Content::Map(entries) = content else {
+            return Err(DeError::mismatch("object", content));
+        };
+        let mut map = HashMap::with_capacity_and_hasher(entries.len(), S::default());
+        for (k, v) in entries {
+            map.insert(K::parse_key(k)?, V::from_content(v)?);
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_content(&42u32.to_content()).unwrap(), 42);
+        assert_eq!(i64::from_content(&(-7i64).to_content()).unwrap(), -7);
+        assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn unsigned_rejects_negative() {
+        assert!(u32::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn float_accepts_integer_content() {
+        assert_eq!(f64::from_content(&Content::U64(3)).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![vec![1u8, 2], vec![3]];
+        assert_eq!(Vec::<Vec<u8>>::from_content(&v.to_content()).unwrap(), v);
+
+        let o: Option<f64> = None;
+        assert_eq!(Option::<f64>::from_content(&o.to_content()).unwrap(), None);
+        assert_eq!(
+            Option::<f64>::from_content(&Some(2.0).to_content()).unwrap(),
+            Some(2.0)
+        );
+
+        let t = (3usize, 4.5f64);
+        assert_eq!(<(usize, f64)>::from_content(&t.to_content()).unwrap(), t);
+    }
+
+    #[test]
+    fn hashmap_sorted_and_round_trips() {
+        let mut m: HashMap<u32, Vec<u32>> = HashMap::new();
+        m.insert(10, vec![1]);
+        m.insert(2, vec![2, 3]);
+        let c = m.to_content();
+        if let Content::Map(entries) = &c {
+            let keys: Vec<&str> = entries.iter().map(|(k, _)| k.as_str()).collect();
+            assert_eq!(keys, ["10", "2"], "lexicographically sorted keys");
+        } else {
+            panic!("expected map");
+        }
+        assert_eq!(HashMap::<u32, Vec<u32>>::from_content(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn missing_field_reported() {
+        let c = Content::Map(vec![("a".to_string(), Content::U64(1))]);
+        let err = __field::<u32>(&c, "b").unwrap_err();
+        assert!(err.to_string().contains("missing field `b`"));
+    }
+}

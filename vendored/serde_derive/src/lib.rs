@@ -1,0 +1,416 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored `serde` crate's simplified data model (`serde::Content`). The
+//! macro has no dependencies (no `syn`/`quote`): it walks `proc_macro`
+//! TokenTrees directly and emits the impl as a string parsed back into a
+//! `TokenStream`.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! - structs with named fields
+//! - enums with unit, newtype, and struct variants (externally tagged)
+//! - `#[serde(skip)]` on fields (omitted on serialize, `Default::default()`
+//!   on deserialize)
+//! - `#[serde(from = "Shadow")]` on structs (deserialize the shadow type,
+//!   then convert with `From`)
+//!
+//! Generics, tuple structs, and other serde attributes are rejected with a
+//! compile error naming the construct.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored data model) for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (vendored data model) for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// `#[serde(from = "T")]` payload, if present.
+    from: Option<String>,
+    shape: Shape,
+}
+
+/// Attributes found on one item/field/variant.
+#[derive(Default)]
+struct Attrs {
+    skip: bool,
+    from: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+
+    let attrs = parse_attrs(&tokens, &mut pos);
+    skip_visibility(&tokens, &mut pos);
+
+    let kind = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+    pos += 1;
+    let name = match &tokens[pos] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found `{other}`"),
+    };
+    pos += 1;
+
+    if matches!(&tokens[pos], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored derive");
+    }
+
+    let body = match &tokens[pos] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive: `{name}` must have a braced body (tuple/unit items unsupported), found `{other}`"
+        ),
+    };
+
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(body)),
+        "enum" => Shape::Enum(parse_variants(body)),
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    };
+
+    Item {
+        name,
+        from: attrs.from,
+        shape,
+    }
+}
+
+/// Parses a run of `#[...]` outer attributes starting at `*pos`, returning
+/// any serde attributes found and advancing past all of them.
+fn parse_attrs(tokens: &[TokenTree], pos: &mut usize) -> Attrs {
+    let mut attrs = Attrs::default();
+    while *pos < tokens.len() {
+        match &tokens[*pos] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let TokenTree::Group(g) = &tokens[*pos + 1] else {
+                    panic!("serde_derive: malformed attribute");
+                };
+                parse_one_attr(g.stream(), &mut attrs);
+                *pos += 2;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Inspects the bracketed body of one attribute (`serde(...)`, `doc = ...`,
+/// `default`, ...), recording serde directives and ignoring the rest.
+fn parse_one_attr(stream: TokenStream, attrs: &mut Attrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // #[doc = ...], #[default], #[derive(...)], ...
+    }
+    let Some(TokenTree::Group(args)) = tokens.get(1) else {
+        panic!("serde_derive: bare `#[serde]` attribute is not supported");
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    match args.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "skip" => attrs.skip = true,
+        Some(TokenTree::Ident(id)) if id.to_string() == "from" => {
+            let Some(TokenTree::Literal(lit)) = args.get(2) else {
+                panic!("serde_derive: expected `#[serde(from = \"Type\")]`");
+            };
+            let s = lit.to_string();
+            attrs.from = Some(s.trim_matches('"').to_string());
+        }
+        other => panic!(
+            "serde_derive: unsupported serde attribute `{}` (vendored derive supports `skip` and `from`)",
+            other.map_or_else(String::new, |t| t.to_string())
+        ),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(&tokens[*pos], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *pos += 1;
+        // pub(crate) / pub(super)
+        if matches!(&tokens[*pos], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            *pos += 1;
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists. Types are skipped, not kept:
+/// the generated code never needs them (field types are inferred at the use
+/// site). Top-level commas are found by tracking `<`/`>` depth — commas
+/// inside parenthesised tuple types are hidden inside their `Group`.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = parse_attrs(&tokens, &mut pos);
+        skip_visibility(&tokens, &mut pos);
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        pos += 1;
+        match &tokens[pos] {
+            TokenTree::Punct(p) if p.as_char() == ':' => pos += 1,
+            _ => panic!("serde_derive: tuple structs are not supported (field `{name}`)"),
+        }
+        let mut angle_depth = 0i32;
+        while pos < tokens.len() {
+            match &tokens[pos] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let _attrs = parse_attrs(&tokens, &mut pos); // #[default], docs
+        let name = match &tokens[pos] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        pos += 1;
+        let kind = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                let n = count_tuple_elems(g.stream());
+                if n != 1 {
+                    panic!(
+                        "serde_derive: variant `{name}` has {n} tuple fields; only newtype variants are supported"
+                    );
+                }
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_elems(stream: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut elems = 0usize;
+    let mut saw_token = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                elems += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        elems += 1;
+    }
+    elems
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "__m.push((\"{n}\".to_string(), serde::Serialize::to_content(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let mut __m: Vec<(String, serde::Content)> = Vec::new();\n{pushes}serde::Content::Map(__m)"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(__v) => serde::Content::Map(vec![(\"{vn}\".to_string(), serde::Serialize::to_content(__v))]),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut pushes = String::new();
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            pushes.push_str(&format!(
+                                "__m.push((\"{n}\".to_string(), serde::Serialize::to_content({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n\
+                             let mut __m: Vec<(String, serde::Content)> = Vec::new();\n\
+                             {pushes}\
+                             serde::Content::Map(vec![(\"{vn}\".to_string(), serde::Content::Map(__m))])\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_mut)]\n\
+         impl serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> serde::Content {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    if let Some(from_ty) = &item.from {
+        return format!(
+            "#[automatically_derived]\n#[allow(clippy::all, unused_mut)]\n\
+             impl serde::Deserialize for {name} {{\n\
+             fn from_content(__c: &serde::Content) -> Result<Self, serde::DeError> {{\n\
+             let __shadow: {from_ty} = serde::Deserialize::from_content(__c)?;\n\
+             Ok(<{name} as From<{from_ty}>>::from(__shadow))\n\
+             }}\n}}\n"
+        );
+    }
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!("{n}: Default::default(),\n", n = f.name));
+                } else {
+                    inits.push_str(&format!(
+                        "{n}: serde::__field(__c, \"{n}\")?,\n",
+                        n = f.name
+                    ));
+                }
+            }
+            format!("Ok(Self {{\n{inits}}})")
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    VariantKind::Newtype => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_content(__inner)?)),\n"
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{n}: Default::default(),\n",
+                                    n = f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{n}: serde::__field(__inner, \"{n}\")?,\n",
+                                    n = f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __c {{\n\
+                 serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                 }},\n\
+                 serde::Content::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 let _ = __inner;\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(serde::DeError::unknown_variant(\"{name}\", __other)),\n\
+                 }}\n\
+                 }}\n\
+                 _ => Err(serde::DeError::expected(\"externally tagged enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_mut)]\n\
+         impl serde::Deserialize for {name} {{\n\
+         fn from_content(__c: &serde::Content) -> Result<Self, serde::DeError> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
