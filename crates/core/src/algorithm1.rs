@@ -6,17 +6,86 @@
 //! [`RelGraph`]. The sweep is embarrassingly parallel and runs on a small
 //! thread pool (crossbeam scoped threads pulling pair indices from an atomic
 //! counter).
+//!
+//! # Fault tolerance
+//!
+//! A full sweep trains `M·(M-1)` models, and a single bad pair — a diverging
+//! optimization, a panic deep in a kernel — should not discard hours of
+//! completed work. Three mechanisms contain per-pair failures:
+//!
+//! * **Divergence retries** — when a pair's training loss goes non-finite
+//!   ([`NnError::Diverged`]), the pair is retrained up to
+//!   [`GraphBuildConfig::max_retries`] times with a re-seeded initialization
+//!   and a halved learning rate per attempt.
+//! * **Panic isolation** — each pair's work runs under
+//!   [`std::panic::catch_unwind`], so a panicking worker poisons one pair,
+//!   not the process.
+//! * **[`FailurePolicy`]** — when retries are exhausted (or a panic is
+//!   caught), `FailFast` aborts the sweep with
+//!   [`CoreError::PairQuarantined`], while `Degrade` records the pair as a
+//!   [`QuarantinedPair`] on the [`TrainedGraph`] and keeps sweeping, failing
+//!   only if too many pairs die ([`CoreError::TooManyFailedPairs`]).
+//!
+//! Long sweeps can additionally persist progress via
+//! [`GraphBuildConfig::checkpoint`]; see the [`checkpoint`](crate::checkpoint)
+//! module. Because each pair trains deterministically in isolation, a
+//! resumed sweep produces a graph identical to an uninterrupted one.
 
+use crate::checkpoint::{read_checkpoint, write_checkpoint, CheckpointConfig, CheckpointData};
 use crate::error::CoreError;
 use crate::translator::{train_translator, AnyTranslator, Translator, TranslatorConfig};
 use mdes_bleu::{corpus_bleu, BleuConfig};
 use mdes_graph::RelGraph;
 use mdes_lang::{LanguagePipeline, SentenceSet, Vocab};
+use mdes_nn::NnError;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::any::Any;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+/// Odd constant (2^64 / φ) used to derive retry seeds; spreads successive
+/// attempts across the seed space so a retry never repeats the failed
+/// initialization.
+const RESEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// How [`build_graph`] responds to a sensor pair whose training fails after
+/// all retries (or whose worker panics).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum FailurePolicy {
+    /// Abort the sweep on the first failed pair with
+    /// [`CoreError::PairQuarantined`]. The default.
+    #[default]
+    FailFast,
+    /// Quarantine failed pairs (recorded on
+    /// [`TrainedGraph::quarantined`], their edges left absent) and keep
+    /// sweeping.
+    Degrade {
+        /// Minimum fraction of pairs that must train successfully; when the
+        /// success fraction drops below it the sweep fails with
+        /// [`CoreError::TooManyFailedPairs`]. `0.0` accepts any number of
+        /// failures, `1.0` tolerates none.
+        min_success_fraction: f64,
+    },
+}
+
+/// A sensor pair excluded from the graph because its training failed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuarantinedPair {
+    /// Source sensor index of the failed pair.
+    pub src: usize,
+    /// Target sensor index of the failed pair.
+    pub dst: usize,
+    /// Final failure description (error text or panic payload).
+    pub error: String,
+    /// Retries performed before giving up (0 for panics, which are never
+    /// retried — a panic means an invariant broke, not that the optimizer
+    /// drew a bad initialization).
+    pub retries: usize,
+}
 
 /// Configuration of the pairwise training sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -32,6 +101,20 @@ pub struct GraphBuildConfig {
     /// each pair's *calibrated floor* (see
     /// [`BrokenRule::DevQuantileFloor`](crate::algorithm2::BrokenRule)).
     pub floor_quantile: f64,
+    /// Response to pairs that fail training.
+    pub policy: FailurePolicy,
+    /// Retrain attempts for a pair whose loss diverges, each with a fresh
+    /// seed and a halved learning rate. Only [`NnError::Diverged`] triggers
+    /// a retry; structural errors (empty corpus, ragged batches) are
+    /// deterministic and retrying them would waste the work.
+    pub max_retries: usize,
+    /// Periodic crash-safe persistence of completed pairs; `None` (default)
+    /// disables checkpointing. With a checkpoint configured, a valid
+    /// checkpoint file already at that path resumes the sweep.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Fault-injection hook for chaos tests: workers deliberately panic on
+    /// these `(src, dst)` pairs. Leave empty (the default) outside tests.
+    pub chaos_fail_pairs: Vec<(usize, usize)>,
 }
 
 impl Default for GraphBuildConfig {
@@ -44,6 +127,10 @@ impl Default for GraphBuildConfig {
             },
             threads: 0,
             floor_quantile: 0.1,
+            policy: FailurePolicy::FailFast,
+            max_retries: 2,
+            checkpoint: None,
+            chaos_fail_pairs: Vec::new(),
         }
     }
 }
@@ -103,6 +190,7 @@ pub struct TrainedGraph {
     /// The multivariate relationship graph (edge weights = dev BLEU).
     pub graph: RelGraph,
     models: Vec<PairModel>,
+    quarantined: Vec<QuarantinedPair>,
     #[serde(skip)]
     index: HashMap<(usize, usize), usize>,
 }
@@ -111,6 +199,7 @@ pub struct TrainedGraph {
 struct TrainedGraphShadow {
     graph: RelGraph,
     models: Vec<PairModel>,
+    quarantined: Vec<QuarantinedPair>,
 }
 
 impl From<TrainedGraphShadow> for TrainedGraph {
@@ -124,6 +213,7 @@ impl From<TrainedGraphShadow> for TrainedGraph {
         TrainedGraph {
             graph: shadow.graph,
             models: shadow.models,
+            quarantined: shadow.quarantined,
             index,
         }
     }
@@ -138,6 +228,13 @@ impl TrainedGraph {
     /// The model for pair `(src, dst)`, if trained.
     pub fn model(&self, src: usize, dst: usize) -> Option<&PairModel> {
         self.index.get(&(src, dst)).map(|&k| &self.models[k])
+    }
+
+    /// Pairs whose training failed under a
+    /// [`Degrade`](FailurePolicy::Degrade) policy, in deterministic
+    /// `(src, dst)` sweep order. Their edges are absent from the graph.
+    pub fn quarantined(&self) -> &[QuarantinedPair] {
+        &self.quarantined
     }
 
     /// Per-model runtimes in seconds (for the Fig. 4a CDF).
@@ -156,8 +253,16 @@ impl std::fmt::Debug for TrainedGraph {
         f.debug_struct("TrainedGraph")
             .field("nodes", &self.graph.len())
             .field("models", &self.models.len())
+            .field("quarantined", &self.quarantined.len())
             .finish()
     }
+}
+
+/// Per-pair sweep outcome; slot order is the deterministic pair order, so
+/// assembly does not depend on thread scheduling.
+enum PairOutcome {
+    Model(Box<PairModel>),
+    Quarantined(QuarantinedPair),
 }
 
 /// Runs Algorithm 1: trains two directional models per sensor pair and
@@ -170,7 +275,11 @@ impl std::fmt::Debug for TrainedGraph {
 /// # Errors
 ///
 /// Returns an error if fewer than two sensors survive, any corpus is empty,
-/// or corpora are misaligned.
+/// or corpora are misaligned; [`CoreError::PairQuarantined`] under
+/// [`FailurePolicy::FailFast`] when a pair fails training;
+/// [`CoreError::TooManyFailedPairs`] under `Degrade` when the success
+/// fraction falls below the configured minimum; [`CoreError::Checkpoint`]
+/// when a configured checkpoint cannot be resumed or finalized.
 pub fn build_graph(
     pipeline: &LanguagePipeline,
     train_sets: &[SentenceSet],
@@ -188,11 +297,48 @@ pub fn build_graph(
         .flat_map(|i| (0..n).map(move |j| (i, j)))
         .filter(|(i, j)| i != j)
         .collect();
+    let total = pairs.len();
+
+    let results: Mutex<Vec<Option<PairOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
+    let fingerprint = sweep_fingerprint(pipeline, cfg);
+
+    // Resume: prefill slots from a valid checkpoint at the configured path.
+    if let Some(ck) = &cfg.checkpoint {
+        let path = Path::new(&ck.path);
+        if path.exists() {
+            let data = read_checkpoint(path)?;
+            if data.fingerprint != fingerprint {
+                return Err(CoreError::Checkpoint {
+                    path: ck.path.clone(),
+                    detail: format!(
+                        "fingerprint mismatch: found {:#018x}, this sweep is {:#018x} \
+                         (checkpoint belongs to a different sweep; delete it to start over)",
+                        data.fingerprint, fingerprint
+                    ),
+                });
+            }
+            let index: HashMap<(usize, usize), usize> =
+                pairs.iter().enumerate().map(|(k, &p)| (p, k)).collect();
+            let mut slots = results.lock();
+            for m in data.models {
+                if let Some(&k) = index.get(&(m.src, m.dst)) {
+                    slots[k] = Some(PairOutcome::Model(Box::new(m)));
+                }
+            }
+            for q in data.quarantined {
+                if let Some(&k) = index.get(&(q.src, q.dst)) {
+                    slots[k] = Some(PairOutcome::Quarantined(q));
+                }
+            }
+        }
+    }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<PairModel>>> =
-        Mutex::new((0..pairs.len()).map(|_| None).collect());
     let failure: Mutex<Option<CoreError>> = Mutex::new(None);
+    // Serializes checkpoint file writes; snapshots are taken under the
+    // results lock, so writers racing on the same tmp path is the only
+    // hazard left.
+    let ckpt_io = Mutex::new(());
 
     let threads = if cfg.threads == 0 {
         std::thread::available_parallelism()
@@ -209,15 +355,77 @@ pub fn build_graph(
                 if k >= pairs.len() || failure.lock().is_some() {
                     break;
                 }
+                if results.lock()[k].is_some() {
+                    continue; // restored from checkpoint
+                }
                 let (i, j) = pairs[k];
-                match train_pair(pipeline, train_sets, dev_sets, i, j, cfg) {
-                    Ok(model) => results.lock()[k] = Some(model),
-                    Err(e) => *failure.lock() = Some(e),
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    if cfg.chaos_fail_pairs.contains(&(i, j)) {
+                        panic!("chaos: injected worker failure for pair ({i} -> {j})");
+                    }
+                    train_pair_with_retries(pipeline, train_sets, dev_sets, i, j, cfg)
+                }));
+                let outcome = match attempt {
+                    Ok((Ok(model), _)) => PairOutcome::Model(Box::new(model)),
+                    Ok((Err(e), retries)) => match cfg.policy {
+                        FailurePolicy::FailFast => {
+                            *failure.lock() = Some(CoreError::PairQuarantined {
+                                src: i,
+                                dst: j,
+                                detail: e.to_string(),
+                                source: Some(Box::new(e)),
+                            });
+                            break;
+                        }
+                        FailurePolicy::Degrade { .. } => {
+                            PairOutcome::Quarantined(QuarantinedPair {
+                                src: i,
+                                dst: j,
+                                error: e.to_string(),
+                                retries,
+                            })
+                        }
+                    },
+                    Err(payload) => {
+                        let detail = format!("worker panicked: {}", panic_message(&*payload));
+                        match cfg.policy {
+                            FailurePolicy::FailFast => {
+                                *failure.lock() = Some(CoreError::PairQuarantined {
+                                    src: i,
+                                    dst: j,
+                                    detail,
+                                    source: None,
+                                });
+                                break;
+                            }
+                            FailurePolicy::Degrade { .. } => {
+                                PairOutcome::Quarantined(QuarantinedPair {
+                                    src: i,
+                                    dst: j,
+                                    error: detail,
+                                    retries: 0,
+                                })
+                            }
+                        }
+                    }
+                };
+                let mut slots = results.lock();
+                slots[k] = Some(outcome);
+                if let Some(ck) = &cfg.checkpoint {
+                    let done = slots.iter().filter(|s| s.is_some()).count();
+                    if done % ck.every.max(1) == 0 {
+                        let snap = snapshot(&slots, fingerprint);
+                        drop(slots);
+                        // Periodic persistence is best-effort: an I/O hiccup
+                        // here must not kill an otherwise healthy sweep.
+                        let _io = ckpt_io.lock();
+                        let _ = write_checkpoint(Path::new(&ck.path), &snap);
+                    }
                 }
             });
         }
     })
-    .expect("worker threads do not panic");
+    .expect("worker panics are contained by catch_unwind");
 
     if let Some(e) = failure.into_inner() {
         return Err(e);
@@ -229,18 +437,90 @@ pub fn build_graph(
         .map(|l| l.name.clone())
         .collect();
     let mut graph = RelGraph::new(names);
-    let mut models = Vec::with_capacity(pairs.len());
-    let mut index = HashMap::with_capacity(pairs.len());
-    for model in results.into_inner().into_iter().flatten() {
-        graph.set_score(model.src, model.dst, model.train_score);
-        index.insert((model.src, model.dst), models.len());
-        models.push(model);
+    let mut models = Vec::with_capacity(total);
+    let mut quarantined = Vec::new();
+    let mut index = HashMap::with_capacity(total);
+    let slots = results.into_inner();
+    if let Some(ck) = &cfg.checkpoint {
+        // Final write so the checkpoint reflects the completed sweep; unlike
+        // periodic writes this failure is surfaced — the caller asked for a
+        // durable artifact and silently lacking one defeats the point.
+        let snap = snapshot(&slots, fingerprint);
+        write_checkpoint(Path::new(&ck.path), &snap)?;
+    }
+    for outcome in slots.into_iter().flatten() {
+        match outcome {
+            PairOutcome::Model(model) => {
+                graph.set_score(model.src, model.dst, model.train_score);
+                index.insert((model.src, model.dst), models.len());
+                models.push(*model);
+            }
+            PairOutcome::Quarantined(q) => quarantined.push(q),
+        }
+    }
+    if let FailurePolicy::Degrade {
+        min_success_fraction,
+    } = cfg.policy
+    {
+        let failed = quarantined.len();
+        let succeeded = total - failed;
+        if (succeeded as f64) < min_success_fraction * total as f64 {
+            return Err(CoreError::TooManyFailedPairs { failed, total });
+        }
     }
     Ok(TrainedGraph {
         graph,
         models,
+        quarantined,
         index,
     })
+}
+
+/// Clones the completed slots into checkpointable form, in slot order.
+fn snapshot(slots: &[Option<PairOutcome>], fingerprint: u64) -> CheckpointData {
+    let mut models = Vec::new();
+    let mut quarantined = Vec::new();
+    for outcome in slots.iter().flatten() {
+        match outcome {
+            PairOutcome::Model(m) => models.push((**m).clone()),
+            PairOutcome::Quarantined(q) => quarantined.push(q.clone()),
+        }
+    }
+    CheckpointData {
+        fingerprint,
+        models,
+        quarantined,
+    }
+}
+
+/// Hashes the sweep inputs that determine pair models: sensor names and the
+/// model-affecting configuration. Scheduling and robustness knobs (threads,
+/// policy, checkpointing, chaos hooks) are deliberately excluded — they do
+/// not change what a completed pair model contains, so a checkpoint remains
+/// resumable across them.
+fn sweep_fingerprint(pipeline: &LanguagePipeline, cfg: &GraphBuildConfig) -> u64 {
+    let names: Vec<&str> = pipeline
+        .languages()
+        .iter()
+        .map(|l| l.name.as_str())
+        .collect();
+    let translator = serde_json::to_string(&cfg.translator).unwrap_or_default();
+    let bleu = serde_json::to_string(&cfg.bleu).unwrap_or_default();
+    let text = format!(
+        "{names:?}|{translator}|{bleu}|{}|{}",
+        cfg.floor_quantile, cfg.max_retries
+    );
+    crate::checkpoint::fnv1a(text.as_bytes())
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 fn validate_alignment(sets: &[SentenceSet], n: usize) -> Result<(), CoreError> {
@@ -265,12 +545,68 @@ fn validate_alignment(sets: &[SentenceSet], n: usize) -> Result<(), CoreError> {
     Ok(())
 }
 
+/// Runs `attempt_fn` until it succeeds, the error is not a divergence, or
+/// `max_retries` retries are spent. Returns the final result and the number
+/// of retries consumed. Only [`NnError::Diverged`] retries: a diverged run
+/// is a bad (initialization, learning-rate) draw, which a re-seeded attempt
+/// can fix; every other error is deterministic in the inputs.
+fn retry_diverged<T>(
+    max_retries: usize,
+    mut attempt_fn: impl FnMut(usize) -> Result<T, CoreError>,
+) -> (Result<T, CoreError>, usize) {
+    let mut attempt = 0;
+    loop {
+        match attempt_fn(attempt) {
+            Ok(v) => return (Ok(v), attempt),
+            Err(CoreError::Nn(NnError::Diverged { step })) if attempt < max_retries => {
+                let _ = step;
+                attempt += 1;
+            }
+            Err(e) => return (Err(e), attempt),
+        }
+    }
+}
+
+/// The translator configuration for retry `attempt` (0 = the original):
+/// neural retries draw a fresh seed and halve the learning rate, the two
+/// standard divergence mitigations; statistical translators cannot diverge
+/// and pass through unchanged.
+fn retuned_translator(base: &TranslatorConfig, attempt: u64) -> TranslatorConfig {
+    if attempt == 0 {
+        return base.clone();
+    }
+    match base {
+        TranslatorConfig::Nmt(c) => {
+            let mut c = c.clone();
+            c.seed = c.seed.wrapping_add(RESEED.wrapping_mul(attempt));
+            c.learning_rate /= 2f32.powi(attempt.min(i32::MAX as u64) as i32);
+            TranslatorConfig::Nmt(c)
+        }
+        other => other.clone(),
+    }
+}
+
+fn train_pair_with_retries(
+    pipeline: &LanguagePipeline,
+    train_sets: &[SentenceSet],
+    dev_sets: &[SentenceSet],
+    i: usize,
+    j: usize,
+    cfg: &GraphBuildConfig,
+) -> (Result<PairModel, CoreError>, usize) {
+    retry_diverged(cfg.max_retries, |attempt| {
+        let tcfg = retuned_translator(&cfg.translator, attempt as u64);
+        train_pair(pipeline, train_sets, dev_sets, i, j, &tcfg, cfg)
+    })
+}
+
 fn train_pair(
     pipeline: &LanguagePipeline,
     train_sets: &[SentenceSet],
     dev_sets: &[SentenceSet],
     i: usize,
     j: usize,
+    tcfg: &TranslatorConfig,
     cfg: &GraphBuildConfig,
 ) -> Result<PairModel, CoreError> {
     let start = Instant::now();
@@ -282,7 +618,7 @@ fn train_pair(
         .collect();
     let src_vocab = pipeline.languages()[i].vocab.size();
     let tgt_vocab = pipeline.languages()[j].vocab.size();
-    let translator = train_translator(&cfg.translator, &pairs, src_vocab, tgt_vocab, Vocab::BOS)?;
+    let translator = train_translator(tcfg, &pairs, src_vocab, tgt_vocab, Vocab::BOS)?;
 
     let out_len = pipeline.config().sent_len;
     let dev_srcs: Vec<&[u32]> = dev_sets[i].sentences.iter().map(Vec::as_slice).collect();
@@ -313,6 +649,7 @@ fn train_pair(
 mod tests {
     use super::*;
     use mdes_lang::{RawTrace, WindowConfig};
+    use std::path::PathBuf;
 
     fn toggling(name: &str, n: usize, period: usize, phase: usize) -> RawTrace {
         RawTrace::new(
@@ -361,6 +698,7 @@ mod tests {
         assert_eq!(trained.graph.len(), 3);
         assert_eq!(trained.graph.edge_count(), 6);
         assert_eq!(trained.models().len(), 6);
+        assert!(trained.quarantined().is_empty());
         assert!(trained.model(0, 1).is_some());
         assert!(trained.model(0, 0).is_none());
     }
@@ -427,5 +765,211 @@ mod tests {
         let a = build_graph(&p, &train, &dev, &one).expect("1 thread");
         let b = build_graph(&p, &train, &dev, &four).expect("4 threads");
         assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn retry_helper_retries_only_divergence() {
+        let mut calls = 0;
+        let (r, retries) = retry_diverged(3, |attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(CoreError::Nn(NnError::Diverged { step: attempt }))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(r.expect("recovers"), 2);
+        assert_eq!(retries, 2);
+        assert_eq!(calls, 3);
+
+        // Exhaustion: keeps the final divergence error.
+        let (r, retries) = retry_diverged(2, |a| {
+            Result::<(), _>::Err(CoreError::Nn(NnError::Diverged { step: a }))
+        });
+        assert!(matches!(
+            r,
+            Err(CoreError::Nn(NnError::Diverged { step: 2 }))
+        ));
+        assert_eq!(retries, 2);
+
+        // Non-divergence errors never retry.
+        let mut calls = 0;
+        let (r, retries) = retry_diverged(5, |_| {
+            calls += 1;
+            Result::<(), _>::Err(CoreError::EmptyCorpus)
+        });
+        assert!(matches!(r, Err(CoreError::EmptyCorpus)));
+        assert_eq!(retries, 0);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retuned_translator_reseeds_and_cools() {
+        let base = TranslatorConfig::neural();
+        let TranslatorConfig::Nmt(orig) = &base else {
+            panic!("neural config expected");
+        };
+        let TranslatorConfig::Nmt(r1) = retuned_translator(&base, 1) else {
+            panic!("family preserved");
+        };
+        let TranslatorConfig::Nmt(r2) = retuned_translator(&base, 2) else {
+            panic!("family preserved");
+        };
+        assert_ne!(r1.seed, orig.seed);
+        assert_ne!(r2.seed, r1.seed);
+        assert!((r1.learning_rate - orig.learning_rate / 2.0).abs() < 1e-12);
+        assert!((r2.learning_rate - orig.learning_rate / 4.0).abs() < 1e-12);
+        // Statistical translators pass through untouched.
+        assert_eq!(
+            retuned_translator(&TranslatorConfig::fast(), 3),
+            TranslatorConfig::fast()
+        );
+    }
+
+    #[test]
+    fn chaos_pair_under_fail_fast_aborts_with_quarantine_error() {
+        let (p, train, dev, _) = setup();
+        let cfg = GraphBuildConfig {
+            chaos_fail_pairs: vec![(1, 2)],
+            ..GraphBuildConfig::default()
+        };
+        match build_graph(&p, &train, &dev, &cfg) {
+            Err(CoreError::PairQuarantined {
+                src, dst, source, ..
+            }) => {
+                assert_eq!((src, dst), (1, 2));
+                assert!(
+                    source.is_none(),
+                    "panic-born quarantine has no typed source"
+                );
+            }
+            other => panic!("expected PairQuarantined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chaos_pair_under_degrade_completes_without_that_edge() {
+        let (p, train, dev, _) = setup();
+        let cfg = GraphBuildConfig {
+            policy: FailurePolicy::Degrade {
+                min_success_fraction: 0.5,
+            },
+            chaos_fail_pairs: vec![(1, 2)],
+            ..GraphBuildConfig::default()
+        };
+        let trained = build_graph(&p, &train, &dev, &cfg).expect("degrades, not dies");
+        assert_eq!(trained.models().len(), 5);
+        assert_eq!(trained.graph.edge_count(), 5);
+        assert!(trained.graph.score(1, 2).is_none());
+        assert!(trained.model(1, 2).is_none());
+        let q = trained.quarantined();
+        assert_eq!(q.len(), 1);
+        assert_eq!((q[0].src, q[0].dst), (1, 2));
+        assert!(q[0].error.contains("chaos"));
+    }
+
+    #[test]
+    fn degrade_enforces_min_success_fraction() {
+        let (p, train, dev, _) = setup();
+        let cfg = GraphBuildConfig {
+            policy: FailurePolicy::Degrade {
+                min_success_fraction: 1.0,
+            },
+            chaos_fail_pairs: vec![(0, 1)],
+            ..GraphBuildConfig::default()
+        };
+        assert!(matches!(
+            build_graph(&p, &train, &dev, &cfg),
+            Err(CoreError::TooManyFailedPairs {
+                failed: 1,
+                total: 6
+            })
+        ));
+    }
+
+    /// Serialized graph with the `runtime_secs` fields removed — training
+    /// wall-clock is the one legitimately nondeterministic model field.
+    fn canonical_json(g: &TrainedGraph) -> String {
+        let mut s = serde_json::to_string(g).expect("serialize");
+        while let Some(i) = s.find("\"runtime_secs\":") {
+            let end = s[i..].find(',').map(|d| i + d + 1).expect("field follows");
+            s.replace_range(i..end, "");
+        }
+        s
+    }
+
+    fn ckpt_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mdes_sweep_test_{}_{tag}.ckpt", std::process::id()))
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_to_identical_graph() {
+        let (p, train, dev, _) = setup();
+        let path = ckpt_path("resume");
+        std::fs::remove_file(&path).ok();
+
+        let uninterrupted =
+            build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("clean run");
+
+        // "Kill" a sweep mid-way: single worker, checkpoint after every
+        // pair, and a chaos panic at the 4th pair under FailFast. The pairs
+        // before it are persisted; the run aborts.
+        let interrupted = GraphBuildConfig {
+            threads: 1,
+            checkpoint: Some(CheckpointConfig {
+                path: path.display().to_string(),
+                every: 1,
+            }),
+            chaos_fail_pairs: vec![(1, 2)],
+            ..GraphBuildConfig::default()
+        };
+        assert!(build_graph(&p, &train, &dev, &interrupted).is_err());
+        let partial = read_checkpoint(&path).expect("partial checkpoint");
+        assert!(!partial.models.is_empty() && partial.models.len() < 6);
+
+        // Resume without the chaos hook: only the missing pairs train.
+        let resume = GraphBuildConfig {
+            threads: 1,
+            checkpoint: Some(CheckpointConfig {
+                path: path.display().to_string(),
+                every: 1,
+            }),
+            ..GraphBuildConfig::default()
+        };
+        let resumed = build_graph(&p, &train, &dev, &resume).expect("resumed run");
+
+        let a = canonical_json(&uninterrupted);
+        let b = canonical_json(&resumed);
+        assert_eq!(a, b, "resumed sweep must be byte-identical");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_rejected() {
+        let (p, train, dev, _) = setup();
+        let path = ckpt_path("mismatch");
+        write_checkpoint(
+            &path,
+            &CheckpointData {
+                fingerprint: 0x1234,
+                models: Vec::new(),
+                quarantined: Vec::new(),
+            },
+        )
+        .expect("write");
+        let cfg = GraphBuildConfig {
+            checkpoint: Some(CheckpointConfig {
+                path: path.display().to_string(),
+                every: 1,
+            }),
+            ..GraphBuildConfig::default()
+        };
+        match build_graph(&p, &train, &dev, &cfg) {
+            Err(CoreError::Checkpoint { detail, .. }) => {
+                assert!(detail.contains("fingerprint mismatch"), "{detail}");
+            }
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -66,6 +66,11 @@ pub struct DetectionResult {
     pub starts: Vec<usize>,
     /// Number of valid models that participated.
     pub valid_models: usize,
+    /// Fraction of valid models that actually participated, in `[0, 1]`.
+    /// [`detect`] always reports `1.0`; [`detect_excluding`] reports less
+    /// when dropped sensors removed pairs from the valid set, quantifying
+    /// how much evidence backs the scores.
+    pub coverage: f64,
 }
 
 impl DetectionResult {
@@ -93,6 +98,31 @@ pub fn detect(
     test_sets: &[SentenceSet],
     cfg: &DetectionConfig,
 ) -> Result<DetectionResult, CoreError> {
+    detect_excluding(trained, test_sets, cfg, &[])
+}
+
+/// Runs Algorithm 2 with some sensors excluded — the degraded-mode entry
+/// point used when sensors have dropped out online.
+///
+/// `excluded_sensors` are graph node indices (the pipeline's surviving
+/// sensor order); every valid pair touching one is removed from the
+/// participating set, and the result's `coverage` reports the fraction of
+/// valid models that remained. With every valid model excluded a degenerate
+/// result is returned (all scores `0.0`, `coverage` `0.0`) rather than an
+/// error: upstream dropout detection already explains *why* there is no
+/// evidence, and a monitoring loop must keep running through it.
+///
+/// # Errors
+///
+/// As [`detect`]: empty/misaligned corpora, or no model in the validity
+/// range *before* exclusions ([`CoreError::NoValidModels`] — a broken
+/// configuration, not a degraded plant).
+pub fn detect_excluding(
+    trained: &TrainedGraph,
+    test_sets: &[SentenceSet],
+    cfg: &DetectionConfig,
+    excluded_sensors: &[usize],
+) -> Result<DetectionResult, CoreError> {
     let n = trained.graph.len();
     if test_sets.len() != n {
         return Err(CoreError::MisalignedCorpora {
@@ -118,13 +148,32 @@ pub fn detect(
     if valid.is_empty() {
         return Err(CoreError::NoValidModels);
     }
+    let participating: Vec<usize> = valid
+        .iter()
+        .copied()
+        .filter(|&k| {
+            let m = &trained.models()[k];
+            !excluded_sensors.contains(&m.src) && !excluded_sensors.contains(&m.dst)
+        })
+        .collect();
+    let coverage = participating.len() as f64 / valid.len() as f64;
+    if participating.is_empty() {
+        return Ok(DetectionResult {
+            scores: vec![0.0; count],
+            alerts: vec![Vec::new(); count],
+            starts: test_sets[0].starts.clone(),
+            valid_models: 0,
+            coverage,
+        });
+    }
 
-    // One batched decode per valid model instead of one per (model, window):
-    // batch rows are independent, so per-window results are unchanged, but
-    // the NMT family runs one GEMM per decode step for the whole segment.
-    // Iterating models in `valid` order keeps each window's alert order.
+    // One batched decode per participating model instead of one per
+    // (model, window): batch rows are independent, so per-window results are
+    // unchanged, but the NMT family runs one GEMM per decode step for the
+    // whole segment. Iterating models in `participating` order keeps each
+    // window's alert order.
     let mut alerts: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
-    for &k in &valid {
+    for &k in &participating {
         let m = &trained.models()[k];
         let refs = &test_sets[m.dst].sentences;
         let srcs: Vec<&[u32]> = test_sets[m.src]
@@ -154,13 +203,14 @@ pub fn detect(
     }
     let scores: Vec<f64> = alerts
         .iter()
-        .map(|b| b.len() as f64 / valid.len() as f64)
+        .map(|b| b.len() as f64 / participating.len() as f64)
         .collect();
     Ok(DetectionResult {
         scores,
         alerts,
         starts: test_sets[0].starts.clone(),
-        valid_models: valid.len(),
+        valid_models: participating.len(),
+        coverage,
     })
 }
 
@@ -294,6 +344,7 @@ mod tests {
             alerts: vec![Vec::new(); scores.len()],
             starts: (0..scores.len()).collect(),
             valid_models: 1,
+            coverage: 1.0,
         };
         let hits = r.detections(0.5);
         assert!(hits.iter().all(|&t| scores[t] >= 0.5));
@@ -337,5 +388,62 @@ mod tests {
             detect(&trained, &test, &cfg),
             Err(CoreError::NoValidModels)
         ));
+    }
+
+    #[test]
+    fn excluding_sensors_shrinks_coverage_and_never_errors() {
+        let n = 600;
+        let mk = |phase: usize| -> RawTrace {
+            let events = (0..n)
+                .map(|t| {
+                    if ((t + phase) / 5).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
+                .collect();
+            RawTrace::new(format!("p{phase}"), events)
+        };
+        let traces = vec![mk(0), mk(2), mk(4)];
+        let wcfg = WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        };
+        let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
+        let train = p.encode_segment(&traces, 0..300).expect("train");
+        let dev = p.encode_segment(&traces, 300..450).expect("dev");
+        let test = p.encode_segment(&traces, 450..600).expect("test");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        let cfg = DetectionConfig {
+            valid_range: ScoreRange::closed(60.0, 100.0),
+            ..DetectionConfig::default()
+        };
+
+        let full = detect(&trained, &test, &cfg).expect("full");
+        assert_eq!(full.coverage, 1.0);
+        assert_eq!(full.valid_models, 6);
+
+        // Dropping sensor 1 removes the 4 pairs touching it: 2 of 6 remain.
+        let partial = detect_excluding(&trained, &test, &cfg, &[1]).expect("partial");
+        assert_eq!(partial.valid_models, 2);
+        assert!((partial.coverage - 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(partial.scores.len(), full.scores.len());
+        assert!(partial
+            .alerts
+            .iter()
+            .flatten()
+            .all(|&(s, d)| s != 1 && d != 1));
+
+        // Dropping everything degrades to a zero-evidence result, not an
+        // error: the monitoring loop must survive a fully dark plant.
+        let dark = detect_excluding(&trained, &test, &cfg, &[0, 1, 2]).expect("dark");
+        assert_eq!(dark.coverage, 0.0);
+        assert_eq!(dark.valid_models, 0);
+        assert!(dark.scores.iter().all(|&s| s == 0.0));
+        assert!(dark.alerts.iter().all(Vec::is_empty));
     }
 }

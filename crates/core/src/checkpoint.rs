@@ -1,0 +1,229 @@
+//! Sweep checkpointing: crash-safe persistence of partially-built graphs.
+//!
+//! An Algorithm 1 sweep over `M` sensors trains `M·(M-1)` pair models; at
+//! the paper's 128-sensor scale that is an hours-long job whose death (OOM
+//! kill, host reboot, deploy) previously lost every completed pair. This
+//! module persists completed [`PairModel`]s (and quarantined pairs) so
+//! [`build_graph`](crate::algorithm1::build_graph) can resume a sweep from
+//! where it died, producing a graph identical to an uninterrupted run —
+//! each pair is trained deterministically in isolation, so it does not
+//! matter whether its model came from the checkpoint or a fresh run.
+//!
+//! # File format
+//!
+//! A checkpoint is a single binary file:
+//!
+//! ```text
+//! magic    4 bytes   b"MDCK"
+//! version  4 bytes   u32 LE, currently 1
+//! length   8 bytes   u64 LE, payload byte count
+//! checksum 8 bytes   u64 LE, FNV-1a of the payload
+//! payload  N bytes   JSON-serialized CheckpointData
+//! ```
+//!
+//! The header makes truncated or bit-rotted files detectable before JSON
+//! parsing; writes go to a `<path>.tmp` sibling first and are moved into
+//! place with an atomic rename, so a crash mid-write never corrupts an
+//! existing checkpoint.
+
+use crate::algorithm1::{PairModel, QuarantinedPair};
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"MDCK";
+const VERSION: u32 = 1;
+const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+
+/// When and where [`build_graph`](crate::algorithm1::build_graph) persists
+/// sweep progress.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Checkpoint file path. An existing, valid checkpoint at this path is
+    /// resumed from; the file is rewritten as the sweep progresses.
+    pub path: String,
+    /// Persist after every `every` completed pairs (clamped to ≥ 1). The
+    /// final state is always written when the sweep finishes.
+    pub every: usize,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints to `path` every 16 completed pairs.
+    pub fn new(path: impl Into<String>) -> Self {
+        Self {
+            path: path.into(),
+            every: 16,
+        }
+    }
+}
+
+/// The persisted state of a partially-completed sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CheckpointData {
+    /// Fingerprint of the sweep inputs (sensor names + build configuration);
+    /// a mismatch on resume means the checkpoint belongs to a different
+    /// sweep and must not be reused.
+    pub fingerprint: u64,
+    /// Completed pair models.
+    pub models: Vec<PairModel>,
+    /// Pairs quarantined so far (under a `Degrade` policy).
+    pub quarantined: Vec<QuarantinedPair>,
+}
+
+/// FNV-1a 64-bit hash.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn ckpt_err(path: &Path, detail: impl Into<String>) -> CoreError {
+    CoreError::Checkpoint {
+        path: path.display().to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// Atomically writes `data` to `path` (tmp file + rename), with the framed
+/// header described in the [module docs](self).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
+pub fn write_checkpoint(path: &Path, data: &CheckpointData) -> Result<(), CoreError> {
+    let payload = serde_json::to_string(data)
+        .map_err(|e| ckpt_err(path, format!("serialize failed: {e}")))?
+        .into_bytes();
+    let mut framed = Vec::with_capacity(HEADER_LEN + payload.len());
+    framed.extend_from_slice(MAGIC);
+    framed.extend_from_slice(&VERSION.to_le_bytes());
+    framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    framed.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    framed.extend_from_slice(&payload);
+
+    let tmp = path.with_extension("tmp");
+    let mut file =
+        fs::File::create(&tmp).map_err(|e| ckpt_err(path, format!("create tmp failed: {e}")))?;
+    file.write_all(&framed)
+        .map_err(|e| ckpt_err(path, format!("write failed: {e}")))?;
+    file.sync_all()
+        .map_err(|e| ckpt_err(path, format!("sync failed: {e}")))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| ckpt_err(path, format!("rename failed: {e}")))
+}
+
+/// Reads and validates a checkpoint written by [`write_checkpoint`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] if the file cannot be read, the header
+/// is malformed, the payload is truncated, the checksum does not match, or
+/// the JSON body fails to parse.
+pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, CoreError> {
+    let bytes = fs::read(path).map_err(|e| ckpt_err(path, format!("read failed: {e}")))?;
+    if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
+        return Err(ckpt_err(path, "not a checkpoint file (bad magic)"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(ckpt_err(path, format!("unsupported version {version}")));
+    }
+    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() != len {
+        return Err(ckpt_err(
+            path,
+            format!(
+                "truncated payload: header says {len} bytes, found {}",
+                payload.len()
+            ),
+        ));
+    }
+    if fnv1a(payload) != checksum {
+        return Err(ckpt_err(path, "checksum mismatch (corrupt payload)"));
+    }
+    let text =
+        std::str::from_utf8(payload).map_err(|_| ckpt_err(path, "payload is not valid UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| ckpt_err(path, format!("parse failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mdes_ckpt_test_{}_{tag}.ckpt", std::process::id()))
+    }
+
+    fn sample() -> CheckpointData {
+        CheckpointData {
+            fingerprint: 0xDEAD_BEEF,
+            models: Vec::new(),
+            quarantined: vec![QuarantinedPair {
+                src: 1,
+                dst: 2,
+                error: "training diverged: non-finite loss at step 4".to_owned(),
+                retries: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_data() {
+        let path = tmp_path("roundtrip");
+        write_checkpoint(&path, &sample()).expect("write");
+        let back = read_checkpoint(&path).expect("read");
+        assert_eq!(back.fingerprint, 0xDEAD_BEEF);
+        assert_eq!(back.quarantined, sample().quarantined);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let path = tmp_path("corrupt");
+        write_checkpoint(&path, &sample()).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read bytes");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CoreError::Checkpoint { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let path = tmp_path("truncated");
+        write_checkpoint(&path, &sample()).expect("write");
+        let bytes = std::fs::read(&path).expect("read bytes");
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("rewrite");
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CoreError::Checkpoint { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_and_missing_file_are_rejected() {
+        let path = tmp_path("magic");
+        std::fs::write(&path, b"definitely not a checkpoint").expect("write");
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CoreError::Checkpoint { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CoreError::Checkpoint { .. })
+        ));
+    }
+}

@@ -29,6 +29,45 @@ pub enum CoreError {
     EmptyCorpus,
     /// No trained model's score falls in the configured validity range.
     NoValidModels,
+    /// A monitor was created over fewer sensors than the model references.
+    WidthMismatch {
+        /// Sensors per sample offered by the caller.
+        width: usize,
+        /// Minimum width the fitted model requires (largest original sensor
+        /// index plus one).
+        needed: usize,
+    },
+    /// Training of one sensor pair failed (divergence after all retries, or
+    /// a worker panic) and the pair was quarantined. Under
+    /// [`FailurePolicy::FailFast`](crate::algorithm1::FailurePolicy) this
+    /// aborts the sweep; under `Degrade` it is recorded on the graph instead.
+    PairQuarantined {
+        /// Source sensor index of the failed pair.
+        src: usize,
+        /// Target sensor index of the failed pair.
+        dst: usize,
+        /// The underlying training error, when the failure was a typed error
+        /// rather than a panic.
+        source: Option<Box<CoreError>>,
+        /// Human-readable failure description (panic payload or error text).
+        detail: String,
+    },
+    /// Too many pairs were quarantined for the sweep to meet the configured
+    /// `Degrade` policy's minimum success fraction.
+    TooManyFailedPairs {
+        /// Number of quarantined pairs.
+        failed: usize,
+        /// Total pairs attempted.
+        total: usize,
+    },
+    /// A sweep checkpoint could not be written, read, or validated.
+    Checkpoint {
+        /// Checkpoint file path.
+        path: String,
+        /// What went wrong (I/O error text, corrupt header, fingerprint
+        /// mismatch, …).
+        detail: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +91,27 @@ impl fmt::Display for CoreError {
             CoreError::NoValidModels => {
                 write!(f, "no model score falls inside the validity range")
             }
+            CoreError::WidthMismatch { width, needed } => {
+                write!(
+                    f,
+                    "sample width {width} smaller than the model's required width {needed}"
+                )
+            }
+            CoreError::PairQuarantined {
+                src, dst, detail, ..
+            } => {
+                write!(f, "pair ({src} -> {dst}) quarantined: {detail}")
+            }
+            CoreError::TooManyFailedPairs { failed, total } => {
+                write!(
+                    f,
+                    "too many failed pairs: {failed} of {total} quarantined, below the \
+                     configured minimum success fraction"
+                )
+            }
+            CoreError::Checkpoint { path, detail } => {
+                write!(f, "checkpoint error at {path}: {detail}")
+            }
         }
     }
 }
@@ -61,6 +121,9 @@ impl Error for CoreError {
         match self {
             CoreError::Lang(e) => Some(e),
             CoreError::Nn(e) => Some(e),
+            CoreError::PairQuarantined {
+                source: Some(e), ..
+            } => Some(&**e),
             _ => None,
         }
     }
@@ -90,5 +153,50 @@ mod tests {
         let e = CoreError::TooFewSensors { available: 1 };
         assert!(e.source().is_none());
         assert!(!e.to_string().is_empty());
+    }
+
+    #[test]
+    fn quarantine_chains_its_source() {
+        let inner = CoreError::from(NnError::Diverged { step: 3 });
+        let e = CoreError::PairQuarantined {
+            src: 1,
+            dst: 2,
+            source: Some(Box::new(inner.clone())),
+            detail: inner.to_string(),
+        };
+        assert!(e.to_string().contains("(1 -> 2)"));
+        assert!(e.to_string().contains("diverged"));
+        let chained = e.source().expect("source");
+        assert!(chained.to_string().contains("diverged"));
+        // A panic-born quarantine has no typed source but still displays.
+        let p = CoreError::PairQuarantined {
+            src: 0,
+            dst: 3,
+            source: None,
+            detail: "worker panicked: boom".to_owned(),
+        };
+        assert!(p.source().is_none());
+        assert!(p.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn new_failure_modes_display() {
+        for e in [
+            CoreError::WidthMismatch {
+                width: 2,
+                needed: 5,
+            },
+            CoreError::TooManyFailedPairs {
+                failed: 9,
+                total: 12,
+            },
+            CoreError::Checkpoint {
+                path: "/tmp/x.ckpt".to_owned(),
+                detail: "bad checksum".to_owned(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_none());
+        }
     }
 }

@@ -47,17 +47,21 @@
 
 pub mod algorithm1;
 pub mod algorithm2;
+pub mod checkpoint;
 pub mod diagnosis;
 mod error;
 pub mod online;
 mod pipeline;
 pub mod translator;
 
-pub use algorithm1::{build_graph, GraphBuildConfig, PairModel, TrainedGraph};
-pub use algorithm2::{detect, BrokenRule, DetectionConfig, DetectionResult};
+pub use algorithm1::{
+    build_graph, FailurePolicy, GraphBuildConfig, PairModel, QuarantinedPair, TrainedGraph,
+};
+pub use algorithm2::{detect, detect_excluding, BrokenRule, DetectionConfig, DetectionResult};
+pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointConfig, CheckpointData};
 pub use diagnosis::{diagnose, propagation_timeline, Diagnosis, PropagationStep};
 pub use error::CoreError;
-pub use online::{OnlineDetection, OnlineMonitor};
+pub use online::{DegradationConfig, OnlineDetection, OnlineMonitor};
 pub use pipeline::{Mdes, MdesConfig};
 pub use translator::{
     train_translator, AnyTranslator, NgramConfig, NgramTranslator, NmtTranslator, Translator,

@@ -7,13 +7,54 @@
 //! to form one sentence per sensor and runs Algorithm 2 on each completed
 //! window, so detections arrive with the granularity the sentence stride
 //! configures (every 20 minutes with the paper's plant settings).
+//!
+//! # Degraded input
+//!
+//! Real telemetry is imperfect: records go missing, sensors die silently or
+//! freeze on one value. The monitor absorbs all of it instead of erroring:
+//!
+//! * [`OnlineMonitor::push_opt`] accepts `None` per sensor (a missing
+//!   record), substituting the [`MISSING_RECORD`] sentinel — which encodes
+//!   to the unknown letter, like any garbled record the alphabet has never
+//!   seen;
+//! * per-sensor counters track consecutive missing (and, optionally, stuck)
+//!   samples; a sensor crossing the [`DegradationConfig`] limits is marked
+//!   *dropped*, its pairs are excluded from detection via
+//!   [`detect_excluding`](crate::algorithm2::detect_excluding), and each
+//!   emitted [`OnlineDetection`] reports the surviving evidence as
+//!   `coverage` plus the dropped original sensor indices;
+//! * a dropped sensor that resumes delivering records is readmitted
+//!   automatically once its counters reset.
 
-use crate::algorithm2::detect;
+use crate::algorithm2::detect_excluding;
 use crate::error::CoreError;
 use crate::pipeline::Mdes;
-use mdes_lang::RawTrace;
+use mdes_lang::{RawTrace, MISSING_RECORD};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// When an online sensor is considered *dropped* and excluded from
+/// detection until it recovers.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Consecutive missing records (`None` pushed via
+    /// [`OnlineMonitor::push_opt`]) after which a sensor counts as dropped.
+    pub missing_limit: usize,
+    /// Consecutive *identical* records after which a sensor counts as
+    /// stuck-at and dropped; `None` (the default) disables stuck detection,
+    /// because legitimately quiet sensors — a valve that stays closed all
+    /// shift — would otherwise be flagged.
+    pub stuck_limit: Option<usize>,
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        Self {
+            missing_limit: 3,
+            stuck_limit: None,
+        }
+    }
+}
 
 /// One emitted detection.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -25,6 +66,13 @@ pub struct OnlineDetection {
     pub score: f64,
     /// Broken sensor pairs of the completed window.
     pub alerts: Vec<(usize, usize)>,
+    /// Fraction of valid pair models that produced this detection, in
+    /// `[0, 1]`; `1.0` when no sensor is dropped, `0.0` when dropout has
+    /// silenced every valid pair (then `score` is `0.0` by construction and
+    /// carries no evidence).
+    pub coverage: f64,
+    /// Original (push-order) indices of sensors currently dropped.
+    pub dropped_sensors: Vec<usize>,
 }
 
 /// A stateful streaming detector wrapping a fitted [`Mdes`].
@@ -45,17 +93,24 @@ pub struct OnlineMonitor {
     seen: usize,
     /// Number of sensors expected per pushed sample.
     width: usize,
+    degradation: DegradationConfig,
+    /// Consecutive missing records per original sensor.
+    consec_missing: Vec<usize>,
+    /// Length of the current run of identical records per original sensor.
+    consec_same: Vec<usize>,
+    /// Last delivered (non-missing) record per original sensor.
+    last_record: Vec<Option<String>>,
 }
 
 impl OnlineMonitor {
     /// Wraps a fitted model. `width` is the number of sensors per pushed
     /// sample — the length of the trace array used at fit time.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `width` is smaller than the largest original sensor index
-    /// the model references.
-    pub fn new(mdes: Mdes, width: usize) -> Self {
+    /// Returns [`CoreError::WidthMismatch`] if `width` is smaller than the
+    /// largest original sensor index the model references.
+    pub fn try_new(mdes: Mdes, width: usize) -> Result<Self, CoreError> {
         let needed = mdes
             .language()
             .languages()
@@ -63,19 +118,39 @@ impl OnlineMonitor {
             .map(|l| l.source_index + 1)
             .max()
             .unwrap_or(0);
-        assert!(
-            width >= needed,
-            "width {width} smaller than the model's largest source index {needed}"
-        );
+        if width < needed {
+            return Err(CoreError::WidthMismatch { width, needed });
+        }
         let cfg = *mdes.language().config();
-        Self {
+        Ok(Self {
             buffers: vec![VecDeque::new(); width],
             window: cfg.min_samples(),
             step: cfg.sent_stride * cfg.word_stride,
             mdes,
             seen: 0,
             width,
-        }
+            degradation: DegradationConfig::default(),
+            consec_missing: vec![0; width],
+            consec_same: vec![0; width],
+            last_record: vec![None; width],
+        })
+    }
+
+    /// Wraps a fitted model; see [`OnlineMonitor::try_new`] for the fallible
+    /// form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is smaller than the largest original sensor index
+    /// the model references.
+    pub fn new(mdes: Mdes, width: usize) -> Self {
+        Self::try_new(mdes, width).expect("monitor width covers the model's sensors")
+    }
+
+    /// Replaces the dropout-detection thresholds (builder style).
+    pub fn with_degradation(mut self, degradation: DegradationConfig) -> Self {
+        self.degradation = degradation;
+        self
     }
 
     /// The wrapped model.
@@ -88,6 +163,19 @@ impl OnlineMonitor {
         self.window
     }
 
+    /// Original indices of sensors currently considered dropped.
+    pub fn dropped_sensors(&self) -> Vec<usize> {
+        (0..self.width).filter(|&i| self.is_dropped(i)).collect()
+    }
+
+    fn is_dropped(&self, sensor: usize) -> bool {
+        self.consec_missing[sensor] >= self.degradation.missing_limit.max(1)
+            || self
+                .degradation
+                .stuck_limit
+                .is_some_and(|limit| self.consec_same[sensor] >= limit.max(1))
+    }
+
     /// Consumes one multivariate sample (one record per sensor, in the
     /// original fit order). Returns a detection when this sample completes a
     /// sentence window.
@@ -97,16 +185,50 @@ impl OnlineMonitor {
     /// Returns [`CoreError::MisalignedCorpora`] when the sample width is
     /// wrong, and propagates detection errors (e.g. no valid models).
     pub fn push(&mut self, records: &[String]) -> Result<Option<OnlineDetection>, CoreError> {
+        let opt: Vec<Option<String>> = records.iter().cloned().map(Some).collect();
+        self.push_opt(&opt)
+    }
+
+    /// Consumes one possibly-incomplete multivariate sample: `None` marks a
+    /// sensor that delivered no record this tick. Missing records enter the
+    /// window as the [`MISSING_RECORD`] sentinel (encoding to the unknown
+    /// letter); sensors missing or stuck past the [`DegradationConfig`]
+    /// limits are excluded from detection until they recover, and the
+    /// emitted detection's `coverage` shrinks accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MisalignedCorpora`] when the sample width is
+    /// wrong, and propagates detection errors (e.g. no valid models).
+    pub fn push_opt(
+        &mut self,
+        records: &[Option<String>],
+    ) -> Result<Option<OnlineDetection>, CoreError> {
         if records.len() != self.width {
             return Err(CoreError::MisalignedCorpora {
                 expected: self.width,
                 found: records.len(),
             });
         }
-        for (buf, rec) in self.buffers.iter_mut().zip(records) {
-            buf.push_back(rec.clone());
-            if buf.len() > self.window {
-                buf.pop_front();
+        for (i, rec) in records.iter().enumerate() {
+            match rec {
+                Some(r) => {
+                    self.consec_missing[i] = 0;
+                    if self.last_record[i].as_deref() == Some(r.as_str()) {
+                        self.consec_same[i] += 1;
+                    } else {
+                        self.consec_same[i] = 1;
+                        self.last_record[i] = Some(r.clone());
+                    }
+                    self.buffers[i].push_back(r.clone());
+                }
+                None => {
+                    self.consec_missing[i] += 1;
+                    self.buffers[i].push_back(MISSING_RECORD.to_owned());
+                }
+            }
+            if self.buffers[i].len() > self.window {
+                self.buffers[i].pop_front();
             }
         }
         self.seen += 1;
@@ -125,11 +247,30 @@ impl OnlineMonitor {
             .mdes
             .language()
             .encode_segment(&traces, 0..self.window)?;
-        let result = detect(self.mdes.trained(), &sets, &self.mdes.config().detection)?;
+        // Dropped sensors are tracked by original index; detection excludes
+        // by graph node index, so translate through each language's source.
+        let dropped = self.dropped_sensors();
+        let excluded: Vec<usize> = self
+            .mdes
+            .language()
+            .languages()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| dropped.contains(&l.source_index))
+            .map(|(node, _)| node)
+            .collect();
+        let result = detect_excluding(
+            self.mdes.trained(),
+            &sets,
+            &self.mdes.config().detection,
+            &excluded,
+        )?;
         Ok(Some(OnlineDetection {
             sample_index: self.seen - 1,
             score: result.scores[0],
             alerts: result.alerts.into_iter().next().unwrap_or_default(),
+            coverage: result.coverage,
+            dropped_sensors: dropped,
         }))
     }
 }
@@ -144,6 +285,16 @@ impl Mdes {
     /// sensor index.
     pub fn into_online_monitor(self, width: usize) -> OnlineMonitor {
         OnlineMonitor::new(self, width)
+    }
+
+    /// Fallible form of [`Mdes::into_online_monitor`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WidthMismatch`] if `width` is smaller than the
+    /// model's largest original sensor index.
+    pub fn try_into_online_monitor(self, width: usize) -> Result<OnlineMonitor, CoreError> {
+        OnlineMonitor::try_new(self, width)
     }
 }
 
@@ -199,6 +350,8 @@ mod tests {
         for t in 450..700 {
             let sample: Vec<String> = traces.iter().map(|tr| tr.events[t].clone()).collect();
             if let Some(d) = monitor.push(&sample).expect("push") {
+                assert_eq!(d.coverage, 1.0);
+                assert!(d.dropped_sensors.is_empty());
                 streamed.push(d.score);
             }
         }
@@ -244,6 +397,18 @@ mod tests {
     }
 
     #[test]
+    fn narrow_width_is_a_typed_error_not_a_panic() {
+        let (m, _) = fitted();
+        assert!(matches!(
+            m.try_into_online_monitor(1),
+            Err(CoreError::WidthMismatch {
+                width: 1,
+                needed: 3
+            })
+        ));
+    }
+
+    #[test]
     fn alerts_stream_with_scores() {
         let (m, traces) = fitted();
         let mut monitor = m.into_online_monitor(3);
@@ -264,6 +429,146 @@ mod tests {
                 assert!((0.0..=1.0).contains(&d.score));
                 if d.sample_index > 90 && d.score > 0.5 {
                     assert!(!d.alerts.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_shrinks_coverage_then_recovery_restores_it() {
+        let (m, traces) = fitted();
+        let mut monitor = m.into_online_monitor(3);
+        let mut coverages: Vec<(usize, f64, Vec<usize>)> = Vec::new();
+        for t in 450..700 {
+            // Sensor 1 goes silent for samples 520..570, then recovers.
+            let sample: Vec<Option<String>> = traces
+                .iter()
+                .enumerate()
+                .map(|(k, tr)| {
+                    if k == 1 && (520..570).contains(&t) {
+                        None
+                    } else {
+                        Some(tr.events[t].clone())
+                    }
+                })
+                .collect();
+            if let Some(d) = monitor.push_opt(&sample).expect("never a hard error") {
+                coverages.push((t, d.coverage, d.dropped_sensors));
+            }
+        }
+        let during: Vec<&(usize, f64, Vec<usize>)> = coverages
+            .iter()
+            .filter(|(t, _, _)| (525..570).contains(t))
+            .collect();
+        assert!(!during.is_empty(), "detections keep flowing during dropout");
+        for (_, cov, dropped) in &during {
+            assert!(*cov < 1.0, "dropout must reduce coverage, got {cov}");
+            assert_eq!(dropped, &vec![1]);
+        }
+        let after: Vec<&(usize, f64, Vec<usize>)> =
+            coverages.iter().filter(|(t, _, _)| *t >= 575).collect();
+        assert!(!after.is_empty());
+        for (_, cov, dropped) in &after {
+            assert_eq!(*cov, 1.0, "recovery must restore coverage");
+            assert!(dropped.is_empty());
+        }
+    }
+
+    #[test]
+    fn garbled_records_degrade_scores_not_the_process() {
+        let (m, traces) = fitted();
+        let mut monitor = m.into_online_monitor(3);
+        for t in 450..600 {
+            let sample: Vec<String> = traces
+                .iter()
+                .enumerate()
+                .map(|(k, tr)| {
+                    if k == 2 && t % 7 == 0 {
+                        "!!corrupt!!".to_owned() // never in the alphabet
+                    } else {
+                        tr.events[t].clone()
+                    }
+                })
+                .collect();
+            let d = monitor.push(&sample).expect("garbage is not an error");
+            if let Some(d) = d {
+                assert!((0.0..=1.0).contains(&d.score));
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_sensor_is_dropped_when_enabled() {
+        let (m, traces) = fitted();
+        let mut monitor = m
+            .into_online_monitor(3)
+            .with_degradation(DegradationConfig {
+                missing_limit: 3,
+                stuck_limit: Some(12),
+            });
+        let mut saw_drop = false;
+        for t in 450..600 {
+            let sample: Vec<String> = traces
+                .iter()
+                .enumerate()
+                .map(|(k, tr)| {
+                    if k == 0 && t >= 500 {
+                        "on".to_owned() // frozen output
+                    } else {
+                        tr.events[t].clone()
+                    }
+                })
+                .collect();
+            if let Some(d) = monitor.push(&sample).expect("push") {
+                if t >= 520 {
+                    assert!(d.dropped_sensors.contains(&0), "stuck sensor flagged");
+                    assert!(d.coverage < 1.0);
+                    saw_drop = true;
+                }
+            }
+        }
+        assert!(saw_drop);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// The monitor must absorb arbitrary record strings, missing
+            /// records and wrong widths without panicking: every push is
+            /// `Ok` or a typed `CoreError`.
+            #[test]
+            fn push_never_panics(
+                samples in proptest::collection::vec(
+                    proptest::collection::vec("[a-z!?0-9]{0,6}", 0..5),
+                    1..60,
+                ),
+                missing_mask in proptest::collection::vec(0u8..4, 1..60),
+            ) {
+                let (m, _) = fitted();
+                let mut monitor = m.into_online_monitor(3);
+                for (s, mask) in samples.iter().zip(&missing_mask) {
+                    let opt: Vec<Option<String>> = s
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| {
+                            if i == *mask as usize { None } else { Some(r.clone()) }
+                        })
+                        .collect();
+                    match monitor.push_opt(&opt) {
+                        Ok(_) => {}
+                        Err(CoreError::MisalignedCorpora { expected, found }) => {
+                            prop_assert_eq!(expected, 3);
+                            prop_assert_eq!(found, s.len());
+                        }
+                        Err(e) => {
+                            // Any other failure must still be a typed error.
+                            prop_assert!(!e.to_string().is_empty());
+                        }
+                    }
                 }
             }
         }

@@ -13,6 +13,15 @@ use std::collections::BTreeSet;
 /// Letters available for encryption (`a`–`z`, then `A`–`Z`).
 const LETTERS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
 
+/// Record string standing in for a sample a sensor failed to deliver (a
+/// dropped packet, a dead sensor, a gap in the log). The embedded `U+001A`
+/// (SUBSTITUTE) control characters keep it from colliding with any real
+/// categorical record. Shared by the online monitor (which substitutes it
+/// for missing per-sensor records) and the fault-injection harness (which
+/// uses it to simulate dropout); it is never part of a training alphabet, so
+/// it always encodes to [`Alphabet::UNKNOWN`].
+pub const MISSING_RECORD: &str = "\u{1a}missing\u{1a}";
+
 /// A per-sensor mapping from categorical event records to letter codes.
 ///
 /// Letter codes are small integers (`0` = `a`, `1` = `b`, …); the reserved

@@ -50,7 +50,7 @@ pub mod window;
 
 pub use corpus::{LanguagePipeline, RawTrace, SensorLanguage, SentenceSet};
 pub use dedup::{dedupe_sensors, representative_traces, DedupResult};
-pub use encrypt::{is_constant, Alphabet};
+pub use encrypt::{is_constant, Alphabet, MISSING_RECORD};
 pub use error::LangError;
 pub use resample::{resample, resample_all, Event};
 pub use stats::{all_corpus_stats, corpus_stats, CorpusStats};

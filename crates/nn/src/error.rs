@@ -25,6 +25,14 @@ pub enum NnError {
     },
     /// A sequence of length zero was provided.
     EmptySequence,
+    /// The training loss became NaN or infinite — the optimization diverged
+    /// (typically an oversized learning rate or a degenerate batch). The
+    /// model parameters are unusable after this error; retrain from a fresh
+    /// initialization.
+    Diverged {
+        /// Mini-batch update index at which the non-finite loss appeared.
+        step: usize,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -41,6 +49,9 @@ impl fmt::Display for NnError {
                 write!(f, "token id {token} out of vocabulary range {vocab}")
             }
             NnError::EmptySequence => write!(f, "sequence of length zero provided"),
+            NnError::Diverged { step } => {
+                write!(f, "training diverged: non-finite loss at step {step}")
+            }
         }
     }
 }
@@ -61,6 +72,7 @@ mod tests {
             },
             NnError::TokenOutOfRange { token: 9, vocab: 4 },
             NnError::EmptySequence,
+            NnError::Diverged { step: 7 },
         ];
         for e in errs {
             let s = e.to_string();

@@ -479,7 +479,12 @@ impl Seq2Seq {
     /// # Errors
     ///
     /// Returns an error if `pairs` is empty, any sentence is empty, lengths
-    /// are inconsistent, or a token is out of vocabulary.
+    /// are inconsistent, or a token is out of vocabulary. Returns
+    /// [`NnError::Diverged`] as soon as a step's loss is NaN or infinite —
+    /// the parameters are corrupted past that point, so training stops
+    /// immediately instead of burning the remaining steps; callers should
+    /// discard the model and retrain (typically re-seeded, with a lower
+    /// learning rate).
     pub fn fit(&mut self, pairs: &[(Vec<usize>, Vec<usize>)]) -> Result<Vec<f32>, NnError> {
         self.validate(pairs)?;
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
@@ -488,13 +493,17 @@ impl Seq2Seq {
         // so after the first step the forward+backward pass reuses its buffers
         // instead of allocating.
         let mut tape = Tape::new();
-        for _ in 0..self.cfg.train_steps {
+        for step in 0..self.cfg.train_steps {
             let batch: Vec<usize> = (0..self.cfg.batch_size)
                 .map(|_| rng.gen_range(0..pairs.len()))
                 .collect();
             let src: Vec<&[usize]> = batch.iter().map(|&i| pairs[i].0.as_slice()).collect();
             let tgt: Vec<&[usize]> = batch.iter().map(|&i| pairs[i].1.as_slice()).collect();
-            losses.push(self.train_batch(&mut tape, &src, &tgt, &mut rng));
+            let loss = self.train_batch(&mut tape, &src, &tgt, &mut rng);
+            if !loss.is_finite() {
+                return Err(NnError::Diverged { step });
+            }
+            losses.push(loss);
         }
         Ok(losses)
     }
@@ -875,6 +884,23 @@ mod tests {
         let out = model.translate(&corpus[0].0, 7).expect("translate");
         assert_eq!(out.len(), 7);
         assert!(out.iter().all(|&t| t < 6));
+    }
+
+    #[test]
+    fn absurd_learning_rate_surfaces_as_diverged() {
+        let corpus = shifted_corpus(20, 4, 6);
+        let mut cfg = tiny_config();
+        // Adam's per-step update magnitude is ~learning_rate, so the output
+        // projection overflows f32 within a few steps, logits hit ±inf, and
+        // the (max-subtracted) cross-entropy produces inf - inf = NaN.
+        cfg.learning_rate = 1e38;
+        cfg.train_steps = 50;
+        let mut model = Seq2Seq::new(6, 6, 1, cfg);
+        let r = model.fit(&corpus);
+        assert!(
+            matches!(r, Err(NnError::Diverged { .. })),
+            "expected divergence, got {r:?}"
+        );
     }
 
     #[test]

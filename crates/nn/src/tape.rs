@@ -591,7 +591,11 @@ impl Tape {
         let mut loss = 0.0;
         for (r, &t) in targets.iter().enumerate() {
             assert!(t < cols, "cross_entropy target {t} out of vocab {cols}");
-            loss -= probs.get(r, t).max(1e-12).ln();
+            let p = probs.get(r, t);
+            // Floor the probability so ln stays finite, but let NaN through:
+            // NaN here means the forward pass diverged, and `f32::max`
+            // silently swallowing it would hide that from loss guards.
+            loss -= if p.is_nan() { p } else { p.max(1e-12) }.ln();
         }
         loss /= rows as f32;
         let mut v = self.pooled(1, 1);

@@ -23,8 +23,10 @@
 
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod hdd;
 pub mod plant;
 
+pub use faults::{Fault, FaultInjector, FaultKind};
 pub use hdd::{HddConfig, HddData};
 pub use plant::{PlantConfig, PlantData, SensorKind};

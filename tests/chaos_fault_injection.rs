@@ -1,0 +1,293 @@
+//! Chaos tests: the fitted pipeline must *degrade*, never crash, when its
+//! input channels fail.
+//!
+//! A clean model is fitted once; held-out samples are then replayed through
+//! the streaming monitor under every [`FaultKind`] the injector supports.
+//! Garbling modes (stuck-at, corruption, burst noise) must raise the anomaly
+//! score on the injected windows relative to the clean replay of the same
+//! windows; dropout must shrink coverage and name the dropped sensor while
+//! detections keep flowing; and no failure mode may panic or return a hard
+//! error. The batch path and the `Degrade` training policy get the same
+//! treatment.
+//!
+//! Two fixtures are used. Score-rise assertions run on tightly-coupled
+//! square waves, whose calibrated floors sit near 100 BLEU so any garbling
+//! of one sensor visibly breaks its pairs. Degradation and policy
+//! assertions run on the synthetic plant, whose weakly-coupled sensors are
+//! the harsher robustness environment (many pairs calibrate to a zero
+//! floor and contribute no evidence either way).
+
+use mdes::core::{BrokenRule, FailurePolicy, Mdes, MdesConfig, OnlineDetection};
+use mdes::graph::ScoreRange;
+use mdes::lang::{RawTrace, WindowConfig, MISSING_RECORD};
+use mdes::synth::faults::FaultInjector;
+use mdes::synth::plant::{generate, PlantConfig, PlantData};
+use std::ops::Range;
+
+/// Test segment: days 6..=7 of the simulated plant.
+const TEST_FROM: usize = 6;
+const TEST_TO: usize = 7;
+/// Fault window, in samples relative to the start of the test segment.
+const FAULT_START: usize = 200;
+const FAULT_END: usize = 400;
+
+fn plant_config() -> MdesConfig {
+    let mut cfg = MdesConfig {
+        window: WindowConfig {
+            word_len: 5,
+            word_stride: 1,
+            sent_len: 6,
+            sent_stride: 6,
+        },
+        ..MdesConfig::default()
+    };
+    cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+    // Score against each pair's calibrated dev-quantile floor (instead of
+    // the corpus mean, under which half of all normal windows count as
+    // broken) so the clean replay stays quiet and a rise is attributable to
+    // the injected fault.
+    cfg.detection.rule = BrokenRule::DevQuantileFloor;
+    cfg
+}
+
+/// Fits a clean 6-sensor plant on days 1..=3 (dev 4..=5).
+fn fit_clean_plant(cfg: MdesConfig) -> (Mdes, PlantData) {
+    let plant = generate(&PlantConfig {
+        n_sensors: 6,
+        days: 7,
+        minutes_per_day: 288,
+        n_components: 2,
+        anomaly_days: vec![],
+        precursor_days: vec![],
+        ..PlantConfig::default()
+    });
+    let m = Mdes::fit(
+        &plant.traces,
+        plant.days_range(1, 3),
+        plant.days_range(4, 5),
+        cfg,
+    )
+    .expect("clean fit");
+    (m, plant)
+}
+
+/// Fits four tightly-coupled square-wave sensors: every pair translates
+/// near-perfectly, so the calibrated floors are high and any garbling of one
+/// sensor visibly breaks its pairs.
+fn fit_clean_squares() -> (Mdes, Vec<RawTrace>) {
+    let square = |name: &str, phase: usize| {
+        RawTrace::new(
+            name,
+            (0..900)
+                .map(|t| {
+                    if ((t + phase) / 5).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
+                .collect(),
+        )
+    };
+    let traces = vec![
+        square("a", 0),
+        square("b", 2),
+        square("c", 4),
+        square("d", 6),
+    ];
+    let mut cfg = MdesConfig {
+        window: WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        },
+        ..MdesConfig::default()
+    };
+    cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+    cfg.detection.rule = BrokenRule::DevQuantileFloor;
+    let m = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("square fit");
+    (m, traces)
+}
+
+/// Streams `range` of `traces` through a fresh monitor, translating the
+/// injector's [`MISSING_RECORD`] sentinel into a `None` record (exactly what
+/// a collector that noticed the gap would push). Every push must succeed;
+/// the emitted detections come back indexed relative to the start of the
+/// stream.
+fn stream(m: &Mdes, traces: &[RawTrace], range: Range<usize>) -> Vec<OnlineDetection> {
+    let width = traces.len();
+    let mut monitor = m
+        .clone()
+        .try_into_online_monitor(width)
+        .expect("width covers the model");
+    let mut out = Vec::new();
+    for t in range {
+        let sample: Vec<Option<String>> = traces
+            .iter()
+            .map(|tr| {
+                let rec = tr.events[t].clone();
+                (rec != MISSING_RECORD).then_some(rec)
+            })
+            .collect();
+        if let Some(d) = monitor.push_opt(&sample).expect("chaos must not hard-fail") {
+            assert!(d.score.is_finite(), "score must stay finite");
+            assert!(
+                (0.0..=1.0).contains(&d.score),
+                "score in [0,1]: {}",
+                d.score
+            );
+            assert!((0.0..=1.0).contains(&d.coverage));
+            out.push(d);
+        }
+    }
+    assert!(!out.is_empty(), "detections must keep flowing");
+    out
+}
+
+/// Mean score of detections completing inside the fault window (with slack
+/// for the sentence buffer to fill with faulted samples).
+fn fault_window_mean(detections: &[OnlineDetection]) -> f64 {
+    let inside: Vec<f64> = detections
+        .iter()
+        .filter(|d| (FAULT_START + 40..FAULT_END).contains(&d.sample_index))
+        .map(|d| d.score)
+        .collect();
+    assert!(!inside.is_empty(), "fault window must contain detections");
+    inside.iter().sum::<f64>() / inside.len() as f64
+}
+
+#[test]
+fn garbling_faults_raise_scores_on_injected_windows() {
+    let (m, traces) = fit_clean_squares();
+    let target = 1;
+    let range = 450..900;
+    let abs = |rel: usize| range.start + rel;
+    let clean_mean = fault_window_mean(&stream(&m, &traces, range.clone()));
+
+    let modes: Vec<(&str, FaultInjector)> = vec![
+        (
+            "stuck-at",
+            FaultInjector::new(11).stuck_at(target, abs(FAULT_START), abs(FAULT_END)),
+        ),
+        (
+            "corrupt",
+            FaultInjector::new(12).corrupt(target, abs(FAULT_START), abs(FAULT_END), 0.8),
+        ),
+        (
+            "burst-noise",
+            FaultInjector::new(13).burst_noise(target, abs(FAULT_START), abs(FAULT_END)),
+        ),
+    ];
+    for (name, injector) in modes {
+        let faulty = injector.apply(&traces);
+        let detections = stream(&m, &faulty, range.clone());
+        let faulty_mean = fault_window_mean(&detections);
+        assert!(
+            faulty_mean > clean_mean + 0.1,
+            "{name}: injected windows must score well above clean \
+             ({faulty_mean:.3} vs {clean_mean:.3})"
+        );
+        // Garbled records are evidence, not missing evidence: no sensor is
+        // dropped and every valid pair still votes.
+        for d in &detections {
+            assert!(d.dropped_sensors.is_empty(), "{name} must not drop sensors");
+            assert_eq!(d.coverage, 1.0);
+        }
+    }
+}
+
+#[test]
+fn dropout_shrinks_coverage_and_names_the_dead_sensor() {
+    let (m, plant) = fit_clean_plant(plant_config());
+    let target = plant
+        .representative_periodic()
+        .expect("plant has a periodic sensor");
+    let test = plant.days_range(TEST_FROM, TEST_TO);
+    let faulty = FaultInjector::new(21)
+        .dropout(target, test.start + FAULT_START, test.start + FAULT_END)
+        .apply(&plant.traces);
+    let detections = stream(&m, &faulty, test);
+
+    let during: Vec<&OnlineDetection> = detections
+        .iter()
+        .filter(|d| (FAULT_START + 10..FAULT_END).contains(&d.sample_index))
+        .collect();
+    assert!(!during.is_empty(), "detections keep flowing during dropout");
+    for d in &during {
+        assert!(
+            d.coverage < 1.0,
+            "dropout must reduce coverage, got {}",
+            d.coverage
+        );
+        assert_eq!(d.dropped_sensors, vec![target]);
+    }
+
+    let after: Vec<&OnlineDetection> = detections
+        .iter()
+        .filter(|d| d.sample_index >= FAULT_END + 10)
+        .collect();
+    assert!(!after.is_empty(), "stream continues after recovery");
+    for d in &after {
+        assert_eq!(d.coverage, 1.0, "recovery must restore full coverage");
+        assert!(d.dropped_sensors.is_empty());
+    }
+}
+
+#[test]
+fn batch_detection_survives_injected_test_data() {
+    let (m, plant) = fit_clean_plant(plant_config());
+    let target = plant
+        .representative_periodic()
+        .expect("plant has a periodic sensor");
+    let test = plant.days_range(TEST_FROM, TEST_TO);
+
+    let clean = m.detect_range(&plant.traces, test.clone()).expect("clean");
+    let faulty_traces = FaultInjector::new(31)
+        .burst_noise(target, test.start + FAULT_START, test.start + FAULT_END)
+        .apply(&plant.traces);
+    let faulty = m
+        .detect_range(&faulty_traces, test)
+        .expect("batch detection absorbs garbled records");
+
+    assert_eq!(faulty.scores.len(), clean.scores.len());
+    assert!(faulty.scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    let mean = |scores: &[f64]| scores.iter().sum::<f64>() / scores.len() as f64;
+    assert!(
+        mean(&faulty.scores) > mean(&clean.scores),
+        "burst noise must raise the mean batch score"
+    );
+}
+
+#[test]
+fn degrade_policy_fit_tolerates_a_poisoned_pair_end_to_end() {
+    let mut cfg = plant_config();
+    cfg.build.policy = FailurePolicy::Degrade {
+        min_success_fraction: 0.5,
+    };
+    // Poison one worker via the chaos hook: the sweep must quarantine that
+    // edge and still assemble the rest of the graph.
+    cfg.build.chaos_fail_pairs = vec![(0, 1)];
+    let (m, plant) = fit_clean_plant(cfg);
+
+    assert_eq!(m.trained().quarantined().len(), 1);
+    let q = &m.trained().quarantined()[0];
+    assert_eq!((q.src, q.dst), (0, 1));
+    assert!(
+        m.graph().score(0, 1).is_none(),
+        "quarantined edge is absent"
+    );
+    assert!(
+        m.graph().score(1, 0).is_some(),
+        "the reverse direction trained normally"
+    );
+
+    // The degraded model still runs detection and streaming end to end.
+    let test = plant.days_range(TEST_FROM, TEST_TO);
+    let batch = m
+        .detect_range(&plant.traces, test.clone())
+        .expect("degraded graph still detects");
+    assert!(batch.valid_models > 0);
+    stream(&m, &plant.traces, test);
+}
