@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the tape-free inference engine against the tape
+//! oracle it replaced: greedy single-sentence decoding, batched decoding and
+//! beam search, on a paper-scale model. The `*_tape` entries are the before
+//! side of each pair (bit-identical output, see
+//! `crates/nn/tests/infer_parity.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdes_nn::{Seq2Seq, Seq2SeqConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn paper_scale_model(vocab: usize) -> Seq2Seq {
+    // Embedding/hidden sizes in the range the plant experiments use; weights
+    // stay untrained — decode cost does not depend on the weight values.
+    let cfg = Seq2SeqConfig {
+        embed_dim: 32,
+        hidden: 64,
+        ..Seq2SeqConfig::default()
+    };
+    Seq2Seq::new(vocab, vocab, 0, cfg)
+}
+
+fn random_sentences(n: usize, len: usize, vocab: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_range(0..vocab)).collect())
+        .collect()
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let vocab = 24;
+    let model = paper_scale_model(vocab);
+    let src = random_sentences(1, 10, vocab, 7).remove(0);
+    // Warm the packed-weight cache so the engine side measures the
+    // steady-state push, not the one-off context build.
+    black_box(model.translate(&src, 10).expect("warm"));
+    c.bench_function("infer/greedy_len10", |bench| {
+        bench.iter(|| black_box(model.translate(black_box(&src), 10).expect("engine")))
+    });
+    c.bench_function("infer/greedy_len10_tape", |bench| {
+        bench.iter(|| black_box(model.translate_tape(black_box(&src), 10).expect("tape")))
+    });
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let vocab = 24;
+    let model = paper_scale_model(vocab);
+    let sentences = random_sentences(16, 10, vocab, 8);
+    let srcs: Vec<&[usize]> = sentences.iter().map(Vec::as_slice).collect();
+    black_box(model.translate_batch(&srcs, 10).expect("warm"));
+    c.bench_function("infer/batch16_len10", |bench| {
+        bench.iter(|| black_box(model.translate_batch(black_box(&srcs), 10).expect("engine")))
+    });
+    c.bench_function("infer/batch16_len10_tape", |bench| {
+        bench.iter(|| {
+            black_box(
+                model
+                    .translate_batch_tape(black_box(&srcs), 10)
+                    .expect("tape"),
+            )
+        })
+    });
+}
+
+fn bench_beam(c: &mut Criterion) {
+    let vocab = 24;
+    let model = paper_scale_model(vocab);
+    let src = random_sentences(1, 10, vocab, 9).remove(0);
+    black_box(model.translate_beam(&src, 10, 3).expect("warm"));
+    c.bench_function("infer/beam3_len10", |bench| {
+        bench.iter(|| {
+            black_box(
+                model
+                    .translate_beam(black_box(&src), 10, 3)
+                    .expect("engine"),
+            )
+        })
+    });
+    c.bench_function("infer/beam3_len10_tape", |bench| {
+        bench.iter(|| {
+            black_box(
+                model
+                    .translate_beam_tape(black_box(&src), 10, 3)
+                    .expect("tape"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_greedy, bench_batched, bench_beam);
+criterion_main!(benches);

@@ -80,6 +80,48 @@ fn ngram_counts<T: Eq + Hash + Clone>(tokens: &[T], n: usize) -> HashMap<Vec<T>,
     map
 }
 
+/// Reference-side n-gram counts, precomputed once per reference sentence.
+///
+/// Scoring one reference against many hypotheses (as Algorithm 2 does: every
+/// model targeting destination sensor `j` is scored against the same test
+/// sentence of `j`) recounts the reference n-grams on every call to
+/// [`BleuStats::update`]. Precomputing them here and scoring via
+/// [`sentence_bleu_pre`] or [`BleuStats::update_pre`] skips that work while
+/// producing exactly the same integer match statistics — and therefore
+/// bit-identical `f64` scores.
+#[derive(Clone, Debug)]
+pub struct RefNgrams<T> {
+    /// Counts per order; index 0 holds unigrams, up to `max_n`-grams.
+    counts: Vec<HashMap<Vec<T>, usize>>,
+    /// Reference length in tokens (for the brevity penalty).
+    len: usize,
+}
+
+impl<T: Eq + Hash + Clone> RefNgrams<T> {
+    /// Precomputes counts for n-gram orders `1..=max_n` of `reference`.
+    pub fn new(reference: &[T], max_n: usize) -> Self {
+        Self {
+            counts: (1..=max_n).map(|n| ngram_counts(reference, n)).collect(),
+            len: reference.len(),
+        }
+    }
+
+    /// The maximum n-gram order these counts cover.
+    pub fn max_n(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Reference length in tokens.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the reference sentence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 /// Aggregated n-gram match statistics for one corpus.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct BleuStats {
@@ -112,6 +154,39 @@ impl BleuStats {
         for n in 1..=max_n {
             let hyp_counts = ngram_counts(hyp, n);
             let ref_counts = ngram_counts(reference, n);
+            let mut matched = 0u64;
+            let mut total = 0u64;
+            for (gram, &c) in &hyp_counts {
+                total += c as u64;
+                if let Some(&rc) = ref_counts.get(gram) {
+                    matched += c.min(rc) as u64;
+                }
+            }
+            self.matched[n - 1] += matched;
+            self.total[n - 1] += total;
+        }
+    }
+
+    /// Accumulates statistics for one hypothesis against a precomputed
+    /// reference. Equivalent to [`BleuStats::update`] — identical integer
+    /// counts, hence bit-identical scores — without recounting the
+    /// reference n-grams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` was built with a different `max_n`.
+    pub fn update_pre<T: Eq + Hash + Clone>(&mut self, hyp: &[T], reference: &RefNgrams<T>) {
+        let max_n = self.matched.len();
+        assert_eq!(
+            reference.max_n(),
+            max_n,
+            "reference n-grams precomputed for a different max_n"
+        );
+        self.hyp_len += hyp.len() as u64;
+        self.ref_len += reference.len() as u64;
+        for n in 1..=max_n {
+            let hyp_counts = ngram_counts(hyp, n);
+            let ref_counts = &reference.counts[n - 1];
             let mut matched = 0u64;
             let mut total = 0u64;
             for (gram, &c) in &hyp_counts {
@@ -212,6 +287,22 @@ pub fn corpus_bleu<T: Eq + Hash + Clone>(
 pub fn sentence_bleu<T: Eq + Hash + Clone>(hyp: &[T], reference: &[T], cfg: &BleuConfig) -> f64 {
     let mut stats = BleuStats::new(cfg.max_n);
     stats.update(hyp, reference);
+    stats.score(cfg.smoothing)
+}
+
+/// Sentence-level BLEU against a precomputed reference; bit-identical to
+/// [`sentence_bleu`] on the same reference tokens.
+///
+/// # Panics
+///
+/// Panics if `reference` was built with a different `max_n` than `cfg.max_n`.
+pub fn sentence_bleu_pre<T: Eq + Hash + Clone>(
+    hyp: &[T],
+    reference: &RefNgrams<T>,
+    cfg: &BleuConfig,
+) -> f64 {
+    let mut stats = BleuStats::new(cfg.max_n);
+    stats.update_pre(hyp, reference);
     stats.score(cfg.smoothing)
 }
 
@@ -438,6 +529,44 @@ mod tests {
         assert!((s - 50.0).abs() < 1e-9, "score {s}");
     }
 
+    #[test]
+    fn precomputed_reference_matches_direct() {
+        let hyps = [
+            words("the cat sat on the mat"),
+            words("the the the the the the the"),
+            words("a completely different sentence"),
+            vec![],
+        ];
+        let r = words("the cat is on the mat");
+        for cfg in [BleuConfig::default(), BleuConfig::sentence()] {
+            let pre = RefNgrams::new(&r, cfg.max_n);
+            for h in &hyps {
+                let direct = sentence_bleu(h, &r, &cfg);
+                let fast = sentence_bleu_pre(h, &pre, &cfg);
+                assert_eq!(direct.to_bits(), fast.to_bits(), "hyp {h:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_empty_reference() {
+        let pre = RefNgrams::<u32>::new(&[], 4);
+        assert!(pre.is_empty());
+        assert_eq!(pre.max_n(), 4);
+        let cfg = BleuConfig::sentence();
+        let direct = sentence_bleu(&[1u32, 2, 3], &[], &cfg);
+        let fast = sentence_bleu_pre(&[1u32, 2, 3], &RefNgrams::new(&[], cfg.max_n), &cfg);
+        assert_eq!(direct.to_bits(), fast.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "different max_n")]
+    fn precomputed_order_mismatch_panics() {
+        let pre = RefNgrams::new(&[1u32, 2, 3], 2);
+        let mut stats = BleuStats::new(4);
+        stats.update_pre(&[1u32, 2], &pre);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -467,6 +596,16 @@ mod tests {
                 let self_score = sentence_bleu(&h, &h, &cfg);
                 let cross = sentence_bleu(&r, &h, &cfg);
                 prop_assert!(cross <= self_score + 1e-9);
+            }
+
+            #[test]
+            fn precomputed_bit_identical(h in token_seq(20), r in token_seq(20)) {
+                for cfg in [BleuConfig::default(), BleuConfig::sentence()] {
+                    let pre = RefNgrams::new(&r, cfg.max_n);
+                    let direct = sentence_bleu(&h, &r, &cfg);
+                    let fast = sentence_bleu_pre(&h, &pre, &cfg);
+                    prop_assert_eq!(direct.to_bits(), fast.to_bits());
+                }
             }
 
             #[test]

@@ -10,10 +10,13 @@
 
 use crate::algorithm1::TrainedGraph;
 use crate::error::CoreError;
-use mdes_bleu::{sentence_bleu, BleuConfig};
+use mdes_bleu::{sentence_bleu_pre, BleuConfig, RefNgrams};
 use mdes_graph::ScoreRange;
 use mdes_lang::SentenceSet;
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// How a broken relationship is decided from the test score `f(i, j)`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
@@ -42,6 +45,12 @@ pub struct DetectionConfig {
     pub margin: f64,
     /// Threshold rule.
     pub rule: BrokenRule,
+    /// Worker threads for the per-model detection loop (0 = number of
+    /// available CPUs). Results are byte-identical at any thread count, so
+    /// this is purely a scheduling knob; it is not serialized (a restored
+    /// model picks up the deserializing host's default).
+    #[serde(skip)]
+    pub threads: usize,
 }
 
 impl Default for DetectionConfig {
@@ -51,6 +60,7 @@ impl Default for DetectionConfig {
             bleu: BleuConfig::sentence(),
             margin: 0.0,
             rule: BrokenRule::CorpusScore,
+            threads: 0,
         }
     }
 }
@@ -167,36 +177,90 @@ pub fn detect_excluding(
         });
     }
 
-    // One batched decode per participating model instead of one per
-    // (model, window): batch rows are independent, so per-window results are
-    // unchanged, but the NMT family runs one GEMM per decode step for the
-    // whole segment. Iterating models in `participating` order keeps each
-    // window's alert order.
-    let mut alerts: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
+    // Every model targeting destination sensor `j` scores its hypotheses
+    // against the same test sentences of `j`, so the reference-side n-gram
+    // counts are shared: precompute them once per participating destination
+    // instead of once per (model, window) BLEU call.
+    let mut ref_grams: Vec<Option<Vec<RefNgrams<u32>>>> = vec![None; n];
     for &k in &participating {
+        let dst = trained.models()[k].dst;
+        if ref_grams[dst].is_none() {
+            ref_grams[dst] = Some(
+                test_sets[dst]
+                    .sentences
+                    .iter()
+                    .map(|r| RefNgrams::new(r, cfg.bleu.max_n))
+                    .collect(),
+            );
+        }
+    }
+
+    // Per-model detection is embarrassingly parallel: workers pull model
+    // indices from an atomic counter and each fills its own slot with
+    // per-window broken flags. The merge below walks slots in
+    // `participating` order, so scores, alert order and coverage are
+    // byte-identical to a serial run at any thread count.
+    let slots: Mutex<Vec<Option<Vec<bool>>>> = Mutex::new(vec![None; participating.len()]);
+    let next = AtomicUsize::new(0);
+    let threads = if cfg.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        cfg.threads
+    };
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|_| loop {
+                let w = next.fetch_add(1, Ordering::Relaxed);
+                if w >= participating.len() {
+                    break;
+                }
+                let m = &trained.models()[participating[w]];
+                let refs = &test_sets[m.dst].sentences;
+                let grams = ref_grams[m.dst].as_deref().expect("precomputed above");
+                let srcs: Vec<&[u32]> = test_sets[m.src]
+                    .sentences
+                    .iter()
+                    .map(Vec::as_slice)
+                    .collect();
+                // Group windows by required output length so ragged
+                // segments still decode in batches (one GEMM per step per
+                // group for the NMT family) instead of window-at-a-time.
+                // Uniform segments form a single group covering everything.
+                let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+                for (t, r) in refs.iter().enumerate() {
+                    groups.entry(r.len()).or_default().push(t);
+                }
+                let mut hyps: Vec<Vec<u32>> = vec![Vec::new(); count];
+                for (&out_len, rows) in &groups {
+                    let batch: Vec<&[u32]> = rows.iter().map(|&t| srcs[t]).collect();
+                    for (&t, h) in rows.iter().zip(m.translate_batch(&batch, out_len)) {
+                        hyps[t] = h;
+                    }
+                }
+                let threshold = match cfg.rule {
+                    BrokenRule::CorpusScore => m.train_score,
+                    BrokenRule::DevQuantileFloor => m.dev_floor,
+                };
+                let broken: Vec<bool> = hyps
+                    .iter()
+                    .zip(grams)
+                    .map(|(hyp, g)| sentence_bleu_pre(hyp, g, &cfg.bleu) < threshold - cfg.margin)
+                    .collect();
+                slots.lock()[w] = Some(broken);
+            });
+        }
+    })
+    .expect("detection worker panicked");
+
+    let slots = slots.into_inner();
+    let mut alerts: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
+    for (w, &k) in participating.iter().enumerate() {
         let m = &trained.models()[k];
-        let refs = &test_sets[m.dst].sentences;
-        let srcs: Vec<&[u32]> = test_sets[m.src]
-            .sentences
-            .iter()
-            .map(Vec::as_slice)
-            .collect();
-        let hyps: Vec<Vec<u32>> = if refs.iter().all(|r| r.len() == refs[0].len()) {
-            m.translate_batch(&srcs, refs[0].len())
-        } else {
-            // Ragged reference lengths need per-window output lengths.
-            srcs.iter()
-                .zip(refs)
-                .map(|(s, r)| m.translate(s, r.len()))
-                .collect()
-        };
-        let threshold = match cfg.rule {
-            BrokenRule::CorpusScore => m.train_score,
-            BrokenRule::DevQuantileFloor => m.dev_floor,
-        };
-        for (t, (hyp, r)) in hyps.iter().zip(refs).enumerate() {
-            let f = sentence_bleu(hyp, r, &cfg.bleu);
-            if f < threshold - cfg.margin {
+        let broken = slots[w].as_ref().expect("worker filled every slot");
+        for (t, &b) in broken.iter().enumerate() {
+            if b {
                 alerts[t].push((m.src, m.dst));
             }
         }

@@ -100,6 +100,11 @@ pub struct OnlineMonitor {
     consec_same: Vec<usize>,
     /// Last delivered (non-missing) record per original sensor.
     last_record: Vec<Option<String>>,
+    /// Reusable window snapshot handed to `encode_segment`: names are built
+    /// once here, and each emission refills `events` in place instead of
+    /// allocating a fresh `Vec<RawTrace>` (with freshly formatted names)
+    /// per completed window.
+    scratch_traces: Vec<RawTrace>,
 }
 
 impl OnlineMonitor {
@@ -133,6 +138,9 @@ impl OnlineMonitor {
             consec_missing: vec![0; width],
             consec_same: vec![0; width],
             last_record: vec![None; width],
+            scratch_traces: (0..width)
+                .map(|i| RawTrace::new(format!("b{i}"), Vec::new()))
+                .collect(),
         })
     }
 
@@ -236,17 +244,17 @@ impl OnlineMonitor {
             return Ok(None);
         }
 
-        // The trailing buffer is exactly one sentence per sensor.
-        let traces: Vec<RawTrace> = self
-            .buffers
-            .iter()
-            .enumerate()
-            .map(|(i, buf)| RawTrace::new(format!("b{i}"), buf.iter().cloned().collect()))
-            .collect();
+        // The trailing buffer is exactly one sentence per sensor. Refill the
+        // preallocated snapshot in place; in steady state the event strings
+        // are the only per-window clones left.
+        for (trace, buf) in self.scratch_traces.iter_mut().zip(&self.buffers) {
+            trace.events.clear();
+            trace.events.extend(buf.iter().cloned());
+        }
         let sets = self
             .mdes
             .language()
-            .encode_segment(&traces, 0..self.window)?;
+            .encode_segment(&self.scratch_traces, 0..self.window)?;
         // Dropped sensors are tracked by original index; detection excludes
         // by graph node index, so translate through each language's source.
         let dropped = self.dropped_sensors();

@@ -101,6 +101,22 @@ impl GruLayer {
     pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> TensorId {
         tape.leaf(Matrix::zeros(batch, self.hidden))
     }
+
+    /// Packs the layer weights for the tape-free inference engine: the same
+    /// fused gate/candidate operands [`GruLayer::bind`] builds on a tape,
+    /// copied out of `params` once instead of per forward pass.
+    pub fn pack_infer(&self, params: &ParamSet) -> crate::infer::PackedCell {
+        crate::infer::PackedCell::Gru {
+            w_gates: crate::infer::pack_rows(
+                params.value(self.wx_gates),
+                params.value(self.wh_gates),
+            ),
+            b_gates: params.value(self.b_gates).clone(),
+            w_cand: crate::infer::pack_rows(params.value(self.wx_cand), params.value(self.wh_cand)),
+            b_cand: params.value(self.b_cand).clone(),
+            hidden: self.hidden,
+        }
+    }
 }
 
 impl BoundGru {
@@ -225,6 +241,11 @@ impl GruStack {
             .iter()
             .map(|l| l.zero_state(tape, batch))
             .collect()
+    }
+
+    /// Packs every layer for the tape-free inference engine, bottom first.
+    pub fn pack_infer(&self, params: &ParamSet) -> Vec<crate::infer::PackedCell> {
+        self.layers.iter().map(|l| l.pack_infer(params)).collect()
     }
 }
 

@@ -1,0 +1,691 @@
+//! Tape-free inference engine for the seq2seq model.
+//!
+//! [`crate::Seq2Seq`]'s training path runs on the autodiff [`crate::tape::Tape`],
+//! which records an op node, allocates (or pools) an output buffer, and keeps
+//! backprop bookkeeping for every operation. None of that is needed at
+//! serving time: online detection (Algorithm 2) only ever runs forward. This
+//! module re-implements the forward pass — embedding lookup, fused-gate
+//! LSTM/GRU steps, Luong attention, and the output projection — against a
+//! reusable per-context scratch arena:
+//!
+//! * weights are packed **once** per model into a [`ModelSpec`] (the
+//!   `[wx; wh]` fused-GEMM operands that the tape re-concatenates on every
+//!   bind), and
+//! * every intermediate lives in a pre-sized [`InferCtx`] buffer, so a decode
+//!   step performs no heap allocation in the steady state (the first call at
+//!   a given batch/sequence shape sizes the arena; later calls reuse it).
+//!
+//! **Bit parity.** The engine is not "close to" the tape — it is exactly the
+//! tape's forward arithmetic, op for op: GEMMs go through
+//! [`Matrix::matmul_into`] (which routes to `reference-kernels` under that
+//! feature, same as the tape), nonlinearities through
+//! [`crate::matrix::sigmoid_slice`] / [`crate::matrix::tanh_slice`] applied to
+//! the same contiguous buffers the tape slices out, and reductions (softmax,
+//! attention scores, state updates) replicate the tape's loop order and
+//! rounding sequence. The tape path stays compiled as the parity oracle
+//! (`Seq2Seq::translate_batch_tape` and friends, mirroring
+//! [`crate::reference`]), and `tests/infer_parity.rs` asserts bit-identical
+//! output under both kernel families.
+
+use crate::matrix::{sigmoid_slice, tanh_slice, Matrix};
+use std::sync::Mutex;
+
+/// Forward-only packed weights of one recurrent layer.
+///
+/// The input and hidden weight blocks are pre-stacked (input block on top)
+/// into the single fused-gate GEMM operand that the tape builds with
+/// `concat_rows` on every bind.
+#[derive(Clone, Debug)]
+pub enum PackedCell {
+    /// LSTM layer with gate columns laid out `[i | f | g | o]`.
+    Lstm {
+        /// Packed `[wx; wh]`, shape `(input + hidden) x 4H`.
+        w: Matrix,
+        /// Gate bias, `1 x 4H`.
+        b: Matrix,
+        /// Hidden units.
+        hidden: usize,
+    },
+    /// GRU layer with gate columns laid out `[r | z]`.
+    Gru {
+        /// Packed `[wx_gates; wh_gates]`, shape `(input + hidden) x 2H`.
+        w_gates: Matrix,
+        /// Gate bias, `1 x 2H`.
+        b_gates: Matrix,
+        /// Packed `[wx_cand; wh_cand]`, shape `(input + hidden) x H`.
+        w_cand: Matrix,
+        /// Candidate bias, `1 x H`.
+        b_cand: Matrix,
+        /// Hidden units.
+        hidden: usize,
+    },
+}
+
+impl PackedCell {
+    fn hidden(&self) -> usize {
+        match self {
+            PackedCell::Lstm { hidden, .. } | PackedCell::Gru { hidden, .. } => *hidden,
+        }
+    }
+
+    fn is_lstm(&self) -> bool {
+        matches!(self, PackedCell::Lstm { .. })
+    }
+}
+
+/// Stacks `top` above `bottom` — the tape's `concat_rows`, used to pack the
+/// separate input/hidden weights into one fused GEMM operand.
+pub fn pack_rows(top: &Matrix, bottom: &Matrix) -> Matrix {
+    assert_eq!(top.cols(), bottom.cols(), "pack_rows column mismatch");
+    let mut out = Matrix::zeros(top.rows() + bottom.rows(), top.cols());
+    let split = top.data().len();
+    out.data_mut()[..split].copy_from_slice(top.data());
+    out.data_mut()[split..].copy_from_slice(bottom.data());
+    out
+}
+
+/// Everything the engine needs from a trained [`crate::Seq2Seq`]: owned
+/// weight copies (recurrent layers pre-packed) plus decoding
+/// hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Source embedding table, `src_vocab x E`.
+    pub src_emb: Matrix,
+    /// Target embedding table, `tgt_vocab x E`.
+    pub tgt_emb: Matrix,
+    /// Encoder layers, bottom first.
+    pub encoder: Vec<PackedCell>,
+    /// Decoder layers, bottom first.
+    pub decoder: Vec<PackedCell>,
+    /// Bilinear attention weight (`General` attention only), `H x H`.
+    pub w_a: Option<Matrix>,
+    /// Attentional combination weight, `2H x H`.
+    pub w_c: Matrix,
+    /// Attentional combination bias, `1 x H`.
+    pub b_c: Matrix,
+    /// Output projection, `H x V`.
+    pub w_out: Matrix,
+    /// Output bias, `1 x V`.
+    pub b_out: Matrix,
+    /// Hidden units per layer.
+    pub hidden: usize,
+    /// Luong input feeding: the previous attentional hidden state is
+    /// concatenated to the decoder input.
+    pub input_feeding: bool,
+    /// Target begin-of-sentence token fed at step zero.
+    pub bos: usize,
+}
+
+/// Recurrent state carried across decode steps: per-layer hidden (and, for
+/// LSTM, cell) matrices plus the fed-back attentional hidden state.
+///
+/// Cloneable so beam search can branch hypotheses; all matrices are
+/// `B x H`.
+#[derive(Clone, Debug, Default)]
+pub struct InferState {
+    h: Vec<Matrix>,
+    /// LSTM cell states; empty for GRU.
+    c: Vec<Matrix>,
+    att: Matrix,
+    has_att: bool,
+}
+
+impl InferState {
+    fn reset(&mut self, layers: &[PackedCell], batch: usize) {
+        let n = layers.len();
+        let hidden = layers[0].hidden();
+        let n_cells = if layers[0].is_lstm() { n } else { 0 };
+        self.h.resize_with(n, Matrix::default);
+        self.c.resize_with(n_cells, Matrix::default);
+        for m in self.h.iter_mut().chain(self.c.iter_mut()) {
+            shape_to(m, batch, hidden);
+            m.data_mut().fill(0.0);
+        }
+        self.has_att = false;
+    }
+
+    fn copy_from(&mut self, src: &InferState) {
+        self.h.resize_with(src.h.len(), Matrix::default);
+        self.c.resize_with(src.c.len(), Matrix::default);
+        for (dst, s) in self.h.iter_mut().zip(&src.h) {
+            assign(dst, s);
+        }
+        for (dst, s) in self.c.iter_mut().zip(&src.c) {
+            assign(dst, s);
+        }
+        self.has_att = false;
+    }
+}
+
+/// Reused intermediate buffers. Each field is resized on first use at a given
+/// shape and then reused verbatim; in the steady state no buffer reallocates.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Step input: embeddings, plus the fed-back attentional state under
+    /// input feeding.
+    x: Matrix,
+    /// Fused GEMM input `[x | h]` (also `[x | r ⊙ h]` for the GRU candidate).
+    xh: Matrix,
+    /// Gate pre-activations, `B x 4H` (LSTM) or `B x 2H` (GRU).
+    z: Matrix,
+    /// Contiguous copy of one gate block before its nonlinearity (mirrors the
+    /// tape's `slice_cols`, so the activation kernels see the same buffer
+    /// extents as on the tape).
+    gate_pre: Matrix,
+    /// Activated gates: i/f/g/o for LSTM; ga = r, gb = z for GRU.
+    ga: Matrix,
+    /// See [`Scratch::ga`].
+    gb: Matrix,
+    /// See [`Scratch::ga`].
+    gc: Matrix,
+    /// See [`Scratch::ga`].
+    go: Matrix,
+    /// `tanh(c)` (LSTM) / candidate state (GRU).
+    tc: Matrix,
+    /// `r ⊙ h` (GRU only).
+    rh: Matrix,
+    /// Attention query `h_t W_a` (General attention only).
+    query: Matrix,
+    /// Attention scores, then weights after in-place softmax, `B x S`.
+    scores: Matrix,
+    /// Attention context vector, `B x H`.
+    ctx: Matrix,
+    /// `[context | h_top]`, `B x 2H`.
+    cat: Matrix,
+    /// Pre-activation of the attentional hidden state, `B x H`.
+    att_pre: Matrix,
+    /// Output logits, `B x V`.
+    logits: Matrix,
+}
+
+/// A per-model inference context: packed weights plus the scratch arena.
+///
+/// Create once per trained model ([`InferCtx::new`]) and reuse across decode
+/// steps and across pushes. Callers must validate tokens/shapes first (as
+/// [`crate::Seq2Seq::translate_batch`] does) — the engine indexes embedding
+/// tables directly.
+#[derive(Debug)]
+pub struct InferCtx {
+    spec: ModelSpec,
+    /// Per-step top-layer encoder hidden states; `enc_len` entries are live.
+    enc_hs: Vec<Matrix>,
+    enc_len: usize,
+    /// Encoder final state (the decoder's initial state).
+    enc_final: InferState,
+    /// Greedy-decode state, reused across `translate_batch` calls.
+    greedy: InferState,
+    /// Previous-token buffer for greedy decoding.
+    prev: Vec<usize>,
+    scratch: Scratch,
+}
+
+impl InferCtx {
+    /// Builds a context around pre-packed weights.
+    pub fn new(spec: ModelSpec) -> Self {
+        Self {
+            spec,
+            enc_hs: Vec::new(),
+            enc_len: 0,
+            enc_final: InferState::default(),
+            greedy: InferState::default(),
+            prev: Vec::new(),
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// The packed model weights.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Encodes a batch of equal-length source sentences, leaving the
+    /// per-step top-layer hidden states and the final state in the context.
+    pub fn encode(&mut self, srcs: &[&[usize]]) {
+        let batch = srcs.len();
+        let steps = srcs[0].len();
+        let mut state = std::mem::take(&mut self.enc_final);
+        state.reset(&self.spec.encoder, batch);
+        if self.enc_hs.len() < steps {
+            self.enc_hs.resize_with(steps, Matrix::default);
+        }
+        self.enc_len = steps;
+        let embed = self.spec.src_emb.cols();
+        for t in 0..steps {
+            let scr = &mut self.scratch;
+            shape_to(&mut scr.x, batch, embed);
+            for (r, s) in srcs.iter().enumerate() {
+                scr.x
+                    .row_mut(r)
+                    .copy_from_slice(self.spec.src_emb.row(s[t]));
+            }
+            step_stack(&self.spec.encoder, scr, &mut state);
+            assign(
+                &mut self.enc_hs[t],
+                state.h.last().expect("non-empty stack"),
+            );
+        }
+        self.enc_final = state;
+    }
+
+    /// Copies the encoder final state into `out` (reusing its buffers) as
+    /// the decoder's initial state.
+    pub fn start_state(&self, out: &mut InferState) {
+        out.copy_from(&self.enc_final);
+    }
+
+    /// One decoder step over the most recently encoded batch: embeds `prev`,
+    /// advances the stack, attends, and leaves the logits in the context
+    /// ([`InferCtx::logits`]). `state` is updated in place.
+    pub fn decode_step(&mut self, prev: &[usize], state: &mut InferState) {
+        let batch = prev.len();
+        let spec = &self.spec;
+        let scr = &mut self.scratch;
+        let embed = spec.tgt_emb.cols();
+        let hd = spec.hidden;
+        let in_dim = if spec.input_feeding {
+            embed + hd
+        } else {
+            embed
+        };
+        shape_to(&mut scr.x, batch, in_dim);
+        for (r, &tok) in prev.iter().enumerate() {
+            let row = scr.x.row_mut(r);
+            row[..embed].copy_from_slice(spec.tgt_emb.row(tok));
+            if spec.input_feeding {
+                if state.has_att {
+                    row[embed..].copy_from_slice(state.att.row(r));
+                } else {
+                    row[embed..].fill(0.0);
+                }
+            }
+        }
+        step_stack(&spec.decoder, scr, state);
+        attend(spec, scr, state, &self.enc_hs[..self.enc_len]);
+    }
+
+    /// Logits of the last [`InferCtx::decode_step`], `B x V`.
+    pub fn logits(&self) -> &Matrix {
+        &self.scratch.logits
+    }
+
+    /// Greedy batched translation — the engine-side body of
+    /// [`crate::Seq2Seq::translate_batch`]. Inputs must be pre-validated.
+    pub fn translate_batch(&mut self, srcs: &[&[usize]], out_len: usize) -> Vec<Vec<usize>> {
+        let batch = srcs.len();
+        self.encode(srcs);
+        let mut state = std::mem::take(&mut self.greedy);
+        self.start_state(&mut state);
+        let mut prev = std::mem::take(&mut self.prev);
+        prev.clear();
+        prev.resize(batch, self.spec.bos);
+        let mut out = vec![Vec::with_capacity(out_len); batch];
+        for _ in 0..out_len {
+            self.decode_step(&prev, &mut state);
+            for (b, o) in out.iter_mut().enumerate() {
+                o.push(self.scratch.logits.argmax_row(b));
+            }
+            for (p, o) in prev.iter_mut().zip(&out) {
+                *p = *o.last().expect("pushed above");
+            }
+        }
+        self.greedy = state;
+        self.prev = prev;
+        out
+    }
+}
+
+/// Advances every layer of a packed stack one step, updating `state` in
+/// place. Layer 0 consumes `scr.x`; layer `l` consumes layer `l - 1`'s fresh
+/// hidden state, exactly like the tape's stack step.
+fn step_stack(layers: &[PackedCell], scr: &mut Scratch, state: &mut InferState) {
+    let Scratch {
+        x,
+        xh,
+        z,
+        gate_pre,
+        ga,
+        gb,
+        gc,
+        go,
+        tc,
+        rh,
+        ..
+    } = scr;
+    for (l, cell) in layers.iter().enumerate() {
+        let batch = state.h[l].rows();
+        match cell {
+            PackedCell::Lstm { w, b, hidden } => {
+                let hd = *hidden;
+                let in_dim = w.rows() - hd;
+                // xh = [input | h] — the tape's concat_cols.
+                shape_to(xh, batch, in_dim + hd);
+                for r in 0..batch {
+                    let input_row = if l == 0 {
+                        x.row(r)
+                    } else {
+                        state.h[l - 1].row(r)
+                    };
+                    let row = xh.row_mut(r);
+                    row[..in_dim].copy_from_slice(input_row);
+                    row[in_dim..].copy_from_slice(state.h[l].row(r));
+                }
+                shape_to(z, batch, 4 * hd);
+                xh.matmul_into(w, z);
+                add_row_inplace(z, b);
+                // Gate blocks copied out contiguously (the tape's
+                // slice_cols), then activated whole-buffer like the tape.
+                copy_cols(z, 0, hd, gate_pre);
+                shape_to(ga, batch, hd);
+                sigmoid_slice(gate_pre.data(), ga.data_mut());
+                copy_cols(z, hd, hd, gate_pre);
+                shape_to(gb, batch, hd);
+                sigmoid_slice(gate_pre.data(), gb.data_mut());
+                copy_cols(z, 2 * hd, hd, gate_pre);
+                shape_to(gc, batch, hd);
+                tanh_slice(gate_pre.data(), gc.data_mut());
+                copy_cols(z, 3 * hd, hd, gate_pre);
+                shape_to(go, batch, hd);
+                sigmoid_slice(gate_pre.data(), go.data_mut());
+                // c' = f ⊙ c + i ⊙ g, h' = o ⊙ tanh(c'), rounding exactly as
+                // the tape's hadamard/add sequence.
+                let cd = state.c[l].data_mut();
+                let (id, fd, gd) = (ga.data(), gb.data(), gc.data());
+                for e in 0..cd.len() {
+                    let fc = fd[e] * cd[e];
+                    let ig = id[e] * gd[e];
+                    cd[e] = fc + ig;
+                }
+                shape_to(tc, batch, hd);
+                tanh_slice(state.c[l].data(), tc.data_mut());
+                let hd_out = state.h[l].data_mut();
+                let (od, td) = (go.data(), tc.data());
+                for e in 0..hd_out.len() {
+                    hd_out[e] = od[e] * td[e];
+                }
+            }
+            PackedCell::Gru {
+                w_gates,
+                b_gates,
+                w_cand,
+                b_cand,
+                hidden,
+            } => {
+                let hd = *hidden;
+                let in_dim = w_gates.rows() - hd;
+                shape_to(xh, batch, in_dim + hd);
+                for r in 0..batch {
+                    let input_row = if l == 0 {
+                        x.row(r)
+                    } else {
+                        state.h[l - 1].row(r)
+                    };
+                    let row = xh.row_mut(r);
+                    row[..in_dim].copy_from_slice(input_row);
+                    row[in_dim..].copy_from_slice(state.h[l].row(r));
+                }
+                shape_to(z, batch, 2 * hd);
+                xh.matmul_into(w_gates, z);
+                add_row_inplace(z, b_gates);
+                copy_cols(z, 0, hd, gate_pre);
+                shape_to(ga, batch, hd); // r
+                sigmoid_slice(gate_pre.data(), ga.data_mut());
+                copy_cols(z, hd, hd, gate_pre);
+                shape_to(gb, batch, hd); // z
+                sigmoid_slice(gate_pre.data(), gb.data_mut());
+                // rh = r ⊙ h, then the candidate GEMM over [x | rh].
+                shape_to(rh, batch, hd);
+                {
+                    let (rd, hd_in, out) = (ga.data(), state.h[l].data(), rh.data_mut());
+                    for e in 0..out.len() {
+                        out[e] = rd[e] * hd_in[e];
+                    }
+                }
+                for r in 0..batch {
+                    let input_row = if l == 0 {
+                        x.row(r)
+                    } else {
+                        state.h[l - 1].row(r)
+                    };
+                    let row = xh.row_mut(r);
+                    row[..in_dim].copy_from_slice(input_row);
+                    row[in_dim..].copy_from_slice(rh.row(r));
+                }
+                shape_to(gate_pre, batch, hd);
+                xh.matmul_into(w_cand, gate_pre);
+                add_row_inplace(gate_pre, b_cand);
+                shape_to(tc, batch, hd);
+                tanh_slice(gate_pre.data(), tc.data_mut());
+                // h' = z ⊙ (h - c) + c, with the tape's scale/add rounding:
+                // h - c is computed as h + (-1 · c), and IEEE negation is
+                // bit-identical to multiplying by -1.
+                let hd_out = state.h[l].data_mut();
+                let (zd, cd) = (gb.data(), tc.data());
+                for e in 0..hd_out.len() {
+                    let h_minus_c = hd_out[e] + (-cd[e]);
+                    let gated = zd[e] * h_minus_c;
+                    hd_out[e] = gated + cd[e];
+                }
+            }
+        }
+    }
+}
+
+/// Luong attention and output projection over the encoder states, writing
+/// the attentional hidden state into `state.att` and logits into
+/// `scr.logits`. Mirrors the tape's `decode_step` tail op for op.
+fn attend(spec: &ModelSpec, scr: &mut Scratch, state: &mut InferState, enc_hs: &[Matrix]) {
+    let hd = spec.hidden;
+    let InferState {
+        h, att, has_att, ..
+    } = state;
+    let h_top = h.last().expect("non-empty stack");
+    let batch = h_top.rows();
+    let Scratch {
+        query,
+        scores,
+        ctx,
+        cat,
+        att_pre,
+        logits,
+        ..
+    } = scr;
+    let q: &Matrix = match &spec.w_a {
+        Some(w_a) => {
+            shape_to(query, batch, hd);
+            h_top.matmul_into(w_a, query);
+            query
+        }
+        None => h_top,
+    };
+    // score(h_t, h_s) per encoder state — the tape's row_dot, with the same
+    // left-to-right summation.
+    let steps = enc_hs.len();
+    shape_to(scores, batch, steps);
+    for (s, hs) in enc_hs.iter().enumerate() {
+        for r in 0..batch {
+            let d: f32 = q.row(r).iter().zip(hs.row(r)).map(|(&x, &y)| x * y).sum();
+            scores.set(r, s, d);
+        }
+    }
+    // In-place softmax, replicating the tape's loop (max-subtract, std exp,
+    // sum in iteration order, divide).
+    for r in 0..batch {
+        let row = scores.row_mut(r);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    // context = Σ_s weight_s · h_s, accumulated in encoder-state order like
+    // the tape's mul_col/add fold.
+    shape_to(ctx, batch, hd);
+    for (s, hs) in enc_hs.iter().enumerate() {
+        for r in 0..batch {
+            let w = scores.get(r, s);
+            let crow = ctx.row_mut(r);
+            if s == 0 {
+                for (o, &v) in crow.iter_mut().zip(hs.row(r)) {
+                    *o = v * w;
+                }
+            } else {
+                for (o, &v) in crow.iter_mut().zip(hs.row(r)) {
+                    *o += v * w;
+                }
+            }
+        }
+    }
+    shape_to(cat, batch, 2 * hd);
+    for r in 0..batch {
+        let row = cat.row_mut(r);
+        row[..hd].copy_from_slice(ctx.row(r));
+        row[hd..].copy_from_slice(h_top.row(r));
+    }
+    shape_to(att_pre, batch, hd);
+    cat.matmul_into(&spec.w_c, att_pre);
+    add_row_inplace(att_pre, &spec.b_c);
+    shape_to(att, batch, hd);
+    tanh_slice(att_pre.data(), att.data_mut());
+    *has_att = true;
+    shape_to(logits, batch, spec.w_out.cols());
+    att.matmul_into(&spec.w_out, logits);
+    add_row_inplace(logits, &spec.b_out);
+}
+
+/// Resizes `m` to `rows x cols`, reusing its allocation when capacity
+/// suffices. Contents are unspecified afterwards.
+fn shape_to(m: &mut Matrix, rows: usize, cols: usize) {
+    if m.shape() != (rows, cols) {
+        let mut data = std::mem::take(m).into_data();
+        data.resize(rows * cols, 0.0);
+        *m = Matrix::from_vec(rows, cols, data);
+    }
+}
+
+/// Copies `src` into `dst`, reusing `dst`'s allocation.
+fn assign(dst: &mut Matrix, src: &Matrix) {
+    shape_to(dst, src.rows(), src.cols());
+    dst.data_mut().copy_from_slice(src.data());
+}
+
+/// In-place row-broadcast bias add — the tape's `add_row` values.
+fn add_row_inplace(m: &mut Matrix, bias: &Matrix) {
+    debug_assert_eq!(bias.shape(), (1, m.cols()));
+    for r in 0..m.rows() {
+        for (o, &b) in m.row_mut(r).iter_mut().zip(bias.row(0)) {
+            *o += b;
+        }
+    }
+}
+
+/// Copies columns `[start, start + width)` of `src` into `dst` — the tape's
+/// `slice_cols`.
+fn copy_cols(src: &Matrix, start: usize, width: usize, dst: &mut Matrix) {
+    shape_to(dst, src.rows(), width);
+    for r in 0..src.rows() {
+        dst.row_mut(r)
+            .copy_from_slice(&src.row(r)[start..start + width]);
+    }
+}
+
+/// Lazily-built, serialization-skipped cache of a model's [`InferCtx`].
+///
+/// Stored inside [`crate::Seq2Seq`] behind `#[serde(skip)]`: a cloned or
+/// deserialized model starts with an empty cache and rebuilds the context on
+/// first use; training clears it (the packed weights would be stale).
+/// The interior mutex makes cached inference available through `&self` and
+/// keeps the model `Sync` for parallel detection.
+#[derive(Default)]
+pub struct InferCache(Mutex<Option<Box<InferCtx>>>);
+
+impl InferCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` against the cached context, building it with `build` on
+    /// first use.
+    pub fn with<R>(
+        &self,
+        build: impl FnOnce() -> InferCtx,
+        f: impl FnOnce(&mut InferCtx) -> R,
+    ) -> R {
+        let mut guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        f(guard.get_or_insert_with(|| Box::new(build())))
+    }
+
+    /// Drops the cached context (call after any parameter update).
+    pub fn clear(&self) {
+        *self.0.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+}
+
+impl Clone for InferCache {
+    /// Cloning a model does not clone the cache — the clone rebuilds lazily.
+    fn clone(&self) -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for InferCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let built = self.0.lock().map(|g| g.is_some()).unwrap_or(false);
+        f.debug_struct("InferCache").field("built", &built).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_rows_stacks_in_order() {
+        let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Matrix::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let p = pack_rows(&a, &b);
+        assert_eq!(p.shape(), (3, 2));
+        assert_eq!(p.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn shape_to_reuses_capacity() {
+        let mut m = Matrix::zeros(4, 4);
+        let ptr = m.data().as_ptr();
+        shape_to(&mut m, 2, 8);
+        assert_eq!(m.shape(), (2, 8));
+        assert_eq!(
+            m.data().as_ptr(),
+            ptr,
+            "same-size reshape must not allocate"
+        );
+    }
+
+    #[test]
+    fn infer_cache_clone_is_empty_and_clear_drops() {
+        let cache = InferCache::new();
+        let spec = ModelSpec {
+            src_emb: Matrix::zeros(2, 2),
+            tgt_emb: Matrix::zeros(2, 2),
+            encoder: vec![],
+            decoder: vec![],
+            w_a: None,
+            w_c: Matrix::zeros(4, 2),
+            b_c: Matrix::zeros(1, 2),
+            w_out: Matrix::zeros(2, 2),
+            b_out: Matrix::zeros(1, 2),
+            hidden: 2,
+            input_feeding: false,
+            bos: 0,
+        };
+        cache.with(|| InferCtx::new(spec), |_| ());
+        assert!(format!("{cache:?}").contains("true"));
+        assert!(format!("{:?}", cache.clone()).contains("false"));
+        cache.clear();
+        assert!(format!("{cache:?}").contains("false"));
+    }
+}

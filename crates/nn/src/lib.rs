@@ -36,6 +36,7 @@
 
 mod error;
 pub mod gru;
+pub mod infer;
 pub mod lstm;
 pub mod matrix;
 pub mod optim;
@@ -45,6 +46,7 @@ pub mod tape;
 
 pub use error::NnError;
 pub use gru::{GruLayer, GruStack};
+pub use infer::{InferCtx, InferState, ModelSpec};
 pub use lstm::{LstmLayer, LstmStack};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};

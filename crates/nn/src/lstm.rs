@@ -97,6 +97,17 @@ impl LstmLayer {
             c: tape.leaf(Matrix::zeros(batch, self.hidden)),
         }
     }
+
+    /// Packs the layer weights for the tape-free inference engine: the same
+    /// fused `[wx; wh]` gate operand [`LstmLayer::bind`] builds on a tape,
+    /// copied out of `params` once instead of per forward pass.
+    pub fn pack_infer(&self, params: &ParamSet) -> crate::infer::PackedCell {
+        crate::infer::PackedCell::Lstm {
+            w: crate::infer::pack_rows(params.value(self.wx), params.value(self.wh)),
+            b: params.value(self.b).clone(),
+            hidden: self.hidden,
+        }
+    }
 }
 
 impl BoundLstm {
@@ -203,6 +214,11 @@ impl LstmStack {
             .iter()
             .map(|l| l.zero_state(tape, batch))
             .collect()
+    }
+
+    /// Packs every layer for the tape-free inference engine, bottom first.
+    pub fn pack_infer(&self, params: &ParamSet) -> Vec<crate::infer::PackedCell> {
+        self.layers.iter().map(|l| l.pack_infer(params)).collect()
     }
 }
 

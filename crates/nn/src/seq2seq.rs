@@ -19,6 +19,7 @@
 
 use crate::error::NnError;
 use crate::gru::{BoundGruStack, GruStack};
+use crate::infer::{InferCache, InferCtx, InferState, ModelSpec, PackedCell};
 use crate::lstm::{BoundStack, LstmStack, LstmState};
 use crate::matrix::Matrix;
 use crate::optim::Adam;
@@ -144,6 +145,13 @@ impl Recurrent {
         }
     }
 
+    fn pack_infer(&self, params: &ParamSet) -> Vec<PackedCell> {
+        match self {
+            Recurrent::Lstm(s) => s.pack_infer(params),
+            Recurrent::Gru(s) => s.pack_infer(params),
+        }
+    }
+
     fn zero_state(&self, tape: &mut Tape, batch: usize) -> RecState {
         match self {
             Recurrent::Lstm(s) => RecState::Lstm(s.zero_state(tape, batch)),
@@ -209,6 +217,10 @@ pub struct Seq2Seq {
     b_c: usize,
     w_out: usize,
     b_out: usize,
+    /// Cached tape-free inference context; rebuilt lazily after training,
+    /// cloning, or deserialization (see [`InferCache`]).
+    #[serde(skip)]
+    infer: InferCache,
 }
 
 /// Tape-bound parameter handles, valid for one forward pass.
@@ -298,6 +310,7 @@ impl Seq2Seq {
             b_c,
             w_out,
             b_out,
+            infer: InferCache::new(),
         }
     }
 
@@ -487,6 +500,9 @@ impl Seq2Seq {
     /// learning rate).
     pub fn fit(&mut self, pairs: &[(Vec<usize>, Vec<usize>)]) -> Result<Vec<f32>, NnError> {
         self.validate(pairs)?;
+        // Parameters are about to change; any packed inference weights are
+        // stale from here on.
+        self.infer.clear();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
         let mut losses = Vec::with_capacity(self.cfg.train_steps);
         // One tape for the whole run: every step replays the same op sequence,
@@ -570,14 +586,56 @@ impl Seq2Seq {
         Ok(())
     }
 
+    /// Packs the current parameters for the tape-free inference engine.
+    fn infer_spec(&self) -> ModelSpec {
+        ModelSpec {
+            src_emb: self.params.value(self.src_emb).clone(),
+            tgt_emb: self.params.value(self.tgt_emb).clone(),
+            encoder: self.encoder.pack_infer(&self.params),
+            decoder: self.decoder.pack_infer(&self.params),
+            w_a: self.w_a.map(|w| self.params.value(w).clone()),
+            w_c: self.params.value(self.w_c).clone(),
+            b_c: self.params.value(self.b_c).clone(),
+            w_out: self.params.value(self.w_out).clone(),
+            b_out: self.params.value(self.b_out).clone(),
+            hidden: self.cfg.hidden,
+            input_feeding: self.cfg.input_feeding,
+            bos: self.bos,
+        }
+    }
+
+    /// Runs `f` against this model's cached inference context, packing the
+    /// weights on first use.
+    fn with_infer<R>(&self, f: impl FnOnce(&mut InferCtx) -> R) -> R {
+        self.infer.with(|| InferCtx::new(self.infer_spec()), f)
+    }
+
     /// Greedily translates a batch of equal-length source sentences into
-    /// sentences of `out_len` tokens each.
+    /// sentences of `out_len` tokens each, on the tape-free inference
+    /// engine ([`crate::infer`]). Output is bit-identical to
+    /// [`Seq2Seq::translate_batch_tape`].
     ///
     /// # Errors
     ///
     /// Returns an error if `srcs` is empty, sentences are empty or ragged, a
     /// token is out of vocabulary, or `out_len` is zero.
     pub fn translate_batch(
+        &self,
+        srcs: &[&[usize]],
+        out_len: usize,
+    ) -> Result<Vec<Vec<usize>>, NnError> {
+        self.validate_src(srcs, out_len)?;
+        Ok(self.with_infer(|ctx| ctx.translate_batch(srcs, out_len)))
+    }
+
+    /// Batched greedy translation on the autodiff tape, kept compiled as the
+    /// parity oracle for the inference engine (the same pattern as
+    /// [`crate::reference`] for the fast kernels).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Seq2Seq::translate_batch`].
+    pub fn translate_batch_tape(
         &self,
         srcs: &[&[usize]],
         out_len: usize,
@@ -608,7 +666,7 @@ impl Seq2Seq {
         Ok(out)
     }
 
-    /// Greedily translates a single source sentence.
+    /// Greedily translates a single source sentence (engine path).
     ///
     /// # Errors
     ///
@@ -620,16 +678,84 @@ impl Seq2Seq {
             .expect("one output per input"))
     }
 
+    /// Single-sentence greedy translation on the tape oracle.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Seq2Seq::translate_batch`].
+    pub fn translate_tape(&self, src: &[usize], out_len: usize) -> Result<Vec<usize>, NnError> {
+        Ok(self
+            .translate_batch_tape(&[src], out_len)?
+            .pop()
+            .expect("one output per input"))
+    }
+
     /// Beam-search translation of a single source sentence: keeps the
     /// `beam_width` highest-log-probability hypotheses at each step and
     /// returns the best complete one. `beam_width = 1` is equivalent to
-    /// greedy decoding.
+    /// greedy decoding. Runs on the tape-free inference engine; output is
+    /// bit-identical to [`Seq2Seq::translate_beam_tape`].
     ///
     /// # Errors
     ///
     /// Same conditions as [`Seq2Seq::translate_batch`], plus
     /// [`NnError::EmptySequence`] when `beam_width` is zero.
     pub fn translate_beam(
+        &self,
+        src: &[usize],
+        out_len: usize,
+        beam_width: usize,
+    ) -> Result<Vec<usize>, NnError> {
+        if beam_width == 0 {
+            return Err(NnError::EmptySequence);
+        }
+        self.validate_src(&[src], out_len)?;
+        Ok(self.with_infer(|ctx| {
+            ctx.encode(&[src]);
+            struct Hyp {
+                tokens: Vec<usize>,
+                logp: f64,
+                state: InferState,
+            }
+            let mut start = InferState::default();
+            ctx.start_state(&mut start);
+            let mut beam = vec![Hyp {
+                tokens: Vec::new(),
+                logp: 0.0,
+                state: start,
+            }];
+            for _ in 0..out_len {
+                let mut candidates: Vec<Hyp> = Vec::with_capacity(beam.len() * beam_width);
+                for hyp in &beam {
+                    let prev = *hyp.tokens.last().unwrap_or(&self.bos);
+                    let mut state = hyp.state.clone();
+                    ctx.decode_step(&[prev], &mut state);
+                    let log_probs = row_log_softmax(ctx.logits().row(0));
+                    for &(tok, lp) in top_k(&log_probs, beam_width).iter() {
+                        let mut tokens = hyp.tokens.clone();
+                        tokens.push(tok);
+                        candidates.push(Hyp {
+                            tokens,
+                            logp: hyp.logp + lp,
+                            state: state.clone(),
+                        });
+                    }
+                }
+                candidates.sort_by(|a, b| b.logp.total_cmp(&a.logp));
+                candidates.truncate(beam_width);
+                beam = candidates;
+            }
+            beam.into_iter().next().expect("beam is never empty").tokens
+        }))
+    }
+
+    /// Beam-search translation on the autodiff tape, kept compiled as the
+    /// parity oracle for the engine's beam path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Seq2Seq::translate_beam`].
+    pub fn translate_beam_tape(
         &self,
         src: &[usize],
         out_len: usize,

@@ -127,6 +127,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bleu: BleuConfig::sentence(),
         margin: 0.0,
         rule: BrokenRule::CorpusScore,
+        ..DetectionConfig::default()
     };
     let (mut hits, mut failed_eval, mut false_alarms, mut healthy_eval) = (0, 0, 0, 0);
     for (d, traces) in &per_drive {

@@ -11,7 +11,7 @@
 //! the fitted instance must agree too (for NMT that exercises every decoder
 //! weight of every pair model).
 
-use mdes::core::{Mdes, MdesConfig, TranslatorConfig};
+use mdes::core::{detect, detect_excluding, Mdes, MdesConfig, TranslatorConfig};
 use mdes::graph::ScoreRange;
 use mdes::lang::WindowConfig;
 use mdes::nn::Seq2SeqConfig;
@@ -81,6 +81,76 @@ fn ngram_pipeline_identical_across_thread_counts() {
     );
     assert_eq!(one.models, four.models);
     assert_eq!(one.detection, four.detection);
+}
+
+/// Algorithm 2's per-model loop also runs on a worker pool; the merged
+/// result (scores, alert order, coverage — the whole serialized
+/// `DetectionResult`) must be byte identical to a serial run at any thread
+/// count, with and without excluded sensors.
+#[test]
+fn detection_identical_across_thread_counts() {
+    let plant = generate(&PlantConfig {
+        n_sensors: 6,
+        days: 8,
+        minutes_per_day: 288,
+        n_components: 2,
+        anomaly_days: vec![7],
+        precursor_days: vec![],
+        ..PlantConfig::default()
+    });
+    let mut cfg = MdesConfig {
+        window: WindowConfig {
+            word_len: 5,
+            word_stride: 1,
+            sent_len: 6,
+            sent_stride: 6,
+        },
+        ..MdesConfig::default()
+    };
+    cfg.build.translator = TranslatorConfig::Nmt(Seq2SeqConfig {
+        embed_dim: 10,
+        hidden: 10,
+        train_steps: 25,
+        ..Seq2SeqConfig::default()
+    });
+    cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+    let m = Mdes::fit(
+        &plant.traces,
+        plant.days_range(1, 3),
+        plant.days_range(4, 5),
+        cfg,
+    )
+    .expect("fit");
+    let sets = m
+        .language()
+        .encode_segment(&plant.traces, plant.day_range(7))
+        .expect("encode");
+
+    let mut dcfg = m.config().detection.clone();
+    dcfg.threads = 1;
+    let serial_full = serde_json::to_string(&detect(m.trained(), &sets, &dcfg).expect("serial"))
+        .expect("serialize");
+    let serial_excl = serde_json::to_string(
+        &detect_excluding(m.trained(), &sets, &dcfg, &[1]).expect("serial excluding"),
+    )
+    .expect("serialize");
+    for threads in [2, 4] {
+        dcfg.threads = threads;
+        let full = serde_json::to_string(&detect(m.trained(), &sets, &dcfg).expect("parallel"))
+            .expect("serialize");
+        assert_eq!(
+            serial_full, full,
+            "detect differs between 1 and {threads} threads"
+        );
+        let excl = serde_json::to_string(
+            &detect_excluding(m.trained(), &sets, &dcfg, &[1]).expect("parallel excluding"),
+        )
+        .expect("serialize");
+        assert_eq!(
+            serial_excl, excl,
+            "detect_excluding differs between 1 and {threads} threads"
+        );
+    }
 }
 
 #[test]
