@@ -11,8 +11,15 @@
 //!
 //! Run before and after an inference-path change to produce the
 //! EXPERIMENTS.md "Online inference" table.
+//!
+//! Set `MDES_TRACE=1` to install the observability recorder for the run:
+//! spans and events stream to `results/online_latency_trace.jsonl` and the
+//! aggregate `Recorder::report()` is printed after the tables. The default
+//! (no recorder) path is what the latency tables measure — identical to
+//! the pre-observability numbers (see EXPERIMENTS.md "Observability
+//! overhead").
 
-use mdes_bench::report::{print_table, write_csv};
+use mdes_bench::report::{print_table, results_dir, write_csv};
 use mdes_core::{DetectionConfig, Mdes, MdesConfig, OnlineMonitor, TranslatorConfig};
 use mdes_graph::ScoreRange;
 use mdes_lang::WindowConfig;
@@ -35,6 +42,16 @@ fn stats(mut us: Vec<f64>) -> (f64, f64, f64) {
 }
 
 fn main() {
+    let traced = std::env::var("MDES_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let recorder = traced.then(|| {
+        let path = results_dir().join("online_latency_trace.jsonl");
+        let r = std::sync::Arc::new(
+            mdes_obs::Recorder::with_jsonl_path(&path).expect("create trace sink"),
+        );
+        mdes_obs::install(r.clone());
+        eprintln!("tracing to {}", path.display());
+        r
+    });
     let plant = generate(&PlantConfig {
         n_sensors: 8,
         days: 10,
@@ -163,4 +180,9 @@ fn main() {
         &["path", "volume", "mean_us", "p50_us", "p95_us"],
         &rows,
     );
+    if let Some(r) = recorder {
+        mdes_obs::uninstall();
+        r.flush().expect("flush trace sink");
+        println!("\n{}", r.report());
+    }
 }

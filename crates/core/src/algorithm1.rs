@@ -301,6 +301,9 @@ pub fn build_graph(
 
     let results: Mutex<Vec<Option<PairOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
     let fingerprint = sweep_fingerprint(pipeline, cfg);
+    let mut sweep_span = mdes_obs::span("algo1.sweep");
+    sweep_span.field("sensors", n);
+    sweep_span.field("pairs", total);
 
     // Resume: prefill slots from a valid checkpoint at the configured path.
     if let Some(ck) = &cfg.checkpoint {
@@ -330,6 +333,9 @@ pub fn build_graph(
                     slots[k] = Some(PairOutcome::Quarantined(q));
                 }
             }
+            let resumed = slots.iter().filter(|s| s.is_some()).count();
+            sweep_span.field("resumed", resumed);
+            mdes_obs::counter("algo1.pairs_resumed", resumed as u64);
         }
     }
 
@@ -359,6 +365,9 @@ pub fn build_graph(
                     continue; // restored from checkpoint
                 }
                 let (i, j) = pairs[k];
+                let mut pair_span = mdes_obs::span("algo1.pair");
+                pair_span.field("src", i);
+                pair_span.field("dst", j);
                 let attempt = catch_unwind(AssertUnwindSafe(|| {
                     if cfg.chaos_fail_pairs.contains(&(i, j)) {
                         panic!("chaos: injected worker failure for pair ({i} -> {j})");
@@ -366,30 +375,45 @@ pub fn build_graph(
                     train_pair_with_retries(pipeline, train_sets, dev_sets, i, j, cfg)
                 }));
                 let outcome = match attempt {
-                    Ok((Ok(model), _)) => PairOutcome::Model(Box::new(model)),
-                    Ok((Err(e), retries)) => match cfg.policy {
-                        FailurePolicy::FailFast => {
-                            *failure.lock() = Some(CoreError::PairQuarantined {
-                                src: i,
-                                dst: j,
-                                detail: e.to_string(),
-                                source: Some(Box::new(e)),
-                            });
-                            break;
+                    Ok((Ok(model), retries)) => {
+                        pair_span.field("outcome", "trained");
+                        pair_span.field("retries", retries);
+                        pair_span.field("score", model.train_score);
+                        mdes_obs::counter("algo1.pairs_trained", 1);
+                        mdes_obs::counter("algo1.retries", retries as u64);
+                        PairOutcome::Model(Box::new(model))
+                    }
+                    Ok((Err(e), retries)) => {
+                        pair_span.field("retries", retries);
+                        mdes_obs::counter("algo1.retries", retries as u64);
+                        match cfg.policy {
+                            FailurePolicy::FailFast => {
+                                pair_span.field("outcome", "failfast");
+                                *failure.lock() = Some(CoreError::PairQuarantined {
+                                    src: i,
+                                    dst: j,
+                                    detail: e.to_string(),
+                                    source: Some(Box::new(e)),
+                                });
+                                break;
+                            }
+                            FailurePolicy::Degrade { .. } => {
+                                pair_span.field("outcome", "quarantined");
+                                mdes_obs::counter("algo1.pairs_quarantined", 1);
+                                PairOutcome::Quarantined(QuarantinedPair {
+                                    src: i,
+                                    dst: j,
+                                    error: e.to_string(),
+                                    retries,
+                                })
+                            }
                         }
-                        FailurePolicy::Degrade { .. } => {
-                            PairOutcome::Quarantined(QuarantinedPair {
-                                src: i,
-                                dst: j,
-                                error: e.to_string(),
-                                retries,
-                            })
-                        }
-                    },
+                    }
                     Err(payload) => {
                         let detail = format!("worker panicked: {}", panic_message(&*payload));
                         match cfg.policy {
                             FailurePolicy::FailFast => {
+                                pair_span.field("outcome", "failfast");
                                 *failure.lock() = Some(CoreError::PairQuarantined {
                                     src: i,
                                     dst: j,
@@ -399,6 +423,8 @@ pub fn build_graph(
                                 break;
                             }
                             FailurePolicy::Degrade { .. } => {
+                                pair_span.field("outcome", "quarantined");
+                                mdes_obs::counter("algo1.pairs_quarantined", 1);
                                 PairOutcome::Quarantined(QuarantinedPair {
                                     src: i,
                                     dst: j,
@@ -468,6 +494,8 @@ pub fn build_graph(
             return Err(CoreError::TooManyFailedPairs { failed, total });
         }
     }
+    sweep_span.field("trained", models.len());
+    sweep_span.field("quarantined", quarantined.len());
     Ok(TrainedGraph {
         graph,
         models,

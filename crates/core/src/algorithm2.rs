@@ -167,6 +167,13 @@ pub fn detect_excluding(
         })
         .collect();
     let coverage = participating.len() as f64 / valid.len() as f64;
+    let mut detect_span = mdes_obs::span("algo2.detect");
+    detect_span.field("windows", count);
+    detect_span.field("valid", valid.len());
+    detect_span.field("participating", participating.len());
+    detect_span.field("excluded", excluded_sensors.len());
+    mdes_obs::counter("algo2.windows", count as u64);
+    mdes_obs::counter("algo2.evaluations", (participating.len() * count) as u64);
     if participating.is_empty() {
         return Ok(DetectionResult {
             scores: vec![0.0; count],
@@ -233,12 +240,15 @@ pub fn detect_excluding(
                     groups.entry(r.len()).or_default().push(t);
                 }
                 let mut hyps: Vec<Vec<u32>> = vec![Vec::new(); count];
+                let decode_timer = mdes_obs::timer("algo2.model_decode_us");
                 for (&out_len, rows) in &groups {
                     let batch: Vec<&[u32]> = rows.iter().map(|&t| srcs[t]).collect();
+                    mdes_obs::observe("algo2.batch_size", batch.len() as f64);
                     for (&t, h) in rows.iter().zip(m.translate_batch(&batch, out_len)) {
                         hyps[t] = h;
                     }
                 }
+                drop(decode_timer);
                 let threshold = match cfg.rule {
                     BrokenRule::CorpusScore => m.train_score,
                     BrokenRule::DevQuantileFloor => m.dev_floor,
@@ -269,6 +279,9 @@ pub fn detect_excluding(
         .iter()
         .map(|b| b.len() as f64 / participating.len() as f64)
         .collect();
+    let broken: usize = alerts.iter().map(Vec::len).sum();
+    detect_span.field("broken", broken);
+    mdes_obs::counter("algo2.broken", broken as u64);
     Ok(DetectionResult {
         scores,
         alerts,

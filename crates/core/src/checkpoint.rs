@@ -9,22 +9,37 @@
 //! each pair is trained deterministically in isolation, so it does not
 //! matter whether its model came from the checkpoint or a fresh run.
 //!
-//! # File format
+//! # File format (version 2)
 //!
-//! A checkpoint is a single binary file:
+//! A checkpoint is a header followed by one frame per completed pair:
 //!
 //! ```text
-//! magic    4 bytes   b"MDCK"
-//! version  4 bytes   u32 LE, currently 1
-//! length   8 bytes   u64 LE, payload byte count
-//! checksum 8 bytes   u64 LE, FNV-1a of the payload
-//! payload  N bytes   JSON-serialized CheckpointData
+//! header:
+//!   magic        4 bytes   b"MDCK"
+//!   version      4 bytes   u32 LE, currently 2
+//!   fingerprint  8 bytes   u64 LE, sweep-input fingerprint
+//! frame (repeated):
+//!   kind         1 byte    0 = PairModel, 1 = QuarantinedPair
+//!   length       8 bytes   u64 LE, payload byte count
+//!   checksum     8 bytes   u64 LE, FNV-1a of the payload
+//!   payload      N bytes   JSON-serialized record
 //! ```
 //!
-//! The header makes truncated or bit-rotted files detectable before JSON
-//! parsing; writes go to a `<path>.tmp` sibling first and are moved into
-//! place with an atomic rename, so a crash mid-write never corrupts an
-//! existing checkpoint.
+//! Version 1 stored all pairs in a single checksummed JSON payload, which
+//! made every truncation fatal: a mid-write kill (or a torn page on a
+//! non-atomic filesystem) lost *all* completed pairs even though only the
+//! tail was damaged. With per-pair frames, [`read_checkpoint`] recovers the
+//! longest valid frame prefix — a truncated or bit-rotted trailing frame
+//! drops only the pairs at and after the damage, and the recovery is
+//! reported through `mdes-obs` (`checkpoint.recovery` event,
+//! `checkpoint.frames_recovered` / `checkpoint.frames_dropped` counters).
+//! Only a corrupt header (bad magic, short file, unknown version) or an
+//! undecodable checksum-valid payload — a codec bug, not damage — aborts
+//! the resume; a fingerprint mismatch is still rejected by `build_graph`.
+//!
+//! Writes go to a `<path>.tmp` sibling first and are moved into place with
+//! an atomic rename, so a crash mid-write never corrupts an existing
+//! checkpoint on POSIX filesystems; frame recovery covers the rest.
 
 use crate::algorithm1::{PairModel, QuarantinedPair};
 use crate::error::CoreError;
@@ -34,8 +49,13 @@ use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MDCK";
-const VERSION: u32 = 1;
-const HEADER_LEN: usize = 4 + 4 + 8 + 8;
+const VERSION: u32 = 2;
+const HEADER_LEN: usize = 4 + 4 + 8;
+/// kind + length + checksum.
+const FRAME_HEADER_LEN: usize = 1 + 8 + 8;
+
+const KIND_MODEL: u8 = 0;
+const KIND_QUARANTINED: u8 = 1;
 
 /// When and where [`build_graph`](crate::algorithm1::build_graph) persists
 /// sweep progress.
@@ -88,22 +108,37 @@ fn ckpt_err(path: &Path, detail: impl Into<String>) -> CoreError {
     }
 }
 
+fn push_frame(out: &mut Vec<u8>, kind: u8, payload: &[u8]) {
+    out.push(kind);
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
 /// Atomically writes `data` to `path` (tmp file + rename), with the framed
-/// header described in the [module docs](self).
+/// layout described in the [module docs](self).
 ///
 /// # Errors
 ///
 /// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
 pub fn write_checkpoint(path: &Path, data: &CheckpointData) -> Result<(), CoreError> {
-    let payload = serde_json::to_string(data)
-        .map_err(|e| ckpt_err(path, format!("serialize failed: {e}")))?
-        .into_bytes();
-    let mut framed = Vec::with_capacity(HEADER_LEN + payload.len());
+    let mut span = mdes_obs::span("checkpoint.write");
+    let mut framed = Vec::with_capacity(HEADER_LEN);
     framed.extend_from_slice(MAGIC);
     framed.extend_from_slice(&VERSION.to_le_bytes());
-    framed.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    framed.extend_from_slice(&fnv1a(&payload).to_le_bytes());
-    framed.extend_from_slice(&payload);
+    framed.extend_from_slice(&data.fingerprint.to_le_bytes());
+    for model in &data.models {
+        let payload = serde_json::to_string(model)
+            .map_err(|e| ckpt_err(path, format!("serialize model failed: {e}")))?;
+        push_frame(&mut framed, KIND_MODEL, payload.as_bytes());
+    }
+    for pair in &data.quarantined {
+        let payload = serde_json::to_string(pair)
+            .map_err(|e| ckpt_err(path, format!("serialize quarantined failed: {e}")))?;
+        push_frame(&mut framed, KIND_QUARANTINED, payload.as_bytes());
+    }
+    span.field("bytes", framed.len());
+    span.field("frames", data.models.len() + data.quarantined.len());
 
     let tmp = path.with_extension("tmp");
     let mut file =
@@ -116,14 +151,23 @@ pub fn write_checkpoint(path: &Path, data: &CheckpointData) -> Result<(), CoreEr
     fs::rename(&tmp, path).map_err(|e| ckpt_err(path, format!("rename failed: {e}")))
 }
 
-/// Reads and validates a checkpoint written by [`write_checkpoint`].
+/// Reads a checkpoint written by [`write_checkpoint`], recovering the
+/// longest valid frame prefix.
+///
+/// A trailing frame truncated by a mid-write kill — or corrupted by bit rot
+/// — ends the scan: everything before it is returned, the damaged tail is
+/// dropped, and a `checkpoint.recovery` event (plus
+/// `checkpoint.frames_recovered` / `checkpoint.frames_dropped` counters) is
+/// emitted through `mdes-obs`.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError::Checkpoint`] if the file cannot be read, the header
-/// is malformed, the payload is truncated, the checksum does not match, or
-/// the JSON body fails to parse.
+/// Returns [`CoreError::Checkpoint`] only if the file cannot be read, the
+/// 16-byte header is malformed (bad magic, short file, unknown version), or
+/// a checksum-valid payload fails to decode — the latter is a codec bug,
+/// not file damage, so recovery would hide it.
 pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, CoreError> {
+    let mut span = mdes_obs::span("checkpoint.read");
     let bytes = fs::read(path).map_err(|e| ckpt_err(path, format!("read failed: {e}")))?;
     if bytes.len() < HEADER_LEN || &bytes[..4] != MAGIC {
         return Err(ckpt_err(path, "not a checkpoint file (bad magic)"));
@@ -132,24 +176,67 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, CoreError> {
     if version != VERSION {
         return Err(ckpt_err(path, format!("unsupported version {version}")));
     }
-    let len = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
-    let checksum = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
-    let payload = &bytes[HEADER_LEN..];
-    if payload.len() != len {
-        return Err(ckpt_err(
-            path,
-            format!(
-                "truncated payload: header says {len} bytes, found {}",
-                payload.len()
+    let fingerprint = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+
+    let mut data = CheckpointData {
+        fingerprint,
+        models: Vec::new(),
+        quarantined: Vec::new(),
+    };
+    let mut offset = HEADER_LEN;
+    let mut damaged: Option<&'static str> = None;
+    while offset < bytes.len() {
+        let Some(frame) = bytes.get(offset..offset + FRAME_HEADER_LEN) else {
+            damaged = Some("truncated frame header");
+            break;
+        };
+        let kind = frame[0];
+        let len = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes")) as usize;
+        let checksum = u64::from_le_bytes(frame[9..17].try_into().expect("8 bytes"));
+        let start = offset + FRAME_HEADER_LEN;
+        let Some(payload) = bytes.get(start..start.saturating_add(len)) else {
+            damaged = Some("truncated frame payload");
+            break;
+        };
+        if fnv1a(payload) != checksum {
+            damaged = Some("frame checksum mismatch");
+            break;
+        }
+        // From here the frame is intact; a decode failure is a codec bug and
+        // must surface, not be silently recovered past.
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| ckpt_err(path, "frame payload is not valid UTF-8"))?;
+        match kind {
+            KIND_MODEL => data.models.push(
+                serde_json::from_str(text)
+                    .map_err(|e| ckpt_err(path, format!("model frame parse failed: {e}")))?,
             ),
-        ));
+            KIND_QUARANTINED => data.quarantined.push(
+                serde_json::from_str(text)
+                    .map_err(|e| ckpt_err(path, format!("quarantined frame parse failed: {e}")))?,
+            ),
+            other => return Err(ckpt_err(path, format!("unknown frame kind {other}"))),
+        }
+        offset = start + len;
     }
-    if fnv1a(payload) != checksum {
-        return Err(ckpt_err(path, "checksum mismatch (corrupt payload)"));
+
+    let frames = data.models.len() + data.quarantined.len();
+    span.field("frames", frames);
+    span.field("recovered", damaged.is_some());
+    if let Some(reason) = damaged {
+        let dropped_bytes = bytes.len() - offset;
+        mdes_obs::counter("checkpoint.frames_recovered", frames as u64);
+        mdes_obs::counter("checkpoint.frames_dropped", 1);
+        mdes_obs::event(
+            "checkpoint.recovery",
+            &[
+                ("reason", reason.into()),
+                ("recovered_frames", frames.into()),
+                ("dropped_bytes", dropped_bytes.into()),
+            ],
+        );
     }
-    let text =
-        std::str::from_utf8(payload).map_err(|_| ckpt_err(path, "payload is not valid UTF-8"))?;
-    serde_json::from_str(text).map_err(|e| ckpt_err(path, format!("parse failed: {e}")))
+    Ok(data)
 }
 
 #[cfg(test)]
@@ -161,16 +248,20 @@ mod tests {
         std::env::temp_dir().join(format!("mdes_ckpt_test_{}_{tag}.ckpt", std::process::id()))
     }
 
+    fn quarantined(src: usize, dst: usize) -> QuarantinedPair {
+        QuarantinedPair {
+            src,
+            dst,
+            error: "training diverged: non-finite loss at step 4".to_owned(),
+            retries: 2,
+        }
+    }
+
     fn sample() -> CheckpointData {
         CheckpointData {
             fingerprint: 0xDEAD_BEEF,
             models: Vec::new(),
-            quarantined: vec![QuarantinedPair {
-                src: 1,
-                dst: 2,
-                error: "training diverged: non-finite loss at step 4".to_owned(),
-                retries: 2,
-            }],
+            quarantined: vec![quarantined(1, 2), quarantined(3, 4), quarantined(5, 6)],
         }
     }
 
@@ -185,45 +276,84 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_payload_is_rejected() {
+    fn corrupt_trailing_frame_recovers_prefix() {
         let path = tmp_path("corrupt");
         write_checkpoint(&path, &sample()).expect("write");
         let mut bytes = std::fs::read(&path).expect("read bytes");
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).expect("rewrite");
-        assert!(matches!(
-            read_checkpoint(&path),
-            Err(CoreError::Checkpoint { .. })
-        ));
+        let back = read_checkpoint(&path).expect("recovering read");
+        assert_eq!(back.quarantined, sample().quarantined[..2].to_vec());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn truncated_file_is_rejected() {
+    fn truncated_final_frame_recovers_prefix() {
         let path = tmp_path("truncated");
         write_checkpoint(&path, &sample()).expect("write");
         let bytes = std::fs::read(&path).expect("read bytes");
-        std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("rewrite");
-        assert!(matches!(
-            read_checkpoint(&path),
-            Err(CoreError::Checkpoint { .. })
-        ));
+        // Kill mid-write at every possible length: each prefix must either
+        // recover some number of whole frames or (below 16 bytes) reject the
+        // header — never panic, never error past the header.
+        for cut in 0..bytes.len() {
+            std::fs::write(&path, &bytes[..cut]).expect("rewrite");
+            let result = read_checkpoint(&path);
+            if cut < HEADER_LEN {
+                assert!(matches!(result, Err(CoreError::Checkpoint { .. })));
+            } else {
+                let back = result.expect("recovering read");
+                assert!(back.quarantined.len() <= 3);
+                assert_eq!(
+                    back.quarantined,
+                    sample().quarantined[..back.quarantined.len()]
+                );
+            }
+        }
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn wrong_magic_and_missing_file_are_rejected() {
+    fn wrong_magic_version_and_missing_file_are_rejected() {
         let path = tmp_path("magic");
         std::fs::write(&path, b"definitely not a checkpoint").expect("write");
         assert!(matches!(
             read_checkpoint(&path),
             Err(CoreError::Checkpoint { .. })
         ));
+        // A version-1 file (old single-payload format) must be rejected, not
+        // misparsed as frames.
+        let mut v1 = Vec::new();
+        v1.extend_from_slice(MAGIC);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &v1).expect("write");
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(CoreError::Checkpoint { .. })
+        ));
         std::fs::remove_file(&path).ok();
         assert!(matches!(
             read_checkpoint(&path),
             Err(CoreError::Checkpoint { .. })
         ));
+    }
+
+    #[test]
+    fn empty_body_is_a_valid_empty_checkpoint() {
+        let path = tmp_path("empty");
+        write_checkpoint(
+            &path,
+            &CheckpointData {
+                fingerprint: 7,
+                models: Vec::new(),
+                quarantined: Vec::new(),
+            },
+        )
+        .expect("write");
+        let back = read_checkpoint(&path).expect("read");
+        assert_eq!(back.fingerprint, 7);
+        assert!(back.models.is_empty() && back.quarantined.is_empty());
+        std::fs::remove_file(&path).ok();
     }
 }

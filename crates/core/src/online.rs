@@ -100,6 +100,10 @@ pub struct OnlineMonitor {
     consec_same: Vec<usize>,
     /// Last delivered (non-missing) record per original sensor.
     last_record: Vec<Option<String>>,
+    /// Dropout state per sensor as of the previous push, so dropout and
+    /// readmission emit one observability event per *transition* rather
+    /// than one per sample spent in the state.
+    was_dropped: Vec<bool>,
     /// Reusable window snapshot handed to `encode_segment`: names are built
     /// once here, and each emission refills `events` in place instead of
     /// allocating a fresh `Vec<RawTrace>` (with freshly formatted names)
@@ -138,6 +142,7 @@ impl OnlineMonitor {
             consec_missing: vec![0; width],
             consec_same: vec![0; width],
             last_record: vec![None; width],
+            was_dropped: vec![false; width],
             scratch_traces: (0..width)
                 .map(|i| RawTrace::new(format!("b{i}"), Vec::new()))
                 .collect(),
@@ -239,10 +244,30 @@ impl OnlineMonitor {
                 self.buffers[i].pop_front();
             }
         }
+        if mdes_obs::enabled() {
+            for i in 0..self.width {
+                let now_dropped = self.is_dropped(i);
+                if now_dropped != self.was_dropped[i] {
+                    mdes_obs::event(
+                        if now_dropped {
+                            "online.sensor_dropped"
+                        } else {
+                            "online.sensor_readmitted"
+                        },
+                        &[("sensor", i.into()), ("sample", self.seen.into())],
+                    );
+                    self.was_dropped[i] = now_dropped;
+                }
+            }
+        }
         self.seen += 1;
         if self.seen < self.window || !(self.seen - self.window).is_multiple_of(self.step) {
             return Ok(None);
         }
+        // Buffering pushes above stay uninstrumented; the span covers only
+        // the expensive window-completing path (encode + detect).
+        let mut push_span = mdes_obs::span("online.push");
+        mdes_obs::counter("online.windows", 1);
 
         // The trailing buffer is exactly one sentence per sensor. Refill the
         // preallocated snapshot in place; in steady state the event strings
@@ -273,6 +298,9 @@ impl OnlineMonitor {
             &self.mdes.config().detection,
             &excluded,
         )?;
+        push_span.field("sample_index", self.seen - 1);
+        push_span.field("score", result.scores[0]);
+        push_span.field("coverage", result.coverage);
         Ok(Some(OnlineDetection {
             sample_index: self.seen - 1,
             score: result.scores[0],

@@ -61,6 +61,10 @@ impl Mdes {
         dev: Range<usize>,
         cfg: MdesConfig,
     ) -> Result<Self, CoreError> {
+        // Reject invalid windowing at the construction boundary: a config
+        // assembled in code (bypassing the validating `Deserialize`) must
+        // surface `ZeroWindowParameter` here, not panic mid-windowing.
+        cfg.window.validate().map_err(CoreError::from)?;
         let lang = LanguagePipeline::fit(traces, train.clone(), cfg.window)?;
         let train_sets = lang.encode_segment(traces, train)?;
         let dev_sets = lang.encode_segment(traces, dev)?;

@@ -39,5 +39,5 @@ pub use centrality::{pagerank, reciprocity, PageRankConfig, Reciprocity};
 pub use community::{walktrap, Communities, WalktrapConfig};
 pub use dot::{to_dot, DotOptions};
 pub use graph::RelGraph;
-pub use range::ScoreRange;
+pub use range::{RangeError, ScoreRange};
 pub use stats::{ecdf, in_degrees, out_degrees, table_stats, SubgraphStats};

@@ -1,10 +1,51 @@
 //! BLEU score ranges used to partition the relationship graph.
 
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
+
+/// Why a pair of bounds does not form a valid [`ScoreRange`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RangeError {
+    /// A bound is NaN or infinite; BLEU scores live in `[0, 100]`.
+    NonFiniteBound {
+        /// The offered lower bound.
+        lo: f64,
+        /// The offered upper bound.
+        hi: f64,
+    },
+    /// `lo > hi`.
+    Inverted {
+        /// The offered lower bound.
+        lo: f64,
+        /// The offered upper bound.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for RangeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangeError::NonFiniteBound { lo, hi } => write!(
+                f,
+                "score range bounds must be finite, got lo = {lo}, hi = {hi}"
+            ),
+            RangeError::Inverted { lo, hi } => {
+                write!(f, "inverted score range: lo {lo} > hi {hi}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RangeError {}
 
 /// An interval of BLEU scores, half-open `[lo, hi)` by default with an
 /// optional inclusive upper bound (the paper's top bucket is `[90, 100]`).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Fields are private and every way in validates — the constructors here
+/// and the hand-written `Deserialize` impl — so a held `ScoreRange` always
+/// has finite, ordered bounds. (The derived impl used to bypass the
+/// constructor checks, letting `{"lo": 90, "hi": 80}` or NaN bounds in from
+/// disk; such JSON now fails to deserialize instead.)
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub struct ScoreRange {
     lo: f64,
     hi: f64,
@@ -12,17 +53,49 @@ pub struct ScoreRange {
 }
 
 impl ScoreRange {
+    /// Half-open range `[lo, hi)`; fallible form of
+    /// [`half_open`](Self::half_open).
+    ///
+    /// # Errors
+    ///
+    /// [`RangeError::NonFiniteBound`] when a bound is NaN or infinite,
+    /// [`RangeError::Inverted`] when `lo > hi`.
+    pub fn try_half_open(lo: f64, hi: f64) -> Result<Self, RangeError> {
+        Self::validated(lo, hi, false)
+    }
+
+    /// Closed range `[lo, hi]`; fallible form of [`closed`](Self::closed).
+    ///
+    /// # Errors
+    ///
+    /// As [`try_half_open`](Self::try_half_open).
+    pub fn try_closed(lo: f64, hi: f64) -> Result<Self, RangeError> {
+        Self::validated(lo, hi, true)
+    }
+
+    fn validated(lo: f64, hi: f64, inclusive_hi: bool) -> Result<Self, RangeError> {
+        if !lo.is_finite() || !hi.is_finite() {
+            return Err(RangeError::NonFiniteBound { lo, hi });
+        }
+        if lo > hi {
+            return Err(RangeError::Inverted { lo, hi });
+        }
+        Ok(Self {
+            lo,
+            hi,
+            inclusive_hi,
+        })
+    }
+
     /// Half-open range `[lo, hi)`.
     ///
     /// # Panics
     ///
-    /// Panics if `lo > hi`.
+    /// Panics if `lo > hi` or either bound is NaN or infinite.
     pub fn half_open(lo: f64, hi: f64) -> Self {
-        assert!(lo <= hi, "invalid score range [{lo}, {hi})");
-        Self {
-            lo,
-            hi,
-            inclusive_hi: false,
+        match Self::try_half_open(lo, hi) {
+            Ok(r) => r,
+            Err(e) => panic!("invalid score range [{lo}, {hi}): {e}"),
         }
     }
 
@@ -30,13 +103,11 @@ impl ScoreRange {
     ///
     /// # Panics
     ///
-    /// Panics if `lo > hi`.
+    /// Panics if `lo > hi` or either bound is NaN or infinite.
     pub fn closed(lo: f64, hi: f64) -> Self {
-        assert!(lo <= hi, "invalid score range [{lo}, {hi}]");
-        Self {
-            lo,
-            hi,
-            inclusive_hi: true,
+        match Self::try_closed(lo, hi) {
+            Ok(r) => r,
+            Err(e) => panic!("invalid score range [{lo}, {hi}]: {e}"),
         }
     }
 
@@ -74,6 +145,15 @@ impl ScoreRange {
     /// The `[80, 90)` bucket the paper finds best for anomaly detection.
     pub fn best_detection() -> ScoreRange {
         ScoreRange::half_open(80.0, 90.0)
+    }
+}
+
+impl Deserialize for ScoreRange {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let lo: f64 = serde::__field(content, "lo")?;
+        let hi: f64 = serde::__field(content, "hi")?;
+        let inclusive_hi: bool = serde::__field(content, "inclusive_hi")?;
+        Self::validated(lo, hi, inclusive_hi).map_err(|e| DeError::custom(e.to_string()))
     }
 }
 
@@ -121,8 +201,56 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid score range")]
+    #[should_panic(expected = "inverted score range")]
     fn inverted_range_panics() {
         let _ = ScoreRange::half_open(90.0, 80.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds must be finite")]
+    fn nan_bound_panics_with_clear_message() {
+        let _ = ScoreRange::closed(f64::NAN, 100.0);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(
+            ScoreRange::try_half_open(90.0, 80.0),
+            Err(RangeError::Inverted { lo: 90.0, hi: 80.0 })
+        );
+        assert!(matches!(
+            ScoreRange::try_closed(0.0, f64::INFINITY),
+            Err(RangeError::NonFiniteBound { .. })
+        ));
+        assert!(matches!(
+            ScoreRange::try_closed(f64::NAN, f64::NAN),
+            Err(RangeError::NonFiniteBound { .. })
+        ));
+        assert!(ScoreRange::try_closed(0.0, 0.0).is_ok(), "empty-ish ok");
+    }
+
+    #[test]
+    fn deserialize_validates_bounds() {
+        // Inverted bounds arriving from JSON must be rejected, not admitted.
+        let err = serde_json::from_str::<ScoreRange>(
+            r#"{"lo": 90.0, "hi": 80.0, "inclusive_hi": false}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("inverted score range"), "{err}");
+
+        // JSON itself cannot spell NaN, but a hand-built Content tree (or a
+        // future non-JSON codec) can; the impl must still reject it.
+        let content = Content::Map(vec![
+            ("lo".to_owned(), Content::F64(f64::NAN)),
+            ("hi".to_owned(), Content::F64(100.0)),
+            ("inclusive_hi".to_owned(), Content::Bool(true)),
+        ]);
+        let err = ScoreRange::from_content(&content).unwrap_err();
+        assert!(err.to_string().contains("finite"), "{err}");
+
+        // Valid JSON still round-trips exactly.
+        let r = ScoreRange::half_open(80.0, 90.0);
+        let back: ScoreRange = serde_json::from_str(&serde_json::to_string(&r).unwrap()).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -8,10 +8,15 @@
 //! minutes and detection runs every 20 minutes.
 
 use crate::error::LangError;
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 
 /// Window parameters for turning character streams into sentences.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written to run [`WindowConfig::validate`] at the
+/// boundary: a zero-stride config loaded from disk used to pass silently
+/// and then panic with a division-by-zero deep inside windowing; it now
+/// fails to deserialize with the `ZeroWindowParameter` message instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
 pub struct WindowConfig {
     /// Characters per word (`i` in the paper).
     pub word_len: usize,
@@ -91,6 +96,19 @@ impl WindowConfig {
     /// within the segment).
     pub fn sentence_start(&self, s: usize) -> usize {
         s * self.sent_stride * self.word_stride
+    }
+}
+
+impl Deserialize for WindowConfig {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let cfg = Self {
+            word_len: serde::__field(content, "word_len")?,
+            word_stride: serde::__field(content, "word_stride")?,
+            sent_len: serde::__field(content, "sent_len")?,
+            sent_stride: serde::__field(content, "sent_stride")?,
+        };
+        cfg.validate().map_err(|e| DeError::custom(e.to_string()))?;
+        Ok(cfg)
     }
 }
 
@@ -219,6 +237,26 @@ mod tests {
         };
         assert_eq!(cfg.validate(), Err(LangError::ZeroWindowParameter));
         assert!(WindowConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn deserialize_rejects_zero_stride() {
+        // Regression: a zero-stride config from disk used to deserialize
+        // fine and then divide by zero inside `word_count`.
+        let err = serde_json::from_str::<WindowConfig>(
+            r#"{"word_len": 10, "word_stride": 0, "sent_len": 20, "sent_stride": 20}"#,
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("word/sentence lengths and strides must be positive"),
+            "{err}"
+        );
+
+        let cfg = WindowConfig::default();
+        let back: WindowConfig =
+            serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+        assert_eq!(back, cfg);
     }
 
     #[test]

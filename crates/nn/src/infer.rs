@@ -616,6 +616,16 @@ impl InferCache {
         f: impl FnOnce(&mut InferCtx) -> R,
     ) -> R {
         let mut guard = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        if mdes_obs::enabled() {
+            mdes_obs::counter(
+                if guard.is_some() {
+                    "infer.cache_hit"
+                } else {
+                    "infer.cache_miss"
+                },
+                1,
+            );
+        }
         f(guard.get_or_insert_with(|| Box::new(build())))
     }
 

@@ -500,6 +500,8 @@ impl Seq2Seq {
     /// learning rate).
     pub fn fit(&mut self, pairs: &[(Vec<usize>, Vec<usize>)]) -> Result<Vec<f32>, NnError> {
         self.validate(pairs)?;
+        let mut span = mdes_obs::span("nn.fit");
+        span.field("steps", self.cfg.train_steps);
         // Parameters are about to change; any packed inference weights are
         // stale from here on.
         self.infer.clear();
@@ -517,10 +519,18 @@ impl Seq2Seq {
             let tgt: Vec<&[usize]> = batch.iter().map(|&i| pairs[i].1.as_slice()).collect();
             let loss = self.train_batch(&mut tape, &src, &tgt, &mut rng);
             if !loss.is_finite() {
+                mdes_obs::event(
+                    "nn.diverged",
+                    &[("step", step.into()), ("seed", self.cfg.seed.into())],
+                );
                 return Err(NnError::Diverged { step });
             }
             losses.push(loss);
         }
+        span.field(
+            "final_loss",
+            f64::from(losses.last().copied().unwrap_or(0.0)),
+        );
         Ok(losses)
     }
 

@@ -26,6 +26,7 @@
 //! | [`nn`] | `mdes-nn` | autodiff, LSTM, seq2seq with attention |
 //! | [`ml`] | `mdes-ml` | random forest, one-class SVM, k-means, metrics |
 //! | [`synth`] | `mdes-synth` | plant and HDD workload generators |
+//! | [`obs`] | `mdes-obs` | tracing spans, counters, latency histograms, JSONL sink |
 //!
 //! # Quickstart
 //!
@@ -67,4 +68,5 @@ pub use mdes_graph as graph;
 pub use mdes_lang as lang;
 pub use mdes_ml as ml;
 pub use mdes_nn as nn;
+pub use mdes_obs as obs;
 pub use mdes_synth as synth;

@@ -152,6 +152,22 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Content` round-trips through itself, making it the self-describing
+// "any JSON value" type (the counterpart of `serde_json::Value`, which this
+// stand-in otherwise omits): `serde_json::from_str::<Content>` parses
+// arbitrary JSON for schema-agnostic inspection.
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_content(&self) -> Content {
         Content::Bool(*self)
