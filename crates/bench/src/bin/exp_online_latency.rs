@@ -93,7 +93,10 @@ fn main() {
 
     // 1. Streaming push latency over the test days.
     let test = plant.days_range(8, 10);
-    let mut monitor: OnlineMonitor = m.clone().into_online_monitor(plant.traces.len());
+    let mut monitor: OnlineMonitor = m
+        .clone()
+        .try_into_online_monitor(plant.traces.len())
+        .expect("monitor width");
     let mut detect_us: Vec<f64> = Vec::new();
     let mut buffer_us: Vec<f64> = Vec::new();
     for t in test.clone() {

@@ -1,0 +1,155 @@
+//! Experiment — multi-stream serving throughput and memory scaling.
+//!
+//! The serving split (DESIGN.md §11) claims that N concurrent streams cost
+//! one shared frozen [`GraphSnapshot`] plus N cheap [`StreamSession`]s,
+//! instead of N full model copies. This experiment measures both claims on
+//! a synthetic plant:
+//!
+//! 1. throughput: M identical-rate streams multiplexed through
+//!    [`ServingEngine::push_opt_many`] over the worker pool, in samples/s;
+//! 2. memory: accounted bytes of the shared snapshot vs the per-session
+//!    state, against the naive baseline of one monitor (snapshot included)
+//!    per stream.
+//!
+//! The run *asserts* that every stream keeps emitting detections and that
+//! memory grows sub-linearly in M (per-stream bytes strictly decreasing),
+//! making it the CI smoke test for the serving layer. Pass `--smoke` for
+//! the reduced CI variant; the full run sweeps M ∈ {1, 4, 16, 64}.
+
+use mdes_bench::report::{arg_flag, print_table, write_csv};
+use mdes_core::serve::{GraphSnapshot, ServingEngine, StreamSession};
+use mdes_core::{Mdes, MdesConfig};
+use mdes_graph::ScoreRange;
+use mdes_lang::WindowConfig;
+use mdes_synth::plant::{generate, PlantConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = arg_flag(&args, "smoke");
+    let stream_counts: &[usize] = if smoke { &[1, 4, 16] } else { &[1, 4, 16, 64] };
+
+    let plant = generate(&PlantConfig {
+        n_sensors: 8,
+        days: 8,
+        minutes_per_day: 288,
+        n_components: 2,
+        anomaly_days: vec![],
+        precursor_days: vec![],
+        ..PlantConfig::default()
+    });
+    let mut cfg = MdesConfig {
+        window: WindowConfig {
+            word_len: 5,
+            word_stride: 1,
+            sent_len: 6,
+            sent_stride: 6,
+        },
+        ..MdesConfig::default()
+    };
+    cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+    let m = Mdes::fit(
+        &plant.traces,
+        plant.days_range(1, 4),
+        plant.days_range(5, 6),
+        cfg,
+    )
+    .expect("fit plant");
+    let snapshot = GraphSnapshot::freeze(&m);
+    let shared_bytes = snapshot.approx_bytes();
+    eprintln!(
+        "frozen snapshot: {} models ({} valid), {:.1} KiB shared",
+        snapshot.models().len(),
+        snapshot.valid_models().len(),
+        shared_bytes as f64 / 1024.0
+    );
+
+    let width = plant.traces.len();
+    let test = plant.days_range(7, 8);
+    let ticks = if smoke { 120 } else { test.len() - 64 };
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut prev_per_stream = f64::INFINITY;
+    for &streams in stream_counts {
+        let engine = ServingEngine::new(snapshot.clone());
+        let mut sessions: Vec<StreamSession> = (0..streams)
+            .map(|_| engine.open_session(width).expect("open session"))
+            .collect();
+        assert_eq!(engine.session_count(), streams);
+
+        // Stagger each stream by one sample so the workers never decode
+        // byte-identical windows in lockstep.
+        let mut detections = vec![0usize; streams];
+        let started = Instant::now();
+        for i in 0..ticks {
+            let samples: Vec<Vec<Option<String>>> = (0..streams)
+                .map(|k| {
+                    plant
+                        .sample(test.start + i + k)
+                        .into_iter()
+                        .map(Some)
+                        .collect()
+                })
+                .collect();
+            for (k, r) in engine
+                .push_opt_many(&mut sessions, &samples)
+                .into_iter()
+                .enumerate()
+            {
+                if r.expect("push").is_some() {
+                    detections[k] += 1;
+                }
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        assert!(
+            detections.iter().all(|&d| d > 0),
+            "every stream must keep emitting detections"
+        );
+
+        let session_bytes: usize = sessions.iter().map(StreamSession::approx_bytes).sum();
+        let total = shared_bytes + session_bytes;
+        let naive = streams * (shared_bytes + session_bytes / streams);
+        let per_stream = total as f64 / streams as f64;
+        assert!(
+            per_stream < prev_per_stream,
+            "per-stream memory must shrink as streams share the snapshot"
+        );
+        prev_per_stream = per_stream;
+
+        let throughput = (streams * ticks) as f64 / secs;
+        rows.push(vec![
+            streams.to_string(),
+            format!("{throughput:.0}"),
+            detections.iter().sum::<usize>().to_string(),
+            format!("{:.1}", total as f64 / 1024.0),
+            format!("{:.1}", naive as f64 / 1024.0),
+            format!("{:.1}", per_stream / 1024.0),
+        ]);
+    }
+
+    print_table(
+        &[
+            "streams",
+            "samples/s",
+            "detections",
+            "total KiB",
+            "naive KiB",
+            "KiB/stream",
+        ],
+        &rows,
+    );
+    write_csv(
+        "serving.csv",
+        &[
+            "streams",
+            "samples_per_sec",
+            "detections",
+            "total_kib",
+            "naive_kib",
+            "kib_per_stream",
+        ],
+        &rows,
+    );
+    println!("serving scaling OK: memory grows sub-linearly in stream count");
+}

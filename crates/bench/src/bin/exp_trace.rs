@@ -111,7 +111,7 @@ fn main() {
 
     // Streaming phase with an injected outage on sensor 1.
     let width = plant.traces.len();
-    let mut monitor: OnlineMonitor = m.into_online_monitor(width);
+    let mut monitor: OnlineMonitor = m.try_into_online_monitor(width).expect("monitor width");
     let test = plant.days_range(6, 8);
     let outage = test.start + 40..test.start + 80;
     let mut emitted = 0u64;

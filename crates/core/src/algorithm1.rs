@@ -167,6 +167,11 @@ impl PairModel {
     pub fn translate_batch(&self, srcs: &[&[u32]], out_len: usize) -> Vec<Vec<u32>> {
         self.translator.translate_batch(srcs, out_len)
     }
+
+    /// The underlying translator (for freezing into a serving artifact).
+    pub(crate) fn translator(&self) -> &AnyTranslator {
+        &self.translator
+    }
 }
 
 impl std::fmt::Debug for PairModel {

@@ -13,6 +13,7 @@ use crate::error::CoreError;
 use mdes_bleu::{sentence_bleu_pre, BleuConfig, RefNgrams};
 use mdes_graph::ScoreRange;
 use mdes_lang::SentenceSet;
+use mdes_nn::InferArena;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -62,6 +63,36 @@ impl Default for DetectionConfig {
             rule: BrokenRule::CorpusScore,
             threads: 0,
         }
+    }
+}
+
+impl DetectionConfig {
+    /// Replaces the validity range (builder style).
+    #[must_use]
+    pub fn with_valid_range(mut self, range: ScoreRange) -> Self {
+        self.valid_range = range;
+        self
+    }
+
+    /// Replaces the threshold margin (builder style).
+    #[must_use]
+    pub fn with_margin(mut self, margin: f64) -> Self {
+        self.margin = margin;
+        self
+    }
+
+    /// Replaces the broken-relationship rule (builder style).
+    #[must_use]
+    pub fn with_rule(mut self, rule: BrokenRule) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Replaces the worker thread count (builder style; 0 = all CPUs).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -133,7 +164,115 @@ pub fn detect_excluding(
     cfg: &DetectionConfig,
     excluded_sensors: &[usize],
 ) -> Result<DetectionResult, CoreError> {
-    let n = trained.graph.len();
+    detect_with_bank(
+        trained,
+        test_sets,
+        cfg,
+        excluded_sensors,
+        DetectStrategy::Parallel,
+    )
+}
+
+/// Just enough of a pair model for thresholding and alert attribution.
+pub(crate) struct PairMeta {
+    /// Source sensor node index.
+    pub src: usize,
+    /// Target sensor node index.
+    pub dst: usize,
+    /// Training (dev corpus BLEU) score `s(i, j)`.
+    pub train_score: f64,
+    /// Development-quantile floor for [`BrokenRule::DevQuantileFloor`].
+    pub dev_floor: f64,
+}
+
+/// A source of pair models for Algorithm 2 — the single detection entry
+/// point's view of either a training-side [`TrainedGraph`] (tape-backed
+/// translators with per-model caches) or a frozen
+/// [`GraphSnapshot`](crate::serve::GraphSnapshot) (spec-only translators
+/// decoded through a caller-supplied [`InferArena`]).
+pub(crate) trait ModelBank: Sync {
+    /// Number of graph nodes (aligned corpora expected per detect call).
+    fn node_count(&self) -> usize;
+
+    /// Total number of pair models.
+    fn model_count(&self) -> usize;
+
+    /// Metadata of model `k`.
+    fn meta(&self, k: usize) -> PairMeta;
+
+    /// The precomputed valid-model index, if this bank froze one at build
+    /// time; `None` makes [`detect_with_bank`] filter on
+    /// `cfg.valid_range` per call.
+    fn frozen_valid(&self) -> Option<&[usize]>;
+
+    /// Decodes a batch of source sentences with model `k`. Banks whose
+    /// translators carry their own scratch state may ignore `arena`.
+    fn decode_batch(
+        &self,
+        k: usize,
+        srcs: &[&[u32]],
+        out_len: usize,
+        arena: &mut InferArena,
+    ) -> Vec<Vec<u32>>;
+}
+
+impl ModelBank for TrainedGraph {
+    fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn model_count(&self) -> usize {
+        self.models().len()
+    }
+
+    fn meta(&self, k: usize) -> PairMeta {
+        let m = &self.models()[k];
+        PairMeta {
+            src: m.src,
+            dst: m.dst,
+            train_score: m.train_score,
+            dev_floor: m.dev_floor,
+        }
+    }
+
+    fn frozen_valid(&self) -> Option<&[usize]> {
+        None
+    }
+
+    fn decode_batch(
+        &self,
+        k: usize,
+        srcs: &[&[u32]],
+        out_len: usize,
+        _arena: &mut InferArena,
+    ) -> Vec<Vec<u32>> {
+        self.models()[k].translate_batch(srcs, out_len)
+    }
+}
+
+/// How [`detect_with_bank`] schedules the per-model loop. Results are
+/// byte-identical across strategies and thread counts: the merge always
+/// walks models in participating order.
+pub(crate) enum DetectStrategy<'a> {
+    /// Crossbeam worker pool (`cfg.threads`, 0 = all CPUs), one private
+    /// [`InferArena`] per worker — the batch/offline path.
+    Parallel,
+    /// The calling thread, decoding through the supplied arena — used by a
+    /// serving worker that is already one of many and must not nest pools.
+    Serial(&'a mut InferArena),
+}
+
+/// The single snapshot-aware Algorithm 2 entry point. [`detect`],
+/// [`detect_excluding`], [`Mdes::detect_range`](crate::Mdes::detect_range)
+/// and the serving layer ([`crate::serve`]) all route through here.
+pub(crate) fn detect_with_bank<B: ModelBank + ?Sized>(
+    bank: &B,
+    test_sets: &[SentenceSet],
+    cfg: &DetectionConfig,
+    excluded_sensors: &[usize],
+    strategy: DetectStrategy<'_>,
+) -> Result<DetectionResult, CoreError> {
+    let n = bank.node_count();
     if test_sets.len() != n {
         return Err(CoreError::MisalignedCorpora {
             expected: n,
@@ -152,9 +291,12 @@ pub fn detect_excluding(
             });
         }
     }
-    let valid: Vec<usize> = (0..trained.models().len())
-        .filter(|&k| cfg.valid_range.contains(trained.models()[k].train_score))
-        .collect();
+    let valid: Vec<usize> = match bank.frozen_valid() {
+        Some(v) => v.to_vec(),
+        None => (0..bank.model_count())
+            .filter(|&k| cfg.valid_range.contains(bank.meta(k).train_score))
+            .collect(),
+    };
     if valid.is_empty() {
         return Err(CoreError::NoValidModels);
     }
@@ -162,7 +304,7 @@ pub fn detect_excluding(
         .iter()
         .copied()
         .filter(|&k| {
-            let m = &trained.models()[k];
+            let m = bank.meta(k);
             !excluded_sensors.contains(&m.src) && !excluded_sensors.contains(&m.dst)
         })
         .collect();
@@ -190,7 +332,7 @@ pub fn detect_excluding(
     // instead of once per (model, window) BLEU call.
     let mut ref_grams: Vec<Option<Vec<RefNgrams<u32>>>> = vec![None; n];
     for &k in &participating {
-        let dst = trained.models()[k].dst;
+        let dst = bank.meta(k).dst;
         if ref_grams[dst].is_none() {
             ref_grams[dst] = Some(
                 test_sets[dst]
@@ -202,72 +344,91 @@ pub fn detect_excluding(
         }
     }
 
+    // Per-window broken flags of one participating model; pure given the
+    // bank, so the scheduling strategy below cannot change results.
+    let eval = |w: usize, arena: &mut InferArena| -> Vec<bool> {
+        let k = participating[w];
+        let m = bank.meta(k);
+        let refs = &test_sets[m.dst].sentences;
+        let grams = ref_grams[m.dst].as_deref().expect("precomputed above");
+        let srcs: Vec<&[u32]> = test_sets[m.src]
+            .sentences
+            .iter()
+            .map(Vec::as_slice)
+            .collect();
+        // Group windows by required output length so ragged segments still
+        // decode in batches (one GEMM per step per group for the NMT
+        // family) instead of window-at-a-time. Uniform segments form a
+        // single group covering everything.
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for (t, r) in refs.iter().enumerate() {
+            groups.entry(r.len()).or_default().push(t);
+        }
+        let mut hyps: Vec<Vec<u32>> = vec![Vec::new(); count];
+        let decode_timer = mdes_obs::timer("algo2.model_decode_us");
+        for (&out_len, rows) in &groups {
+            let batch: Vec<&[u32]> = rows.iter().map(|&t| srcs[t]).collect();
+            mdes_obs::observe("algo2.batch_size", batch.len() as f64);
+            for (&t, h) in rows
+                .iter()
+                .zip(bank.decode_batch(k, &batch, out_len, arena))
+            {
+                hyps[t] = h;
+            }
+        }
+        drop(decode_timer);
+        let threshold = match cfg.rule {
+            BrokenRule::CorpusScore => m.train_score,
+            BrokenRule::DevQuantileFloor => m.dev_floor,
+        };
+        hyps.iter()
+            .zip(grams)
+            .map(|(hyp, g)| sentence_bleu_pre(hyp, g, &cfg.bleu) < threshold - cfg.margin)
+            .collect()
+    };
+
     // Per-model detection is embarrassingly parallel: workers pull model
     // indices from an atomic counter and each fills its own slot with
     // per-window broken flags. The merge below walks slots in
     // `participating` order, so scores, alert order and coverage are
     // byte-identical to a serial run at any thread count.
-    let slots: Mutex<Vec<Option<Vec<bool>>>> = Mutex::new(vec![None; participating.len()]);
-    let next = AtomicUsize::new(0);
-    let threads = if cfg.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        cfg.threads
-    };
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
-                let w = next.fetch_add(1, Ordering::Relaxed);
-                if w >= participating.len() {
-                    break;
+    let slots: Vec<Option<Vec<bool>>> = match strategy {
+        DetectStrategy::Serial(arena) => (0..participating.len())
+            .map(|w| Some(eval(w, arena)))
+            .collect(),
+        DetectStrategy::Parallel => {
+            let slots: Mutex<Vec<Option<Vec<bool>>>> = Mutex::new(vec![None; participating.len()]);
+            let next = AtomicUsize::new(0);
+            let threads = if cfg.threads == 0 {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            } else {
+                cfg.threads
+            };
+            crossbeam::scope(|scope| {
+                for _ in 0..threads.max(1) {
+                    scope.spawn(|_| {
+                        let mut arena = InferArena::new();
+                        loop {
+                            let w = next.fetch_add(1, Ordering::Relaxed);
+                            if w >= participating.len() {
+                                break;
+                            }
+                            let broken = eval(w, &mut arena);
+                            slots.lock()[w] = Some(broken);
+                        }
+                    });
                 }
-                let m = &trained.models()[participating[w]];
-                let refs = &test_sets[m.dst].sentences;
-                let grams = ref_grams[m.dst].as_deref().expect("precomputed above");
-                let srcs: Vec<&[u32]> = test_sets[m.src]
-                    .sentences
-                    .iter()
-                    .map(Vec::as_slice)
-                    .collect();
-                // Group windows by required output length so ragged
-                // segments still decode in batches (one GEMM per step per
-                // group for the NMT family) instead of window-at-a-time.
-                // Uniform segments form a single group covering everything.
-                let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
-                for (t, r) in refs.iter().enumerate() {
-                    groups.entry(r.len()).or_default().push(t);
-                }
-                let mut hyps: Vec<Vec<u32>> = vec![Vec::new(); count];
-                let decode_timer = mdes_obs::timer("algo2.model_decode_us");
-                for (&out_len, rows) in &groups {
-                    let batch: Vec<&[u32]> = rows.iter().map(|&t| srcs[t]).collect();
-                    mdes_obs::observe("algo2.batch_size", batch.len() as f64);
-                    for (&t, h) in rows.iter().zip(m.translate_batch(&batch, out_len)) {
-                        hyps[t] = h;
-                    }
-                }
-                drop(decode_timer);
-                let threshold = match cfg.rule {
-                    BrokenRule::CorpusScore => m.train_score,
-                    BrokenRule::DevQuantileFloor => m.dev_floor,
-                };
-                let broken: Vec<bool> = hyps
-                    .iter()
-                    .zip(grams)
-                    .map(|(hyp, g)| sentence_bleu_pre(hyp, g, &cfg.bleu) < threshold - cfg.margin)
-                    .collect();
-                slots.lock()[w] = Some(broken);
-            });
+            })
+            .expect("detection worker panicked");
+            slots.into_inner()
         }
-    })
-    .expect("detection worker panicked");
+    };
 
-    let slots = slots.into_inner();
     let mut alerts: Vec<Vec<(usize, usize)>> = vec![Vec::new(); count];
     for (w, &k) in participating.iter().enumerate() {
-        let m = &trained.models()[k];
+        let m = bank.meta(k);
         let broken = slots[w].as_ref().expect("worker filled every slot");
         for (t, &b) in broken.iter().enumerate() {
             if b {

@@ -40,9 +40,16 @@
 //! Writes go to a `<path>.tmp` sibling first and are moved into place with
 //! an atomic rename, so a crash mid-write never corrupts an existing
 //! checkpoint on POSIX filesystems; frame recovery covers the rest.
+//!
+//! The same framed, checksummed, atomically-renamed layout also persists
+//! frozen serving artifacts ([`write_snapshot`] / [`read_snapshot`], magic
+//! `b"MDSN"`) — with the opposite damage policy: a sweep checkpoint
+//! salvages its longest valid prefix, but a serving artifact is deployed
+//! whole or not at all.
 
 use crate::algorithm1::{PairModel, QuarantinedPair};
 use crate::error::CoreError;
+use crate::serve::GraphSnapshot;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write;
@@ -56,6 +63,11 @@ const FRAME_HEADER_LEN: usize = 1 + 8 + 8;
 
 const KIND_MODEL: u8 = 0;
 const KIND_QUARANTINED: u8 = 1;
+
+const SNAP_MAGIC: &[u8; 4] = b"MDSN";
+const SNAP_VERSION: u32 = 1;
+/// Serving artifacts reuse the frame layout with their own kind tag.
+const KIND_SNAPSHOT: u8 = 2;
 
 /// When and where [`build_graph`](crate::algorithm1::build_graph) persists
 /// sweep progress.
@@ -239,6 +251,82 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, CoreError> {
     Ok(data)
 }
 
+/// Atomically writes a frozen serving artifact to `path` (tmp file +
+/// rename): a 16-byte header (`b"MDSN"`, version 1, 8 reserved bytes)
+/// followed by one checksummed frame holding the JSON-serialized
+/// [`GraphSnapshot`].
+///
+/// Unlike sweep checkpoints, a serving artifact is all-or-nothing — there
+/// is no meaningful prefix to recover — so [`read_snapshot`] rejects any
+/// damage outright instead of salvaging.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
+pub fn write_snapshot(path: &Path, snapshot: &GraphSnapshot) -> Result<(), CoreError> {
+    let mut span = mdes_obs::span("checkpoint.snapshot_write");
+    let payload = serde_json::to_string(snapshot)
+        .map_err(|e| ckpt_err(path, format!("serialize snapshot failed: {e}")))?;
+    let mut framed = Vec::with_capacity(HEADER_LEN + FRAME_HEADER_LEN + payload.len());
+    framed.extend_from_slice(SNAP_MAGIC);
+    framed.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    framed.extend_from_slice(&0u64.to_le_bytes());
+    push_frame(&mut framed, KIND_SNAPSHOT, payload.as_bytes());
+    span.field("bytes", framed.len());
+
+    let tmp = path.with_extension("tmp");
+    let mut file =
+        fs::File::create(&tmp).map_err(|e| ckpt_err(path, format!("create tmp failed: {e}")))?;
+    file.write_all(&framed)
+        .map_err(|e| ckpt_err(path, format!("write failed: {e}")))?;
+    file.sync_all()
+        .map_err(|e| ckpt_err(path, format!("sync failed: {e}")))?;
+    drop(file);
+    fs::rename(&tmp, path).map_err(|e| ckpt_err(path, format!("rename failed: {e}")))
+}
+
+/// Reads a serving artifact written by [`write_snapshot`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] if the file cannot be read or shows
+/// any damage (bad magic, unknown version, truncation, checksum mismatch):
+/// a partially-valid serving artifact must never be deployed, so there is
+/// no prefix recovery here.
+pub fn read_snapshot(path: &Path) -> Result<GraphSnapshot, CoreError> {
+    let mut span = mdes_obs::span("checkpoint.snapshot_read");
+    let bytes = fs::read(path).map_err(|e| ckpt_err(path, format!("read failed: {e}")))?;
+    if bytes.len() < HEADER_LEN || &bytes[..4] != SNAP_MAGIC {
+        return Err(ckpt_err(path, "not a snapshot file (bad magic)"));
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != SNAP_VERSION {
+        return Err(ckpt_err(
+            path,
+            format!("unsupported snapshot version {version}"),
+        ));
+    }
+    let Some(frame) = bytes.get(HEADER_LEN..HEADER_LEN + FRAME_HEADER_LEN) else {
+        return Err(ckpt_err(path, "truncated snapshot frame header"));
+    };
+    if frame[0] != KIND_SNAPSHOT {
+        return Err(ckpt_err(path, format!("unknown frame kind {}", frame[0])));
+    }
+    let len = u64::from_le_bytes(frame[1..9].try_into().expect("8 bytes")) as usize;
+    let checksum = u64::from_le_bytes(frame[9..17].try_into().expect("8 bytes"));
+    let start = HEADER_LEN + FRAME_HEADER_LEN;
+    let Some(payload) = bytes.get(start..start.saturating_add(len)) else {
+        return Err(ckpt_err(path, "truncated snapshot payload"));
+    };
+    if fnv1a(payload) != checksum {
+        return Err(ckpt_err(path, "snapshot checksum mismatch"));
+    }
+    span.field("bytes", bytes.len());
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ckpt_err(path, "snapshot payload is not valid UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| ckpt_err(path, format!("snapshot parse failed: {e}")))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +442,80 @@ mod tests {
         let back = read_checkpoint(&path).expect("read");
         assert_eq!(back.fingerprint, 7);
         assert!(back.models.is_empty() && back.quarantined.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    fn frozen_snapshot() -> GraphSnapshot {
+        use crate::pipeline::{Mdes, MdesConfig};
+        use mdes_lang::{RawTrace, WindowConfig};
+        let mk = |phase: usize| {
+            RawTrace::new(
+                format!("s{phase}"),
+                (0..600)
+                    .map(|t| {
+                        if ((t + phase) / 5).is_multiple_of(2) {
+                            "on"
+                        } else {
+                            "off"
+                        }
+                        .to_owned()
+                    })
+                    .collect(),
+            )
+        };
+        let cfg = MdesConfig {
+            window: WindowConfig {
+                word_len: 4,
+                word_stride: 1,
+                sent_len: 5,
+                sent_stride: 5,
+            },
+            ..MdesConfig::default()
+        };
+        let m = Mdes::fit(&[mk(0), mk(2)], 0..300, 300..450, cfg).expect("fit");
+        GraphSnapshot::freeze(&m)
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let path = tmp_path("snapshot");
+        let snap = frozen_snapshot();
+        write_snapshot(&path, &snap).expect("write");
+        let back = read_snapshot(&path).expect("read");
+        assert_eq!(back.valid_models(), snap.valid_models());
+        assert_eq!(back.models().len(), snap.models().len());
+        assert_eq!(back.min_width(), snap.min_width());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn damaged_snapshot_is_rejected_not_recovered() {
+        let path = tmp_path("snapshot_damaged");
+        write_snapshot(&path, &frozen_snapshot()).expect("write");
+        let bytes = std::fs::read(&path).expect("read bytes");
+        // A flipped payload byte must fail the checksum.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        std::fs::write(&path, &flipped).expect("rewrite");
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(CoreError::Checkpoint { .. })
+        ));
+        // Any truncation must be rejected, never partially deployed.
+        for cut in [0, 3, HEADER_LEN, HEADER_LEN + 5, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).expect("rewrite");
+            assert!(matches!(
+                read_snapshot(&path),
+                Err(CoreError::Checkpoint { .. })
+            ));
+        }
+        // A sweep checkpoint is not a snapshot.
+        write_checkpoint(&path, &sample()).expect("write checkpoint");
+        assert!(matches!(
+            read_snapshot(&path),
+            Err(CoreError::Checkpoint { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

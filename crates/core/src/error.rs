@@ -60,6 +60,14 @@ pub enum CoreError {
         /// Total pairs attempted.
         total: usize,
     },
+    /// A snapshot offered to [`ModelStore::publish`](crate::serve::ModelStore::publish)
+    /// is incompatible with the one currently being served (different
+    /// windowing, or a wider minimum sensor width than open sessions were
+    /// validated against), so hot-swapping it would corrupt live streams.
+    IncompatibleSnapshot {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
     /// A sweep checkpoint could not be written, read, or validated.
     Checkpoint {
         /// Checkpoint file path.
@@ -108,6 +116,9 @@ impl fmt::Display for CoreError {
                     "too many failed pairs: {failed} of {total} quarantined, below the \
                      configured minimum success fraction"
                 )
+            }
+            CoreError::IncompatibleSnapshot { detail } => {
+                write!(f, "incompatible snapshot rejected: {detail}")
             }
             CoreError::Checkpoint { path, detail } => {
                 write!(f, "checkpoint error at {path}: {detail}")
@@ -193,6 +204,9 @@ mod tests {
             CoreError::Checkpoint {
                 path: "/tmp/x.ckpt".to_owned(),
                 detail: "bad checksum".to_owned(),
+            },
+            CoreError::IncompatibleSnapshot {
+                detail: "window config changed".to_owned(),
             },
         ] {
             assert!(!e.to_string().is_empty());

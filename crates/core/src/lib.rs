@@ -16,7 +16,11 @@
 //! 4. [`diagnose`] — projects alerts onto the local subgraph to locate
 //!    faulty sensor clusters;
 //! 5. [`Mdes`] — the end-to-end facade tying the language pipeline and all
-//!    of the above together.
+//!    of the above together;
+//! 6. [`GraphSnapshot`] / [`ServingEngine`] — freeze the fitted model into
+//!    an immutable, serializable serving artifact and multiplex many
+//!    concurrent streams against it, hot-swapping retrained snapshots
+//!    mid-stream without dropping buffered windows.
 //!
 //! # Example
 //!
@@ -52,17 +56,25 @@ pub mod diagnosis;
 mod error;
 pub mod online;
 mod pipeline;
+pub mod serve;
 pub mod translator;
 
 pub use algorithm1::{
     build_graph, FailurePolicy, GraphBuildConfig, PairModel, QuarantinedPair, TrainedGraph,
 };
 pub use algorithm2::{detect, detect_excluding, BrokenRule, DetectionConfig, DetectionResult};
-pub use checkpoint::{read_checkpoint, write_checkpoint, CheckpointConfig, CheckpointData};
+pub use checkpoint::{
+    read_checkpoint, read_snapshot, write_checkpoint, write_snapshot, CheckpointConfig,
+    CheckpointData,
+};
 pub use diagnosis::{diagnose, propagation_timeline, Diagnosis, PropagationStep};
 pub use error::CoreError;
 pub use online::{DegradationConfig, OnlineDetection, OnlineMonitor};
 pub use pipeline::{Mdes, MdesConfig};
+pub use serve::{
+    FrozenNmt, FrozenPairModel, FrozenTranslator, GraphSnapshot, ModelStore, ServingEngine,
+    StreamSession,
+};
 pub use translator::{
     train_translator, AnyTranslator, NgramConfig, NgramTranslator, NmtTranslator, Translator,
     TranslatorConfig,

@@ -8,30 +8,35 @@
 //! window, so detections arrive with the granularity the sentence stride
 //! configures (every 20 minutes with the paper's plant settings).
 //!
+//! Since the serving split, the monitor is a convenience wrapper over the
+//! real machinery in [`crate::serve`]: it freezes the fitted model into a
+//! [`GraphSnapshot`](crate::serve::GraphSnapshot), starts a private
+//! [`ServingEngine`](crate::serve::ServingEngine) and opens one
+//! [`StreamSession`](crate::serve::StreamSession). Monitoring many streams —
+//! or hot-swapping a retrained model under a live stream — is what the
+//! engine API is for; use it directly.
+//!
 //! # Degraded input
 //!
 //! Real telemetry is imperfect: records go missing, sensors die silently or
 //! freeze on one value. The monitor absorbs all of it instead of erroring:
 //!
 //! * [`OnlineMonitor::push_opt`] accepts `None` per sensor (a missing
-//!   record), substituting the [`MISSING_RECORD`] sentinel — which encodes
-//!   to the unknown letter, like any garbled record the alphabet has never
-//!   seen;
+//!   record), substituting the [`MISSING_RECORD`](mdes_lang::MISSING_RECORD)
+//!   sentinel — which encodes to the unknown letter, like any garbled record
+//!   the alphabet has never seen;
 //! * per-sensor counters track consecutive missing (and, optionally, stuck)
 //!   samples; a sensor crossing the [`DegradationConfig`] limits is marked
-//!   *dropped*, its pairs are excluded from detection via
-//!   [`detect_excluding`](crate::algorithm2::detect_excluding), and each
-//!   emitted [`OnlineDetection`] reports the surviving evidence as
-//!   `coverage` plus the dropped original sensor indices;
+//!   *dropped*, its pairs are excluded from detection, and each emitted
+//!   [`OnlineDetection`] reports the surviving evidence as `coverage` plus
+//!   the dropped original sensor indices;
 //! * a dropped sensor that resumes delivering records is readmitted
 //!   automatically once its counters reset.
 
-use crate::algorithm2::detect_excluding;
 use crate::error::CoreError;
 use crate::pipeline::Mdes;
-use mdes_lang::{RawTrace, MISSING_RECORD};
+use crate::serve::{GraphSnapshot, ServingEngine, StreamSession};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// When an online sensor is considered *dropped* and excluded from
 /// detection until it recovers.
@@ -80,35 +85,15 @@ pub struct OnlineDetection {
 /// Samples are pushed in the *original trace order used at fit time*
 /// (including sensors that were filtered out as constant — their values are
 /// simply ignored).
+///
+/// This is single-stream sugar over [`crate::serve`]: construction freezes
+/// the model once, and every push delegates to a private engine. The frozen
+/// path is bit-identical to scoring against the training-state graph.
 #[derive(Clone, Debug)]
 pub struct OnlineMonitor {
     mdes: Mdes,
-    /// Trailing samples per original sensor index.
-    buffers: Vec<VecDeque<String>>,
-    /// Samples required to form one sentence.
-    window: usize,
-    /// Samples between consecutive sentence completions.
-    step: usize,
-    /// Total samples consumed.
-    seen: usize,
-    /// Number of sensors expected per pushed sample.
-    width: usize,
-    degradation: DegradationConfig,
-    /// Consecutive missing records per original sensor.
-    consec_missing: Vec<usize>,
-    /// Length of the current run of identical records per original sensor.
-    consec_same: Vec<usize>,
-    /// Last delivered (non-missing) record per original sensor.
-    last_record: Vec<Option<String>>,
-    /// Dropout state per sensor as of the previous push, so dropout and
-    /// readmission emit one observability event per *transition* rather
-    /// than one per sample spent in the state.
-    was_dropped: Vec<bool>,
-    /// Reusable window snapshot handed to `encode_segment`: names are built
-    /// once here, and each emission refills `events` in place instead of
-    /// allocating a fresh `Vec<RawTrace>` (with freshly formatted names)
-    /// per completed window.
-    scratch_traces: Vec<RawTrace>,
+    engine: ServingEngine,
+    session: StreamSession,
 }
 
 impl OnlineMonitor {
@@ -120,32 +105,12 @@ impl OnlineMonitor {
     /// Returns [`CoreError::WidthMismatch`] if `width` is smaller than the
     /// largest original sensor index the model references.
     pub fn try_new(mdes: Mdes, width: usize) -> Result<Self, CoreError> {
-        let needed = mdes
-            .language()
-            .languages()
-            .iter()
-            .map(|l| l.source_index + 1)
-            .max()
-            .unwrap_or(0);
-        if width < needed {
-            return Err(CoreError::WidthMismatch { width, needed });
-        }
-        let cfg = *mdes.language().config();
+        let engine = ServingEngine::new(GraphSnapshot::freeze(&mdes));
+        let session = engine.open_session(width)?;
         Ok(Self {
-            buffers: vec![VecDeque::new(); width],
-            window: cfg.min_samples(),
-            step: cfg.sent_stride * cfg.word_stride,
             mdes,
-            seen: 0,
-            width,
-            degradation: DegradationConfig::default(),
-            consec_missing: vec![0; width],
-            consec_same: vec![0; width],
-            last_record: vec![None; width],
-            was_dropped: vec![false; width],
-            scratch_traces: (0..width)
-                .map(|i| RawTrace::new(format!("b{i}"), Vec::new()))
-                .collect(),
+            engine,
+            session,
         })
     }
 
@@ -156,37 +121,39 @@ impl OnlineMonitor {
     ///
     /// Panics if `width` is smaller than the largest original sensor index
     /// the model references.
+    #[deprecated(note = "use `OnlineMonitor::try_new`, which returns a typed \
+                         `CoreError::WidthMismatch` instead of panicking")]
     pub fn new(mdes: Mdes, width: usize) -> Self {
         Self::try_new(mdes, width).expect("monitor width covers the model's sensors")
     }
 
     /// Replaces the dropout-detection thresholds (builder style).
+    #[must_use]
     pub fn with_degradation(mut self, degradation: DegradationConfig) -> Self {
-        self.degradation = degradation;
+        self.session = self.session.with_degradation(degradation);
         self
     }
 
-    /// The wrapped model.
+    /// The wrapped model (full training state, not the frozen artifact).
     pub fn mdes(&self) -> &Mdes {
         &self.mdes
     }
 
+    /// The serving engine this monitor pushes through. Exposed so a caller
+    /// that outgrew the single-stream wrapper can publish retrained
+    /// snapshots or open further sessions without rebuilding.
+    pub fn engine(&self) -> &ServingEngine {
+        &self.engine
+    }
+
     /// Samples needed before the first detection can be emitted.
     pub fn warmup(&self) -> usize {
-        self.window
+        self.session.warmup()
     }
 
     /// Original indices of sensors currently considered dropped.
     pub fn dropped_sensors(&self) -> Vec<usize> {
-        (0..self.width).filter(|&i| self.is_dropped(i)).collect()
-    }
-
-    fn is_dropped(&self, sensor: usize) -> bool {
-        self.consec_missing[sensor] >= self.degradation.missing_limit.max(1)
-            || self
-                .degradation
-                .stuck_limit
-                .is_some_and(|limit| self.consec_same[sensor] >= limit.max(1))
+        self.session.dropped_sensors()
     }
 
     /// Consumes one multivariate sample (one record per sensor, in the
@@ -198,16 +165,15 @@ impl OnlineMonitor {
     /// Returns [`CoreError::MisalignedCorpora`] when the sample width is
     /// wrong, and propagates detection errors (e.g. no valid models).
     pub fn push(&mut self, records: &[String]) -> Result<Option<OnlineDetection>, CoreError> {
-        let opt: Vec<Option<String>> = records.iter().cloned().map(Some).collect();
-        self.push_opt(&opt)
+        self.engine.push(&mut self.session, records)
     }
 
     /// Consumes one possibly-incomplete multivariate sample: `None` marks a
     /// sensor that delivered no record this tick. Missing records enter the
-    /// window as the [`MISSING_RECORD`] sentinel (encoding to the unknown
-    /// letter); sensors missing or stuck past the [`DegradationConfig`]
-    /// limits are excluded from detection until they recover, and the
-    /// emitted detection's `coverage` shrinks accordingly.
+    /// window as the [`MISSING_RECORD`](mdes_lang::MISSING_RECORD) sentinel
+    /// (encoding to the unknown letter); sensors missing or stuck past the
+    /// [`DegradationConfig`] limits are excluded from detection until they
+    /// recover, and the emitted detection's `coverage` shrinks accordingly.
     ///
     /// # Errors
     ///
@@ -217,97 +183,7 @@ impl OnlineMonitor {
         &mut self,
         records: &[Option<String>],
     ) -> Result<Option<OnlineDetection>, CoreError> {
-        if records.len() != self.width {
-            return Err(CoreError::MisalignedCorpora {
-                expected: self.width,
-                found: records.len(),
-            });
-        }
-        for (i, rec) in records.iter().enumerate() {
-            match rec {
-                Some(r) => {
-                    self.consec_missing[i] = 0;
-                    if self.last_record[i].as_deref() == Some(r.as_str()) {
-                        self.consec_same[i] += 1;
-                    } else {
-                        self.consec_same[i] = 1;
-                        self.last_record[i] = Some(r.clone());
-                    }
-                    self.buffers[i].push_back(r.clone());
-                }
-                None => {
-                    self.consec_missing[i] += 1;
-                    self.buffers[i].push_back(MISSING_RECORD.to_owned());
-                }
-            }
-            if self.buffers[i].len() > self.window {
-                self.buffers[i].pop_front();
-            }
-        }
-        if mdes_obs::enabled() {
-            for i in 0..self.width {
-                let now_dropped = self.is_dropped(i);
-                if now_dropped != self.was_dropped[i] {
-                    mdes_obs::event(
-                        if now_dropped {
-                            "online.sensor_dropped"
-                        } else {
-                            "online.sensor_readmitted"
-                        },
-                        &[("sensor", i.into()), ("sample", self.seen.into())],
-                    );
-                    self.was_dropped[i] = now_dropped;
-                }
-            }
-        }
-        self.seen += 1;
-        if self.seen < self.window || !(self.seen - self.window).is_multiple_of(self.step) {
-            return Ok(None);
-        }
-        // Buffering pushes above stay uninstrumented; the span covers only
-        // the expensive window-completing path (encode + detect).
-        let mut push_span = mdes_obs::span("online.push");
-        mdes_obs::counter("online.windows", 1);
-
-        // The trailing buffer is exactly one sentence per sensor. Refill the
-        // preallocated snapshot in place; in steady state the event strings
-        // are the only per-window clones left.
-        for (trace, buf) in self.scratch_traces.iter_mut().zip(&self.buffers) {
-            trace.events.clear();
-            trace.events.extend(buf.iter().cloned());
-        }
-        let sets = self
-            .mdes
-            .language()
-            .encode_segment(&self.scratch_traces, 0..self.window)?;
-        // Dropped sensors are tracked by original index; detection excludes
-        // by graph node index, so translate through each language's source.
-        let dropped = self.dropped_sensors();
-        let excluded: Vec<usize> = self
-            .mdes
-            .language()
-            .languages()
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| dropped.contains(&l.source_index))
-            .map(|(node, _)| node)
-            .collect();
-        let result = detect_excluding(
-            self.mdes.trained(),
-            &sets,
-            &self.mdes.config().detection,
-            &excluded,
-        )?;
-        push_span.field("sample_index", self.seen - 1);
-        push_span.field("score", result.scores[0]);
-        push_span.field("coverage", result.coverage);
-        Ok(Some(OnlineDetection {
-            sample_index: self.seen - 1,
-            score: result.scores[0],
-            alerts: result.alerts.into_iter().next().unwrap_or_default(),
-            coverage: result.coverage,
-            dropped_sensors: dropped,
-        }))
+        self.engine.push_opt(&mut self.session, records)
     }
 }
 
@@ -319,11 +195,13 @@ impl Mdes {
     ///
     /// Panics if `width` is smaller than the model's largest original
     /// sensor index.
+    #[deprecated(note = "use `Mdes::try_into_online_monitor`, which returns a \
+                         typed `CoreError::WidthMismatch` instead of panicking")]
     pub fn into_online_monitor(self, width: usize) -> OnlineMonitor {
-        OnlineMonitor::new(self, width)
+        OnlineMonitor::try_new(self, width).expect("monitor width covers the model's sensors")
     }
 
-    /// Fallible form of [`Mdes::into_online_monitor`].
+    /// Fallible form of the `Mdes` → [`OnlineMonitor`] conversion.
     ///
     /// # Errors
     ///
@@ -339,7 +217,7 @@ mod tests {
     use super::*;
     use crate::pipeline::MdesConfig;
     use mdes_graph::ScoreRange;
-    use mdes_lang::WindowConfig;
+    use mdes_lang::{RawTrace, WindowConfig};
 
     fn square(name: &str, n: usize, phase: usize) -> RawTrace {
         RawTrace::new(
@@ -377,11 +255,15 @@ mod tests {
         (m, traces)
     }
 
+    fn monitor(m: Mdes, width: usize) -> OnlineMonitor {
+        m.try_into_online_monitor(width).expect("monitor")
+    }
+
     #[test]
     fn streaming_matches_batch_detection() {
         let (m, traces) = fitted();
         let batch = m.detect_range(&traces, 450..700).expect("batch");
-        let mut monitor = m.into_online_monitor(3);
+        let mut monitor = monitor(m, 3);
         let mut streamed: Vec<f64> = Vec::new();
         for t in 450..700 {
             let sample: Vec<String> = traces.iter().map(|tr| tr.events[t].clone()).collect();
@@ -398,13 +280,24 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_constructors_still_work() {
+        let (m, traces) = fitted();
+        #[allow(deprecated)]
+        let mut monitor = m.into_online_monitor(3);
+        for t in 450..480 {
+            let sample: Vec<String> = traces.iter().map(|tr| tr.events[t].clone()).collect();
+            monitor.push(&sample).expect("push");
+        }
+    }
+
+    #[test]
     fn warmup_then_periodic_emissions() {
         let (m, traces) = fitted();
         let warmup = {
             let cfg = *m.language().config();
             cfg.min_samples()
         };
-        let mut monitor = m.into_online_monitor(3);
+        let mut monitor = monitor(m, 3);
         assert_eq!(monitor.warmup(), warmup);
         let mut emissions = Vec::new();
         for t in 0..(warmup + 11) {
@@ -421,7 +314,7 @@ mod tests {
     #[test]
     fn wrong_width_is_an_error() {
         let (m, _) = fitted();
-        let mut monitor = m.into_online_monitor(3);
+        let mut monitor = monitor(m, 3);
         let r = monitor.push(&["on".to_owned()]);
         assert!(matches!(
             r,
@@ -447,7 +340,7 @@ mod tests {
     #[test]
     fn alerts_stream_with_scores() {
         let (m, traces) = fitted();
-        let mut monitor = m.into_online_monitor(3);
+        let mut monitor = monitor(m, 3);
         for t in 450..600 {
             // Decouple sensor b mid-stream.
             let sample: Vec<String> = traces
@@ -473,7 +366,7 @@ mod tests {
     #[test]
     fn dropout_shrinks_coverage_then_recovery_restores_it() {
         let (m, traces) = fitted();
-        let mut monitor = m.into_online_monitor(3);
+        let mut monitor = monitor(m, 3);
         let mut coverages: Vec<(usize, f64, Vec<usize>)> = Vec::new();
         for t in 450..700 {
             // Sensor 1 goes silent for samples 520..570, then recovers.
@@ -513,7 +406,7 @@ mod tests {
     #[test]
     fn garbled_records_degrade_scores_not_the_process() {
         let (m, traces) = fitted();
-        let mut monitor = m.into_online_monitor(3);
+        let mut monitor = monitor(m, 3);
         for t in 450..600 {
             let sample: Vec<String> = traces
                 .iter()
@@ -536,12 +429,10 @@ mod tests {
     #[test]
     fn stuck_sensor_is_dropped_when_enabled() {
         let (m, traces) = fitted();
-        let mut monitor = m
-            .into_online_monitor(3)
-            .with_degradation(DegradationConfig {
-                missing_limit: 3,
-                stuck_limit: Some(12),
-            });
+        let mut monitor = monitor(m, 3).with_degradation(DegradationConfig {
+            missing_limit: 3,
+            stuck_limit: Some(12),
+        });
         let mut saw_drop = false;
         for t in 450..600 {
             let sample: Vec<String> = traces
@@ -585,7 +476,7 @@ mod tests {
                 missing_mask in proptest::collection::vec(0u8..4, 1..60),
             ) {
                 let (m, _) = fitted();
-                let mut monitor = m.into_online_monitor(3);
+                let mut monitor = m.try_into_online_monitor(3).expect("monitor");
                 for (s, mask) in samples.iter().zip(&missing_mask) {
                     let opt: Vec<Option<String>> = s
                         .iter()

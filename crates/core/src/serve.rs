@@ -1,0 +1,1091 @@
+//! Serving layer: frozen artifacts, hot-swappable stores and multi-stream
+//! sessions.
+//!
+//! Training state and serving state are different things. A fitted [`Mdes`]
+//! carries everything Algorithm 1 needed — autodiff tapes, optimizer
+//! moments, per-model inference caches — while the online phase only ever
+//! *decodes*. This module splits the two:
+//!
+//! * [`GraphSnapshot`] — an immutable, serializable serving artifact frozen
+//!   from a fitted model: packed weights ([`mdes_nn::ModelSpec`]) per pair,
+//!   the vocab tables of the language pipeline, and the
+//!   `ScoreRange`-filtered valid-model index, computed once instead of per
+//!   detection call;
+//! * [`ModelStore`] — an atomically swappable `Arc<GraphSnapshot>` holder:
+//!   [`ModelStore::publish`] deploys a retrained graph mid-stream without
+//!   dropping a single buffered window;
+//! * [`StreamSession`] — the per-stream state only: window buffers and
+//!   degradation counters. Sessions are cheap (a few hundred bytes plus the
+//!   buffered records), so N concurrent streams cost one shared snapshot
+//!   plus N sessions instead of N full model copies;
+//! * [`ServingEngine`] — multiplexes many sessions over the crossbeam
+//!   worker pool with one scratch [`InferArena`] per worker
+//!   ([`ServingEngine::push_opt_many`]).
+//!
+//! The frozen decode path is bit-identical to the training-side path: the
+//! same kernels run in the same order over the same packed weights (pinned
+//! by `mdes-nn/tests/infer_parity.rs` and `tests/serving.rs`).
+
+use crate::algorithm2::{detect_with_bank, DetectStrategy, DetectionConfig, DetectionResult};
+use crate::algorithm2::{ModelBank, PairMeta};
+use crate::error::CoreError;
+use crate::online::{DegradationConfig, OnlineDetection};
+use crate::pipeline::Mdes;
+use crate::translator::{AnyTranslator, NgramTranslator, Translator};
+use mdes_graph::RelGraph;
+use mdes_lang::{LanguagePipeline, RawTrace, SentenceSet, MISSING_RECORD};
+use mdes_nn::{InferArena, ModelSpec};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A frozen neural pair translator: just the packed weights, decoded through
+/// a caller-supplied [`InferArena`].
+///
+/// Replicates [`NmtTranslator`](crate::translator::NmtTranslator) semantics
+/// exactly, including the deterministic degenerate translation (`vec![0]`)
+/// on malformed input, so frozen detection scores are bit-identical to the
+/// training-side path.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenNmt {
+    spec: ModelSpec,
+}
+
+impl FrozenNmt {
+    /// Wraps a frozen spec (see [`mdes_nn::Seq2Seq::freeze`]).
+    pub fn new(spec: ModelSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The packed weights.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Mirrors `Seq2Seq::validate_src`: batched decoding needs a non-empty,
+    /// non-ragged batch of non-empty sentences with in-vocabulary tokens.
+    fn batch_valid(&self, srcs: &[&[u32]], out_len: usize) -> bool {
+        if srcs.is_empty() || out_len == 0 || srcs[0].is_empty() {
+            return false;
+        }
+        let len = srcs[0].len();
+        srcs.iter()
+            .all(|s| s.len() == len && s.iter().all(|&t| (t as usize) < self.spec.src_vocab()))
+    }
+
+    fn decode(&self, srcs: &[&[u32]], out_len: usize, arena: &mut InferArena) -> Vec<Vec<u32>> {
+        let usize_srcs: Vec<Vec<usize>> = srcs
+            .iter()
+            .map(|s| s.iter().map(|&w| w as usize).collect())
+            .collect();
+        let refs: Vec<&[usize]> = usize_srcs.iter().map(Vec::as_slice).collect();
+        arena
+            .translate_batch(&self.spec, &refs, out_len)
+            .into_iter()
+            .map(|o| o.into_iter().map(|w| w as u32).collect())
+            .collect()
+    }
+
+    /// Translates one source sentence; malformed input degrades to the
+    /// deterministic degenerate translation, as the training-side path does.
+    pub fn translate(&self, src: &[u32], out_len: usize, arena: &mut InferArena) -> Vec<u32> {
+        if self.batch_valid(&[src], out_len) {
+            self.decode(&[src], out_len, arena)
+                .pop()
+                .expect("one output per input")
+        } else {
+            vec![0; out_len]
+        }
+    }
+
+    /// Translates a batch; a malformed batch falls back to the per-sentence
+    /// path, sentence by sentence, exactly like
+    /// [`NmtTranslator::translate_batch`](crate::translator::NmtTranslator).
+    pub fn translate_batch(
+        &self,
+        srcs: &[&[u32]],
+        out_len: usize,
+        arena: &mut InferArena,
+    ) -> Vec<Vec<u32>> {
+        if self.batch_valid(srcs, out_len) {
+            self.decode(srcs, out_len, arena)
+        } else {
+            srcs.iter()
+                .map(|s| self.translate(s, out_len, arena))
+                .collect()
+        }
+    }
+}
+
+/// A frozen translator of either family.
+///
+/// The statistical family carries its own tables and needs no arena; the
+/// neural family is weights-only and decodes through the worker's arena.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum FrozenTranslator {
+    /// Statistical position-aligned model (already training-state-free).
+    Ngram(NgramTranslator),
+    /// Frozen neural seq2seq.
+    Nmt(FrozenNmt),
+}
+
+impl FrozenTranslator {
+    /// Freezes a training-side translator.
+    pub fn freeze(translator: &AnyTranslator) -> Self {
+        match translator {
+            AnyTranslator::Ngram(t) => FrozenTranslator::Ngram(t.clone()),
+            AnyTranslator::Nmt(t) => FrozenTranslator::Nmt(FrozenNmt::new(t.model().freeze())),
+        }
+    }
+
+    /// Translates a batch of source sentences.
+    pub fn translate_batch(
+        &self,
+        srcs: &[&[u32]],
+        out_len: usize,
+        arena: &mut InferArena,
+    ) -> Vec<Vec<u32>> {
+        match self {
+            FrozenTranslator::Ngram(t) => t.translate_batch(srcs, out_len),
+            FrozenTranslator::Nmt(t) => t.translate_batch(srcs, out_len, arena),
+        }
+    }
+
+    /// Approximate heap footprint of the frozen weights/tables in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            FrozenTranslator::Ngram(t) => t.approx_bytes(),
+            FrozenTranslator::Nmt(t) => t.spec.approx_bytes(),
+        }
+    }
+}
+
+/// One frozen directional pair model: thresholds plus decoding weights.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FrozenPairModel {
+    /// Source sensor node index.
+    pub src: usize,
+    /// Target sensor node index.
+    pub dst: usize,
+    /// Training (dev corpus BLEU) score `s(i, j)`.
+    pub train_score: f64,
+    /// Development-quantile floor (see
+    /// [`BrokenRule::DevQuantileFloor`](crate::algorithm2::BrokenRule)).
+    pub dev_floor: f64,
+    translator: FrozenTranslator,
+}
+
+impl FrozenPairModel {
+    /// Freezes one training-side pair model.
+    pub(crate) fn freeze(model: &crate::algorithm1::PairModel) -> Self {
+        Self {
+            src: model.src,
+            dst: model.dst,
+            train_score: model.train_score,
+            dev_floor: model.dev_floor,
+            translator: FrozenTranslator::freeze(model.translator()),
+        }
+    }
+
+    /// The frozen translator.
+    pub fn translator(&self) -> &FrozenTranslator {
+        &self.translator
+    }
+}
+
+/// An immutable serving artifact frozen from a fitted model.
+///
+/// Everything Algorithm 2 needs and nothing training-related: the
+/// relationship graph, the language pipeline (vocab tables), one
+/// [`FrozenPairModel`] per trained pair, and the valid-model index
+/// (`detection.valid_range` applied to the training scores) computed once
+/// at freeze time instead of per detection call.
+///
+/// Serializable: a snapshot round-trips through serde (and
+/// [`write_snapshot`](crate::checkpoint::write_snapshot)) and keeps
+/// producing bit-identical detection scores. Like
+/// [`DetectionConfig::threads`], the thread knob is not persisted — a
+/// restored snapshot uses the host's available parallelism.
+#[derive(Clone, Serialize, Deserialize)]
+pub struct GraphSnapshot {
+    graph: RelGraph,
+    lang: LanguagePipeline,
+    detection: DetectionConfig,
+    models: Vec<FrozenPairModel>,
+    valid: Vec<usize>,
+}
+
+impl std::fmt::Debug for GraphSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphSnapshot")
+            .field("sensors", &self.lang.sensor_count())
+            .field("models", &self.models.len())
+            .field("valid", &self.valid.len())
+            .finish()
+    }
+}
+
+impl GraphSnapshot {
+    /// Freezes a fitted model into a serving artifact.
+    pub fn freeze(mdes: &Mdes) -> Self {
+        Self::from_parts(
+            mdes.language().clone(),
+            mdes.trained(),
+            mdes.config().detection.clone(),
+        )
+    }
+
+    /// Freezes a serving artifact from its parts — the resume-friendly form
+    /// for a retrained Algorithm 1 sweep whose `TrainedGraph` came back
+    /// from [`build_graph`](crate::algorithm1::build_graph) directly.
+    pub fn from_parts(
+        lang: LanguagePipeline,
+        trained: &crate::algorithm1::TrainedGraph,
+        detection: DetectionConfig,
+    ) -> Self {
+        let models: Vec<FrozenPairModel> = trained
+            .models()
+            .iter()
+            .map(FrozenPairModel::freeze)
+            .collect();
+        let valid: Vec<usize> = (0..models.len())
+            .filter(|&k| detection.valid_range.contains(models[k].train_score))
+            .collect();
+        Self {
+            graph: trained.graph.clone(),
+            lang,
+            detection,
+            models,
+            valid,
+        }
+    }
+
+    /// The relationship graph.
+    pub fn graph(&self) -> &RelGraph {
+        &self.graph
+    }
+
+    /// The fitted language pipeline (vocab tables).
+    pub fn language(&self) -> &LanguagePipeline {
+        &self.lang
+    }
+
+    /// The detection configuration frozen into this artifact.
+    pub fn detection(&self) -> &DetectionConfig {
+        &self.detection
+    }
+
+    /// All frozen pair models.
+    pub fn models(&self) -> &[FrozenPairModel] {
+        &self.models
+    }
+
+    /// Indices (into [`GraphSnapshot::models`]) of models whose training
+    /// score falls in the frozen validity range.
+    pub fn valid_models(&self) -> &[usize] {
+        &self.valid
+    }
+
+    /// Minimum sample width a session must offer: the largest original
+    /// sensor index the pipeline references, plus one.
+    pub fn min_width(&self) -> usize {
+        self.lang
+            .languages()
+            .iter()
+            .map(|l| l.source_index + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Approximate heap footprint of the frozen models in bytes — the part
+    /// of serving memory that is shared across all sessions.
+    pub fn approx_bytes(&self) -> usize {
+        self.models
+            .iter()
+            .map(|m| m.translator.approx_bytes())
+            .sum()
+    }
+
+    /// Runs Algorithm 2 on aligned test sentence sets against this
+    /// snapshot, excluding `excluded_sensors` (graph node indices), on the
+    /// crossbeam worker pool.
+    ///
+    /// Bit-identical to
+    /// [`detect_excluding`](crate::algorithm2::detect_excluding) over the
+    /// `TrainedGraph` this snapshot was frozen from.
+    ///
+    /// # Errors
+    ///
+    /// As [`detect`](crate::algorithm2::detect): empty/misaligned corpora,
+    /// or an empty frozen valid-model index.
+    pub fn detect_excluding(
+        &self,
+        test_sets: &[SentenceSet],
+        excluded_sensors: &[usize],
+    ) -> Result<DetectionResult, CoreError> {
+        detect_with_bank(
+            self,
+            test_sets,
+            &self.detection,
+            excluded_sensors,
+            DetectStrategy::Parallel,
+        )
+    }
+
+    /// Serial detection on the calling thread through `arena` — used by
+    /// serving workers that are already one of many.
+    pub(crate) fn detect_serial(
+        &self,
+        test_sets: &[SentenceSet],
+        excluded_sensors: &[usize],
+        arena: &mut InferArena,
+    ) -> Result<DetectionResult, CoreError> {
+        detect_with_bank(
+            self,
+            test_sets,
+            &self.detection,
+            excluded_sensors,
+            DetectStrategy::Serial(arena),
+        )
+    }
+}
+
+impl ModelBank for GraphSnapshot {
+    fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
+    fn meta(&self, k: usize) -> PairMeta {
+        let m = &self.models[k];
+        PairMeta {
+            src: m.src,
+            dst: m.dst,
+            train_score: m.train_score,
+            dev_floor: m.dev_floor,
+        }
+    }
+
+    fn frozen_valid(&self) -> Option<&[usize]> {
+        Some(&self.valid)
+    }
+
+    fn decode_batch(
+        &self,
+        k: usize,
+        srcs: &[&[u32]],
+        out_len: usize,
+        arena: &mut InferArena,
+    ) -> Vec<Vec<u32>> {
+        self.models[k]
+            .translator
+            .translate_batch(srcs, out_len, arena)
+    }
+}
+
+/// An atomically swappable holder of the current [`GraphSnapshot`].
+///
+/// Readers take a cheap `Arc` clone ([`ModelStore::current`]); a window
+/// mid-flight keeps scoring against the snapshot it started with while
+/// [`ModelStore::publish`] installs a retrained one for every window that
+/// completes afterwards — no session restart, no dropped buffers.
+#[derive(Debug)]
+pub struct ModelStore {
+    current: Mutex<Arc<GraphSnapshot>>,
+    version: AtomicU64,
+}
+
+impl ModelStore {
+    /// Starts serving `snapshot` at version 1.
+    pub fn new(snapshot: GraphSnapshot) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(snapshot)),
+            version: AtomicU64::new(1),
+        }
+    }
+
+    /// The snapshot currently being served.
+    pub fn current(&self) -> Arc<GraphSnapshot> {
+        self.current.lock().clone()
+    }
+
+    /// Monotonic version of the current snapshot (bumped by each publish).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Atomically replaces the served snapshot, returning the new version.
+    ///
+    /// Open sessions pick the new snapshot up at their next window
+    /// completion; windows already buffered are neither dropped nor
+    /// reordered, because buffers live in the sessions, not here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleSnapshot`] when the new snapshot
+    /// uses different windowing (sessions derive their buffer length and
+    /// emission stride from it) or requires a wider minimum sample width
+    /// than the current one (open sessions were only validated against the
+    /// current minimum).
+    pub fn publish(&self, snapshot: GraphSnapshot) -> Result<u64, CoreError> {
+        let mut current = self.current.lock();
+        if snapshot.lang.config() != current.lang.config() {
+            return Err(CoreError::IncompatibleSnapshot {
+                detail: format!(
+                    "window config changed: serving {:?}, offered {:?}",
+                    current.lang.config(),
+                    snapshot.lang.config()
+                ),
+            });
+        }
+        if snapshot.min_width() > current.min_width() {
+            return Err(CoreError::IncompatibleSnapshot {
+                detail: format!(
+                    "minimum sample width grew from {} to {}; open sessions \
+                     may be narrower",
+                    current.min_width(),
+                    snapshot.min_width()
+                ),
+            });
+        }
+        let models = snapshot.models.len();
+        let valid = snapshot.valid.len();
+        *current = Arc::new(snapshot);
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        drop(current);
+        mdes_obs::event(
+            "serve.swap",
+            &[
+                ("version", (version as usize).into()),
+                ("models", models.into()),
+                ("valid", valid.into()),
+            ],
+        );
+        Ok(version)
+    }
+}
+
+/// Per-stream serving state: the trailing window buffers and degradation
+/// counters — nothing else. All model weights live in the shared
+/// [`GraphSnapshot`], so a session costs only its buffered records.
+///
+/// Created by [`ServingEngine::open_session`]; pushed through
+/// [`ServingEngine::push_opt`] / [`ServingEngine::push_opt_many`]. Cloning a
+/// session (or dropping one) updates the engine's live-session gauge.
+#[derive(Debug)]
+pub struct StreamSession {
+    /// Trailing samples per original sensor index.
+    buffers: Vec<VecDeque<String>>,
+    /// Samples required to form one sentence.
+    window: usize,
+    /// Samples between consecutive sentence completions.
+    step: usize,
+    /// Total samples consumed.
+    seen: usize,
+    /// Number of sensors expected per pushed sample.
+    width: usize,
+    degradation: DegradationConfig,
+    /// Consecutive missing records per original sensor.
+    consec_missing: Vec<usize>,
+    /// Length of the current run of identical records per original sensor.
+    consec_same: Vec<usize>,
+    /// Last delivered (non-missing) record per original sensor.
+    last_record: Vec<Option<String>>,
+    /// Dropout state per sensor as of the previous push, so dropout and
+    /// readmission emit one observability event per *transition* rather
+    /// than one per sample spent in the state.
+    was_dropped: Vec<bool>,
+    /// Reusable window snapshot handed to `encode_segment`: names are built
+    /// once here, and each emission refills `events` in place instead of
+    /// allocating a fresh `Vec<RawTrace>` per completed window.
+    scratch_traces: Vec<RawTrace>,
+    /// Live-session gauge shared with the engine that opened this session.
+    gauge: Arc<AtomicUsize>,
+}
+
+impl StreamSession {
+    fn new(width: usize, window: usize, step: usize, gauge: Arc<AtomicUsize>) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        Self {
+            buffers: vec![VecDeque::new(); width],
+            window,
+            step,
+            seen: 0,
+            width,
+            degradation: DegradationConfig::default(),
+            consec_missing: vec![0; width],
+            consec_same: vec![0; width],
+            last_record: vec![None; width],
+            was_dropped: vec![false; width],
+            scratch_traces: (0..width)
+                .map(|i| RawTrace::new(format!("b{i}"), Vec::new()))
+                .collect(),
+            gauge,
+        }
+    }
+
+    /// Replaces the dropout-detection thresholds (builder style).
+    #[must_use]
+    pub fn with_degradation(mut self, degradation: DegradationConfig) -> Self {
+        self.degradation = degradation;
+        self
+    }
+
+    /// Sensors expected per pushed sample.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Samples needed before the first detection can be emitted.
+    pub fn warmup(&self) -> usize {
+        self.window
+    }
+
+    /// Total samples consumed so far.
+    pub fn seen(&self) -> usize {
+        self.seen
+    }
+
+    /// Original indices of sensors currently considered dropped.
+    pub fn dropped_sensors(&self) -> Vec<usize> {
+        (0..self.width).filter(|&i| self.is_dropped(i)).collect()
+    }
+
+    /// Approximate heap footprint of this session's state in bytes — the
+    /// per-stream cost that `exp_serving` compares against the shared
+    /// snapshot.
+    pub fn approx_bytes(&self) -> usize {
+        let string = std::mem::size_of::<String>();
+        let buffered: usize = self
+            .buffers
+            .iter()
+            .flatten()
+            .map(|s| s.len() + string)
+            .sum();
+        let scratch: usize = self
+            .scratch_traces
+            .iter()
+            .map(|t| t.name.len() + t.events.iter().map(|e| e.len() + string).sum::<usize>())
+            .sum();
+        let last: usize = self
+            .last_record
+            .iter()
+            .flatten()
+            .map(|s| s.len() + string)
+            .sum();
+        let counters = self.width
+            * (2 * std::mem::size_of::<usize>()
+                + std::mem::size_of::<bool>()
+                + std::mem::size_of::<Option<String>>());
+        buffered + scratch + last + counters
+    }
+
+    fn is_dropped(&self, sensor: usize) -> bool {
+        self.consec_missing[sensor] >= self.degradation.missing_limit.max(1)
+            || self
+                .degradation
+                .stuck_limit
+                .is_some_and(|limit| self.consec_same[sensor] >= limit.max(1))
+    }
+
+    /// Absorbs one sample into the trailing buffers; `Ok(true)` when this
+    /// sample completes a sentence window.
+    fn absorb(&mut self, records: &[Option<String>]) -> Result<bool, CoreError> {
+        if records.len() != self.width {
+            return Err(CoreError::MisalignedCorpora {
+                expected: self.width,
+                found: records.len(),
+            });
+        }
+        for (i, rec) in records.iter().enumerate() {
+            match rec {
+                Some(r) => {
+                    self.consec_missing[i] = 0;
+                    if self.last_record[i].as_deref() == Some(r.as_str()) {
+                        self.consec_same[i] += 1;
+                    } else {
+                        self.consec_same[i] = 1;
+                        self.last_record[i] = Some(r.clone());
+                    }
+                    self.buffers[i].push_back(r.clone());
+                }
+                None => {
+                    self.consec_missing[i] += 1;
+                    self.buffers[i].push_back(MISSING_RECORD.to_owned());
+                }
+            }
+            if self.buffers[i].len() > self.window {
+                self.buffers[i].pop_front();
+            }
+        }
+        if mdes_obs::enabled() {
+            for i in 0..self.width {
+                let now_dropped = self.is_dropped(i);
+                if now_dropped != self.was_dropped[i] {
+                    mdes_obs::event(
+                        if now_dropped {
+                            "online.sensor_dropped"
+                        } else {
+                            "online.sensor_readmitted"
+                        },
+                        &[("sensor", i.into()), ("sample", self.seen.into())],
+                    );
+                    self.was_dropped[i] = now_dropped;
+                }
+            }
+        }
+        self.seen += 1;
+        Ok(self.seen >= self.window && (self.seen - self.window).is_multiple_of(self.step))
+    }
+
+    /// Refills the preallocated window snapshot from the trailing buffers.
+    fn refill_scratch(&mut self) {
+        for (trace, buf) in self.scratch_traces.iter_mut().zip(&self.buffers) {
+            trace.events.clear();
+            trace.events.extend(buf.iter().cloned());
+        }
+    }
+}
+
+impl Clone for StreamSession {
+    fn clone(&self) -> Self {
+        self.gauge.fetch_add(1, Ordering::Relaxed);
+        Self {
+            buffers: self.buffers.clone(),
+            window: self.window,
+            step: self.step,
+            seen: self.seen,
+            width: self.width,
+            degradation: self.degradation,
+            consec_missing: self.consec_missing.clone(),
+            consec_same: self.consec_same.clone(),
+            last_record: self.last_record.clone(),
+            was_dropped: self.was_dropped.clone(),
+            scratch_traces: self.scratch_traces.clone(),
+            gauge: Arc::clone(&self.gauge),
+        }
+    }
+}
+
+impl Drop for StreamSession {
+    fn drop(&mut self) {
+        self.gauge.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// A shared serving engine multiplexing many [`StreamSession`]s over one
+/// [`ModelStore`].
+///
+/// Cloning the engine is cheap (two `Arc`s); clones share the store and the
+/// live-session gauge, so an engine can be handed to every ingestion thread.
+#[derive(Clone, Debug)]
+pub struct ServingEngine {
+    store: Arc<ModelStore>,
+    sessions: Arc<AtomicUsize>,
+    /// Worker threads for [`ServingEngine::push_opt_many`] (0 = all CPUs).
+    threads: usize,
+}
+
+impl ServingEngine {
+    /// Starts an engine serving `snapshot`.
+    pub fn new(snapshot: GraphSnapshot) -> Self {
+        Self::from_store(Arc::new(ModelStore::new(snapshot)))
+    }
+
+    /// Wraps an existing store — for sharing one store across several
+    /// engines (e.g. one per ingestion shard).
+    pub fn from_store(store: Arc<ModelStore>) -> Self {
+        Self {
+            store,
+            sessions: Arc::new(AtomicUsize::new(0)),
+            threads: 0,
+        }
+    }
+
+    /// Replaces the multiplexing thread count (builder style; 0 = all
+    /// CPUs). Results are byte-identical at any thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The underlying hot-swappable store.
+    pub fn store(&self) -> &Arc<ModelStore> {
+        &self.store
+    }
+
+    /// The snapshot currently being served.
+    pub fn snapshot(&self) -> Arc<GraphSnapshot> {
+        self.store.current()
+    }
+
+    /// Publishes a retrained snapshot to every session served by this
+    /// engine (and any other engine sharing the store); see
+    /// [`ModelStore::publish`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IncompatibleSnapshot`] when the snapshot cannot
+    /// be served to the already-open sessions.
+    pub fn publish(&self, snapshot: GraphSnapshot) -> Result<u64, CoreError> {
+        self.store.publish(snapshot)
+    }
+
+    /// Number of sessions currently alive (opened or cloned, not dropped).
+    pub fn session_count(&self) -> usize {
+        self.sessions.load(Ordering::Relaxed)
+    }
+
+    /// Opens a session over samples of `width` sensors (the original trace
+    /// count used at fit time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::WidthMismatch`] if `width` is smaller than the
+    /// served snapshot's minimum width.
+    pub fn open_session(&self, width: usize) -> Result<StreamSession, CoreError> {
+        let snapshot = self.store.current();
+        let needed = snapshot.min_width();
+        if width < needed {
+            return Err(CoreError::WidthMismatch { width, needed });
+        }
+        let cfg = *snapshot.language().config();
+        let session = StreamSession::new(
+            width,
+            cfg.min_samples(),
+            cfg.sent_stride * cfg.word_stride,
+            Arc::clone(&self.sessions),
+        );
+        mdes_obs::observe("serve.sessions", self.session_count() as f64);
+        Ok(session)
+    }
+
+    /// Consumes one complete multivariate sample for `session`. Returns a
+    /// detection when this sample completes a sentence window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MisalignedCorpora`] when the sample width is
+    /// wrong, and propagates detection errors (e.g. no valid models).
+    pub fn push(
+        &self,
+        session: &mut StreamSession,
+        records: &[String],
+    ) -> Result<Option<OnlineDetection>, CoreError> {
+        let opt: Vec<Option<String>> = records.iter().cloned().map(Some).collect();
+        self.push_opt(session, &opt)
+    }
+
+    /// Consumes one possibly-incomplete multivariate sample (`None` marks a
+    /// sensor that delivered no record this tick); see
+    /// [`OnlineMonitor::push_opt`](crate::online::OnlineMonitor::push_opt)
+    /// for the degradation semantics, which are identical.
+    ///
+    /// The completed window is scored against the snapshot served *at
+    /// completion time*: a [`ModelStore::publish`] between pushes applies
+    /// from the first window completed after it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MisalignedCorpora`] when the sample width is
+    /// wrong, and propagates detection errors (e.g. no valid models).
+    pub fn push_opt(
+        &self,
+        session: &mut StreamSession,
+        records: &[Option<String>],
+    ) -> Result<Option<OnlineDetection>, CoreError> {
+        self.push_one(session, records, None, None)
+    }
+
+    /// Pushes one sample into each of `sessions` (sample `i` into session
+    /// `i`), multiplexed over the crossbeam worker pool with one scratch
+    /// [`InferArena`] per worker. Result `i` is session `i`'s outcome, in
+    /// order; results are byte-identical to pushing serially at any thread
+    /// count.
+    ///
+    /// Every window completed by this call is scored against the same
+    /// snapshot (read once at entry), so one tick is never split across a
+    /// hot-swap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` and `samples` have different lengths.
+    pub fn push_opt_many(
+        &self,
+        sessions: &mut [StreamSession],
+        samples: &[Vec<Option<String>>],
+    ) -> Vec<Result<Option<OnlineDetection>, CoreError>> {
+        assert_eq!(
+            sessions.len(),
+            samples.len(),
+            "one sample per session required"
+        );
+        mdes_obs::observe("serve.sessions", self.session_count() as f64);
+        let snapshot = self.store.current();
+        let jobs: Vec<Mutex<Option<&mut StreamSession>>> =
+            sessions.iter_mut().map(|s| Mutex::new(Some(s))).collect();
+        type PushOutcome = Result<Option<OnlineDetection>, CoreError>;
+        let results: Mutex<Vec<Option<PushOutcome>>> = Mutex::new(vec![None; jobs.len()]);
+        let next = AtomicUsize::new(0);
+        let threads = if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        };
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.clamp(1, jobs.len().max(1)) {
+                scope.spawn(|_| {
+                    let mut arena = InferArena::new();
+                    loop {
+                        let w = next.fetch_add(1, Ordering::Relaxed);
+                        if w >= jobs.len() {
+                            break;
+                        }
+                        let session = jobs[w].lock().take().expect("each job claimed once");
+                        let outcome =
+                            self.push_one(session, &samples[w], Some(&snapshot), Some(&mut arena));
+                        results.lock()[w] = Some(outcome);
+                    }
+                });
+            }
+        })
+        .expect("serving worker panicked");
+        results
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every job ran"))
+            .collect()
+    }
+
+    /// The shared push body. `snapshot` pins the artifact for a batch call
+    /// (`None` = read the store at window completion); `arena` selects
+    /// serial in-worker detection (`None` = the model-parallel pool).
+    fn push_one(
+        &self,
+        session: &mut StreamSession,
+        records: &[Option<String>],
+        snapshot: Option<&GraphSnapshot>,
+        arena: Option<&mut InferArena>,
+    ) -> Result<Option<OnlineDetection>, CoreError> {
+        let _push_timer = mdes_obs::timer("serve.push_us");
+        if !session.absorb(records)? {
+            return Ok(None);
+        }
+        // Buffering pushes above stay cheap; the span covers only the
+        // expensive window-completing path (encode + detect).
+        let mut push_span = mdes_obs::span("online.push");
+        mdes_obs::counter("online.windows", 1);
+        let owned;
+        let snap = match snapshot {
+            Some(s) => s,
+            None => {
+                owned = self.store.current();
+                &owned
+            }
+        };
+        session.refill_scratch();
+        let sets = snap
+            .language()
+            .encode_segment(&session.scratch_traces, 0..session.window)?;
+        // Dropped sensors are tracked by original index; detection excludes
+        // by graph node index, so translate through each language's source.
+        let dropped = session.dropped_sensors();
+        let excluded: Vec<usize> = snap
+            .language()
+            .languages()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| dropped.contains(&l.source_index))
+            .map(|(node, _)| node)
+            .collect();
+        let result = match arena {
+            Some(a) => snap.detect_serial(&sets, &excluded, a)?,
+            None => snap.detect_excluding(&sets, &excluded)?,
+        };
+        push_span.field("sample_index", session.seen - 1);
+        push_span.field("score", result.scores[0]);
+        push_span.field("coverage", result.coverage);
+        Ok(Some(OnlineDetection {
+            sample_index: session.seen - 1,
+            score: result.scores[0],
+            alerts: result.alerts.into_iter().next().unwrap_or_default(),
+            coverage: result.coverage,
+            dropped_sensors: dropped,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::MdesConfig;
+    use mdes_graph::ScoreRange;
+    use mdes_lang::WindowConfig;
+
+    fn square(name: &str, n: usize, phase: usize) -> RawTrace {
+        RawTrace::new(
+            name,
+            (0..n)
+                .map(|t| {
+                    if ((t + phase) / 5).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
+                .collect(),
+        )
+    }
+
+    fn fitted() -> (Mdes, Vec<RawTrace>) {
+        let traces = vec![
+            square("a", 700, 0),
+            square("b", 700, 2),
+            square("c", 700, 4),
+        ];
+        let mut cfg = MdesConfig {
+            window: WindowConfig {
+                word_len: 4,
+                word_stride: 1,
+                sent_len: 5,
+                sent_stride: 5,
+            },
+            ..MdesConfig::default()
+        };
+        cfg.detection.valid_range = ScoreRange::closed(60.0, 100.0);
+        let m = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit");
+        (m, traces)
+    }
+
+    #[test]
+    fn snapshot_freezes_valid_index_and_width() {
+        let (m, _) = fitted();
+        let snap = GraphSnapshot::freeze(&m);
+        assert_eq!(snap.models().len(), m.trained().models().len());
+        assert_eq!(snap.min_width(), 3);
+        let expected: Vec<usize> = (0..m.trained().models().len())
+            .filter(|&k| {
+                m.config()
+                    .detection
+                    .valid_range
+                    .contains(m.trained().models()[k].train_score)
+            })
+            .collect();
+        assert_eq!(snap.valid_models(), expected.as_slice());
+        assert!(snap.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_detection_matches_trained_graph_bitwise() {
+        let (m, traces) = fitted();
+        let snap = GraphSnapshot::freeze(&m);
+        let sets = m
+            .language()
+            .encode_segment(&traces, 450..700)
+            .expect("encode");
+        let legacy = crate::algorithm2::detect(m.trained(), &sets, &m.config().detection)
+            .expect("legacy detect");
+        let frozen = snap.detect_excluding(&sets, &[]).expect("frozen detect");
+        assert_eq!(legacy, frozen);
+        // Serial strategy through one arena: still identical.
+        let mut arena = InferArena::new();
+        let serial = snap
+            .detect_serial(&sets, &[], &mut arena)
+            .expect("serial detect");
+        assert_eq!(legacy, serial);
+    }
+
+    #[test]
+    fn store_publish_bumps_version_and_swaps() {
+        let (m, _) = fitted();
+        let store = ModelStore::new(GraphSnapshot::freeze(&m));
+        assert_eq!(store.version(), 1);
+        let v2 = store.publish(GraphSnapshot::freeze(&m)).expect("publish");
+        assert_eq!(v2, 2);
+        assert_eq!(store.version(), 2);
+    }
+
+    #[test]
+    fn incompatible_window_config_is_rejected() {
+        let (m, traces) = fitted();
+        let store = ModelStore::new(GraphSnapshot::freeze(&m));
+        let mut cfg = m.config().clone();
+        cfg.window.sent_len = 6;
+        let other = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit");
+        let r = store.publish(GraphSnapshot::freeze(&other));
+        assert!(matches!(r, Err(CoreError::IncompatibleSnapshot { .. })));
+        assert_eq!(store.version(), 1, "rejected publish must not bump");
+    }
+
+    #[test]
+    fn session_gauge_tracks_open_clone_and_drop() {
+        let (m, _) = fitted();
+        let engine = ServingEngine::new(GraphSnapshot::freeze(&m));
+        assert_eq!(engine.session_count(), 0);
+        let s1 = engine.open_session(3).expect("open");
+        let s2 = s1.clone();
+        assert_eq!(engine.session_count(), 2);
+        drop(s1);
+        drop(s2);
+        assert_eq!(engine.session_count(), 0);
+    }
+
+    #[test]
+    fn open_session_rejects_narrow_width() {
+        let (m, _) = fitted();
+        let engine = ServingEngine::new(GraphSnapshot::freeze(&m));
+        assert!(matches!(
+            engine.open_session(1),
+            Err(CoreError::WidthMismatch {
+                width: 1,
+                needed: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn snapshot_serde_roundtrip_preserves_detection() {
+        let (m, traces) = fitted();
+        let snap = GraphSnapshot::freeze(&m);
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let restored: GraphSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(restored.valid_models(), snap.valid_models());
+        assert_eq!(restored.min_width(), snap.min_width());
+        let sets = m
+            .language()
+            .encode_segment(&traces, 450..700)
+            .expect("encode");
+        assert_eq!(
+            snap.detect_excluding(&sets, &[]).expect("original"),
+            restored.detect_excluding(&sets, &[]).expect("restored"),
+        );
+    }
+
+    #[test]
+    fn push_opt_many_matches_individual_pushes() {
+        let (m, traces) = fitted();
+        let engine = ServingEngine::new(GraphSnapshot::freeze(&m)).with_threads(2);
+        let mut many: Vec<StreamSession> = (0..4)
+            .map(|_| engine.open_session(3).expect("open"))
+            .collect();
+        let mut single = engine.open_session(3).expect("open");
+        for t in 450..560 {
+            let sample: Vec<Option<String>> =
+                traces.iter().map(|tr| Some(tr.events[t].clone())).collect();
+            let batch = engine.push_opt_many(&mut many, &vec![sample.clone(); 4]);
+            let lone = engine.push_opt(&mut single, &sample).expect("push");
+            for r in batch {
+                assert_eq!(r.expect("batch push"), lone);
+            }
+        }
+    }
+}

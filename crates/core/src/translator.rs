@@ -45,11 +45,13 @@ pub enum TranslatorConfig {
 
 impl TranslatorConfig {
     /// The default fast configuration.
+    #[must_use]
     pub fn fast() -> Self {
         TranslatorConfig::Ngram(NgramConfig::default())
     }
 
     /// The paper-faithful neural configuration (scaled-down dimensions).
+    #[must_use]
     pub fn neural() -> Self {
         TranslatorConfig::Nmt(Seq2SeqConfig::default())
     }
@@ -335,6 +337,30 @@ impl NgramTranslator {
             .sum::<f64>()
             / pairs.len() as f64;
         100.0 * mean_ll.exp()
+    }
+
+    /// Approximate heap footprint of the count tables in bytes (entry
+    /// counts times entry sizes; map overhead ignored). Used by the serving
+    /// layer to report shared-snapshot memory.
+    pub fn approx_bytes(&self) -> usize {
+        let pair = std::mem::size_of::<(u32, u32)>();
+        let chan: usize = self
+            .channel
+            .iter()
+            .flat_map(|pos| pos.values())
+            .map(|m| m.len() * pair)
+            .sum();
+        let marg: usize = self.marginal.iter().map(|m| m.len() * pair).sum();
+        let tops: usize = (self.marginal_top.iter().map(Vec::len).sum::<usize>()
+            + self
+                .channel_top
+                .iter()
+                .flat_map(|pos| pos.values())
+                .map(Vec::len)
+                .sum::<usize>())
+            * std::mem::size_of::<u32>();
+        let bigr: usize = self.bigram.values().map(|m| m.len() * pair).sum();
+        chan + marg + tops + bigr
     }
 
     fn score(&self, counts: Option<&HashMap<u32, u32>>, word: u32) -> f64 {

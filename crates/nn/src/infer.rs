@@ -28,6 +28,7 @@
 //! output under both kernel families.
 
 use crate::matrix::{sigmoid_slice, tanh_slice, Matrix};
+use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
 /// Forward-only packed weights of one recurrent layer.
@@ -35,7 +36,7 @@ use std::sync::Mutex;
 /// The input and hidden weight blocks are pre-stacked (input block on top)
 /// into the single fused-gate GEMM operand that the tape builds with
 /// `concat_rows` on every bind.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum PackedCell {
     /// LSTM layer with gate columns laid out `[i | f | g | o]`.
     Lstm {
@@ -71,6 +72,26 @@ impl PackedCell {
     fn is_lstm(&self) -> bool {
         matches!(self, PackedCell::Lstm { .. })
     }
+
+    /// Approximate heap footprint of the packed weights in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let floats = match self {
+            PackedCell::Lstm { w, b, .. } => w.data().len() + b.data().len(),
+            PackedCell::Gru {
+                w_gates,
+                b_gates,
+                w_cand,
+                b_cand,
+                ..
+            } => {
+                w_gates.data().len()
+                    + b_gates.data().len()
+                    + w_cand.data().len()
+                    + b_cand.data().len()
+            }
+        };
+        floats * std::mem::size_of::<f32>()
+    }
 }
 
 /// Stacks `top` above `bottom` — the tape's `concat_rows`, used to pack the
@@ -87,7 +108,13 @@ pub fn pack_rows(top: &Matrix, bottom: &Matrix) -> Matrix {
 /// Everything the engine needs from a trained [`crate::Seq2Seq`]: owned
 /// weight copies (recurrent layers pre-packed) plus decoding
 /// hyper-parameters.
-#[derive(Clone, Debug)]
+///
+/// A `ModelSpec` is the model's *frozen serving artifact*: produced by
+/// [`crate::Seq2Seq::freeze`], it carries no tape, optimizer moments or
+/// gradient buffers, serializes compactly, and decodes bit-identically to
+/// the tape oracle through an [`InferArena`] (pinned by
+/// `tests/infer_parity.rs`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ModelSpec {
     /// Source embedding table, `src_vocab x E`.
     pub src_emb: Matrix,
@@ -114,6 +141,41 @@ pub struct ModelSpec {
     pub input_feeding: bool,
     /// Target begin-of-sentence token fed at step zero.
     pub bos: usize,
+}
+
+impl ModelSpec {
+    /// Source vocabulary size (rows of the source embedding table).
+    pub fn src_vocab(&self) -> usize {
+        self.src_emb.rows()
+    }
+
+    /// Target vocabulary size (rows of the target embedding table).
+    pub fn tgt_vocab(&self) -> usize {
+        self.tgt_emb.rows()
+    }
+
+    /// Approximate heap footprint of the frozen weights in bytes — the
+    /// per-model cost of holding this artifact in a serving snapshot.
+    pub fn approx_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        let mut bytes = (self.src_emb.data().len()
+            + self.tgt_emb.data().len()
+            + self.w_c.data().len()
+            + self.b_c.data().len()
+            + self.w_out.data().len()
+            + self.b_out.data().len())
+            * f;
+        if let Some(w_a) = &self.w_a {
+            bytes += std::mem::size_of_val(w_a.data());
+        }
+        bytes += self
+            .encoder
+            .iter()
+            .chain(&self.decoder)
+            .map(PackedCell::approx_bytes)
+            .sum::<usize>();
+        bytes
+    }
 }
 
 /// Recurrent state carried across decode steps: per-layer hidden (and, for
@@ -198,15 +260,17 @@ struct Scratch {
     logits: Matrix,
 }
 
-/// A per-model inference context: packed weights plus the scratch arena.
+/// A model-independent inference arena: every reusable buffer the forward
+/// pass needs, with the weights supplied per call as a [`ModelSpec`].
 ///
-/// Create once per trained model ([`InferCtx::new`]) and reuse across decode
-/// steps and across pushes. Callers must validate tokens/shapes first (as
+/// One arena can serve any number of models sequentially — a serving worker
+/// holds one arena and decodes whichever pair model the scheduler hands it,
+/// instead of every model (or every stream) owning a private scratch set.
+/// Callers must validate tokens/shapes first (as
 /// [`crate::Seq2Seq::translate_batch`] does) — the engine indexes embedding
 /// tables directly.
-#[derive(Debug)]
-pub struct InferCtx {
-    spec: ModelSpec,
+#[derive(Debug, Default)]
+pub struct InferArena {
     /// Per-step top-layer encoder hidden states; `enc_len` entries are live.
     enc_hs: Vec<Matrix>,
     enc_len: usize,
@@ -219,46 +283,32 @@ pub struct InferCtx {
     scratch: Scratch,
 }
 
-impl InferCtx {
-    /// Builds a context around pre-packed weights.
-    pub fn new(spec: ModelSpec) -> Self {
-        Self {
-            spec,
-            enc_hs: Vec::new(),
-            enc_len: 0,
-            enc_final: InferState::default(),
-            greedy: InferState::default(),
-            prev: Vec::new(),
-            scratch: Scratch::default(),
-        }
+impl InferArena {
+    /// An empty arena; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The packed model weights.
-    pub fn spec(&self) -> &ModelSpec {
-        &self.spec
-    }
-
-    /// Encodes a batch of equal-length source sentences, leaving the
-    /// per-step top-layer hidden states and the final state in the context.
-    pub fn encode(&mut self, srcs: &[&[usize]]) {
+    /// Encodes a batch of equal-length source sentences with `spec`'s
+    /// weights, leaving the per-step top-layer hidden states and the final
+    /// state in the arena.
+    pub fn encode(&mut self, spec: &ModelSpec, srcs: &[&[usize]]) {
         let batch = srcs.len();
         let steps = srcs[0].len();
         let mut state = std::mem::take(&mut self.enc_final);
-        state.reset(&self.spec.encoder, batch);
+        state.reset(&spec.encoder, batch);
         if self.enc_hs.len() < steps {
             self.enc_hs.resize_with(steps, Matrix::default);
         }
         self.enc_len = steps;
-        let embed = self.spec.src_emb.cols();
+        let embed = spec.src_emb.cols();
         for t in 0..steps {
             let scr = &mut self.scratch;
             shape_to(&mut scr.x, batch, embed);
             for (r, s) in srcs.iter().enumerate() {
-                scr.x
-                    .row_mut(r)
-                    .copy_from_slice(self.spec.src_emb.row(s[t]));
+                scr.x.row_mut(r).copy_from_slice(spec.src_emb.row(s[t]));
             }
-            step_stack(&self.spec.encoder, scr, &mut state);
+            step_stack(&spec.encoder, scr, &mut state);
             assign(
                 &mut self.enc_hs[t],
                 state.h.last().expect("non-empty stack"),
@@ -274,11 +324,11 @@ impl InferCtx {
     }
 
     /// One decoder step over the most recently encoded batch: embeds `prev`,
-    /// advances the stack, attends, and leaves the logits in the context
-    /// ([`InferCtx::logits`]). `state` is updated in place.
-    pub fn decode_step(&mut self, prev: &[usize], state: &mut InferState) {
+    /// advances the stack, attends, and leaves the logits in the arena
+    /// ([`InferArena::logits`]). `state` is updated in place. `spec` must be
+    /// the model the last [`InferArena::encode`] ran with.
+    pub fn decode_step(&mut self, spec: &ModelSpec, prev: &[usize], state: &mut InferState) {
         let batch = prev.len();
-        let spec = &self.spec;
         let scr = &mut self.scratch;
         let embed = spec.tgt_emb.cols();
         let hd = spec.hidden;
@@ -303,24 +353,30 @@ impl InferCtx {
         attend(spec, scr, state, &self.enc_hs[..self.enc_len]);
     }
 
-    /// Logits of the last [`InferCtx::decode_step`], `B x V`.
+    /// Logits of the last [`InferArena::decode_step`], `B x V`.
     pub fn logits(&self) -> &Matrix {
         &self.scratch.logits
     }
 
-    /// Greedy batched translation — the engine-side body of
-    /// [`crate::Seq2Seq::translate_batch`]. Inputs must be pre-validated.
-    pub fn translate_batch(&mut self, srcs: &[&[usize]], out_len: usize) -> Vec<Vec<usize>> {
+    /// Greedy batched translation with `spec`'s weights — the engine-side
+    /// body of [`crate::Seq2Seq::translate_batch`]. Inputs must be
+    /// pre-validated.
+    pub fn translate_batch(
+        &mut self,
+        spec: &ModelSpec,
+        srcs: &[&[usize]],
+        out_len: usize,
+    ) -> Vec<Vec<usize>> {
         let batch = srcs.len();
-        self.encode(srcs);
+        self.encode(spec, srcs);
         let mut state = std::mem::take(&mut self.greedy);
         self.start_state(&mut state);
         let mut prev = std::mem::take(&mut self.prev);
         prev.clear();
-        prev.resize(batch, self.spec.bos);
+        prev.resize(batch, spec.bos);
         let mut out = vec![Vec::with_capacity(out_len); batch];
         for _ in 0..out_len {
-            self.decode_step(&prev, &mut state);
+            self.decode_step(spec, &prev, &mut state);
             for (b, o) in out.iter_mut().enumerate() {
                 o.push(self.scratch.logits.argmax_row(b));
             }
@@ -331,6 +387,65 @@ impl InferCtx {
         self.greedy = state;
         self.prev = prev;
         out
+    }
+}
+
+/// A per-model inference context: packed weights plus a private
+/// [`InferArena`].
+///
+/// Create once per trained model ([`InferCtx::new`]) and reuse across decode
+/// steps and across pushes. This is the training-side convenience wrapper
+/// used by [`crate::Seq2Seq`]'s cached engine; serving paths that multiplex
+/// many models over few workers hold [`InferArena`]s directly and pass each
+/// model's [`ModelSpec`] per call.
+#[derive(Debug)]
+pub struct InferCtx {
+    spec: ModelSpec,
+    arena: InferArena,
+}
+
+impl InferCtx {
+    /// Builds a context around pre-packed weights.
+    pub fn new(spec: ModelSpec) -> Self {
+        Self {
+            spec,
+            arena: InferArena::new(),
+        }
+    }
+
+    /// The packed model weights.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Encodes a batch of equal-length source sentences, leaving the
+    /// per-step top-layer hidden states and the final state in the context.
+    pub fn encode(&mut self, srcs: &[&[usize]]) {
+        self.arena.encode(&self.spec, srcs);
+    }
+
+    /// Copies the encoder final state into `out` (reusing its buffers) as
+    /// the decoder's initial state.
+    pub fn start_state(&self, out: &mut InferState) {
+        self.arena.start_state(out);
+    }
+
+    /// One decoder step over the most recently encoded batch: embeds `prev`,
+    /// advances the stack, attends, and leaves the logits in the context
+    /// ([`InferCtx::logits`]). `state` is updated in place.
+    pub fn decode_step(&mut self, prev: &[usize], state: &mut InferState) {
+        self.arena.decode_step(&self.spec, prev, state);
+    }
+
+    /// Logits of the last [`InferCtx::decode_step`], `B x V`.
+    pub fn logits(&self) -> &Matrix {
+        self.arena.logits()
+    }
+
+    /// Greedy batched translation — the engine-side body of
+    /// [`crate::Seq2Seq::translate_batch`]. Inputs must be pre-validated.
+    pub fn translate_batch(&mut self, srcs: &[&[usize]], out_len: usize) -> Vec<Vec<usize>> {
+        self.arena.translate_batch(&self.spec, srcs, out_len)
     }
 }
 

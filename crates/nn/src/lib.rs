@@ -46,7 +46,7 @@ pub mod tape;
 
 pub use error::NnError;
 pub use gru::{GruLayer, GruStack};
-pub use infer::{InferCtx, InferState, ModelSpec};
+pub use infer::{InferArena, InferCtx, InferState, ModelSpec, PackedCell};
 pub use lstm::{LstmLayer, LstmStack};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};

@@ -596,8 +596,14 @@ impl Seq2Seq {
         Ok(())
     }
 
-    /// Packs the current parameters for the tape-free inference engine.
-    fn infer_spec(&self) -> ModelSpec {
+    /// Freezes the current parameters into a serving artifact.
+    ///
+    /// The returned [`ModelSpec`] carries only packed weights — no tape,
+    /// optimizer moments or gradient buffers — serializes compactly, and
+    /// decodes bit-identically to the tape oracle through an
+    /// [`crate::infer::InferArena`] (pinned by `tests/infer_parity.rs`).
+    /// This is the artifact serving layers deploy and hot-swap.
+    pub fn freeze(&self) -> ModelSpec {
         ModelSpec {
             src_emb: self.params.value(self.src_emb).clone(),
             tgt_emb: self.params.value(self.tgt_emb).clone(),
@@ -617,7 +623,7 @@ impl Seq2Seq {
     /// Runs `f` against this model's cached inference context, packing the
     /// weights on first use.
     fn with_infer<R>(&self, f: impl FnOnce(&mut InferCtx) -> R) -> R {
-        self.infer.with(|| InferCtx::new(self.infer_spec()), f)
+        self.infer.with(|| InferCtx::new(self.freeze()), f)
     }
 
     /// Greedily translates a batch of equal-length source sentences into

@@ -8,7 +8,7 @@
 //! `--features reference-kernels` in CI so both kernel families are checked
 //! against the oracle.
 
-use mdes_nn::{AttentionKind, CellKind, Seq2Seq, Seq2SeqConfig};
+use mdes_nn::{AttentionKind, CellKind, InferArena, ModelSpec, Seq2Seq, Seq2SeqConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -183,4 +183,76 @@ fn serde_roundtrip_engine_matches_tape() {
     let original = model.translate(&src, 5).expect("original");
     assert_eq!(original, restored.translate(&src, 5).expect("restored"));
     assert_eq!(original, restored.translate_tape(&src, 5).expect("tape"));
+}
+
+/// A frozen `ModelSpec`, round-tripped through serde and decoded through a
+/// cold shared `InferArena`, must stay bit-identical to the tape oracle —
+/// this is the serving-artifact contract, checked across both cell families
+/// and both attention kinds.
+#[test]
+fn frozen_spec_roundtrip_matches_tape_exactly() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut arena = InferArena::new();
+    for (i, (cell, attention, feeding)) in [
+        (CellKind::Lstm, AttentionKind::Dot, false),
+        (CellKind::Lstm, AttentionKind::General, true),
+        (CellKind::Gru, AttentionKind::Dot, true),
+        (CellKind::Gru, AttentionKind::General, false),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let model = build_model(8, cell, attention, feeding, 2, 100 + i as u64);
+        let spec = model.freeze();
+        let json = serde_json::to_string(&spec).expect("serialize spec");
+        let restored: ModelSpec = serde_json::from_str(&json).expect("deserialize spec");
+        assert_eq!(spec, restored, "freeze artifact must round-trip exactly");
+        assert_eq!(restored.src_vocab(), 8);
+        assert_eq!(restored.tgt_vocab(), 8);
+        assert!(restored.approx_bytes() > 0);
+        for _ in 0..2 {
+            let sentences: Vec<Vec<usize>> =
+                (0..3).map(|_| random_sentence(4, 8, &mut rng)).collect();
+            let srcs: Vec<&[usize]> = sentences.iter().map(Vec::as_slice).collect();
+            // The same warm arena serves every spec in turn, as a serving
+            // worker would.
+            let engine = arena.translate_batch(&restored, &srcs, 5);
+            let tape = model.translate_batch_tape(&srcs, 5).expect("tape");
+            assert_eq!(engine, tape, "frozen decode diverged from the tape");
+        }
+    }
+}
+
+/// The frozen artifact must be strictly smaller than the full training-state
+/// model on the wire: freezing drops the tape, optimizer moments and
+/// gradient buffers.
+#[test]
+fn frozen_spec_serializes_compactly() {
+    let pairs: Vec<(Vec<usize>, Vec<usize>)> = {
+        let mut rng = StdRng::seed_from_u64(23);
+        (0..12)
+            .map(|_| {
+                let src: Vec<usize> = (0..4).map(|_| rng.gen_range(1..6)).collect();
+                let tgt: Vec<usize> = src.iter().map(|&t| (t + 1) % 6).collect();
+                (src, tgt)
+            })
+            .collect()
+    };
+    let cfg = Seq2SeqConfig {
+        embed_dim: 8,
+        hidden: 8,
+        train_steps: 5,
+        ..Seq2SeqConfig::default()
+    };
+    let mut model = Seq2Seq::new(6, 6, 0, cfg);
+    model.fit(&pairs).expect("fit");
+    let full = serde_json::to_string(&model).expect("serialize model");
+    let frozen = serde_json::to_string(&model.freeze()).expect("serialize spec");
+    assert!(
+        frozen.len() * 2 < full.len(),
+        "frozen artifact ({} bytes) should be well under half the full \
+         training state ({} bytes)",
+        frozen.len(),
+        full.len()
+    );
 }

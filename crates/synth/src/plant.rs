@@ -286,6 +286,21 @@ impl PlantData {
         (from - 1) * m..to * m
     }
 
+    /// The multivariate sample at time `t` — one record per sensor, in
+    /// trace order — ready to feed a streaming monitor or serving session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is beyond the simulated horizon.
+    pub fn sample(&self, t: usize) -> Vec<String> {
+        assert!(
+            t < self.config.samples(),
+            "sample {t} outside 0..{}",
+            self.config.samples()
+        );
+        self.traces.iter().map(|tr| tr.events[t].clone()).collect()
+    }
+
     /// Index of a representative periodic sensor (Fig. 2a), if any.
     pub fn representative_periodic(&self) -> Option<usize> {
         self.sensors

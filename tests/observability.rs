@@ -112,7 +112,9 @@ fn online_monitor_reports_windows_and_dropout_transitions() {
     with_recorder(|r| {
         let traces = toy_traces();
         let m = Mdes::fit(&traces, 0..300, 300..500, toy_config()).expect("fit");
-        let mut monitor: OnlineMonitor = m.into_online_monitor(traces.len());
+        let mut monitor: OnlineMonitor = m
+            .try_into_online_monitor(traces.len())
+            .expect("monitor width");
         let mut emitted = 0u64;
         for t in 500..800 {
             // Sensor 1 goes silent for samples 600..650.
