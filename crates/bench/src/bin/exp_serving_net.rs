@@ -1,0 +1,218 @@
+//! Experiment — network serving throughput through the `mdes-serve` daemon.
+//!
+//! `exp_serving` measures the in-process ceiling of the serving split; this
+//! experiment measures what survives the wire. It boots a real daemon on a
+//! loopback listener, opens S sessions spread over C ingest connections,
+//! and streams the synthetic plant through the framed PushBatch protocol
+//! with a fixed pipeline depth per session (so no push ever hits the
+//! bounded ingest queue's `Busy` path). Reported throughput therefore
+//! includes JSON codec + framing + checksum + kernel socket costs on both
+//! sides, plus the pump's `push_opt_many` fan-out.
+//!
+//! The run *asserts* protocol health — zero `Busy`/`Gone`/`Error`
+//! outcomes, one reply per push, detections emitted once past warmup —
+//! making it the CI smoke test for the network layer. Pass `--smoke` for
+//! the reduced CI variant (256 sessions); the full run sweeps up to 1024
+//! concurrent sessions for the EXPERIMENTS.md figure.
+
+use mdes_bench::report::{arg_flag, print_table, write_csv};
+use mdes_core::serve::GraphSnapshot;
+use mdes_core::serve::ServingEngine;
+use mdes_core::{Mdes, MdesConfig};
+use mdes_graph::ScoreRange;
+use mdes_lang::WindowConfig;
+use mdes_serve::{start, IngestClient, PushEntry, PushOutcome, ServeConfig};
+use mdes_synth::plant::{generate, PlantConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+/// Pushes in flight per session. Must stay <= the server's
+/// `queue_capacity` so the bench never takes the `Busy` path.
+const PIPELINE: usize = 4;
+
+struct ConnStats {
+    acks: usize,
+    scores: usize,
+}
+
+/// Streams `ticks` samples into `per_conn` sessions over one connection,
+/// keeping at most `PIPELINE` rounds outstanding.
+#[allow(clippy::too_many_arguments)]
+fn run_conn(
+    addr: std::net::SocketAddr,
+    width: usize,
+    per_conn: usize,
+    ticks: usize,
+    samples: &[Vec<String>],
+    stagger: usize,
+    barrier: &Barrier,
+    opened: &AtomicUsize,
+) -> ConnStats {
+    let mut client =
+        IngestClient::connect_with_deadline(addr, Duration::from_secs(60)).expect("connect ingest");
+    let sessions: Vec<u64> = (0..per_conn)
+        .map(|_| client.open_session(width).expect("open session").0)
+        .collect();
+    opened.fetch_add(per_conn, Ordering::Relaxed);
+    barrier.wait(); // measure streaming only, not session setup
+
+    let mut stats = ConnStats { acks: 0, scores: 0 };
+    let absorb = |replies: Vec<mdes_serve::PushReply>, stats: &mut ConnStats| {
+        for r in replies {
+            match r.outcome {
+                PushOutcome::Ack => stats.acks += 1,
+                PushOutcome::Score(_) => stats.scores += 1,
+                other => panic!("session {} seq {}: {:?}", r.session, r.seq, other),
+            }
+        }
+    };
+    for t in 0..ticks {
+        let entries: Vec<PushEntry> = sessions
+            .iter()
+            .enumerate()
+            .map(|(k, &session)| PushEntry {
+                session,
+                seq: t as u64,
+                records: samples[(t + (stagger + k) % 64) % samples.len()]
+                    .iter()
+                    .cloned()
+                    .map(Some)
+                    .collect(),
+            })
+            .collect();
+        client.send_push_batch(entries).expect("send batch");
+        if t + 1 >= PIPELINE {
+            let replies = client.recv_push_replies(per_conn).expect("recv replies");
+            absorb(replies, &mut stats);
+        }
+    }
+    // The loop leaves exactly min(ticks, PIPELINE - 1) rounds in flight.
+    let drained = ticks.min(PIPELINE - 1) * per_conn;
+    let replies = client.recv_push_replies(drained).expect("drain replies");
+    absorb(replies, &mut stats);
+    stats
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = arg_flag(&args, "smoke");
+    // (sessions, connections) sweep; the smoke floor is 256 sessions.
+    let sweep: &[(usize, usize)] = if smoke {
+        &[(256, 8)]
+    } else {
+        &[(64, 4), (256, 8), (1024, 16)]
+    };
+    let ticks = if smoke { 64 } else { 128 };
+
+    let plant = generate(&PlantConfig {
+        n_sensors: 8,
+        days: 8,
+        minutes_per_day: 288,
+        n_components: 2,
+        anomaly_days: vec![],
+        precursor_days: vec![],
+        ..PlantConfig::default()
+    });
+    let mut cfg = MdesConfig {
+        window: WindowConfig {
+            word_len: 5,
+            word_stride: 1,
+            sent_len: 6,
+            sent_stride: 6,
+        },
+        ..MdesConfig::default()
+    };
+    cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+    let m = Mdes::fit(
+        &plant.traces,
+        plant.days_range(1, 4),
+        plant.days_range(5, 6),
+        cfg,
+    )
+    .expect("fit plant");
+    let snapshot = GraphSnapshot::freeze(&m);
+    let width = plant.traces.len();
+    let test = plant.days_range(7, 8);
+    let samples: Vec<Vec<String>> = (test.start..test.end).map(|t| plant.sample(t)).collect();
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &(sessions, conns) in sweep {
+        let engine = ServingEngine::new(snapshot.clone());
+        let server = start(
+            engine,
+            ServeConfig {
+                admin_addr: None,
+                max_conns: conns + 4,
+                outbound_capacity: PIPELINE * sessions.div_ceil(conns) + 64,
+                idle_ttl: Duration::from_secs(600),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("start daemon");
+        let addr = server.addr();
+        let per_conn = sessions / conns;
+        assert_eq!(per_conn * conns, sessions, "sweep must divide evenly");
+
+        let barrier = Barrier::new(conns + 1);
+        let opened = AtomicUsize::new(0);
+        let (stats, secs) = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..conns)
+                .map(|c| {
+                    let (samples, barrier, opened) = (&samples, &barrier, &opened);
+                    scope.spawn(move || {
+                        run_conn(
+                            addr,
+                            width,
+                            per_conn,
+                            ticks,
+                            samples,
+                            c * per_conn,
+                            barrier,
+                            opened,
+                        )
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let started = Instant::now();
+            let stats: Vec<ConnStats> = handles
+                .into_iter()
+                .map(|h| h.join().expect("conn thread"))
+                .collect();
+            (stats, started.elapsed().as_secs_f64())
+        });
+        assert_eq!(opened.load(Ordering::Relaxed), sessions);
+
+        let acks: usize = stats.iter().map(|s| s.acks).sum();
+        let scores: usize = stats.iter().map(|s| s.scores).sum();
+        assert_eq!(acks + scores, sessions * ticks, "one reply per push");
+        assert!(scores > 0, "ticks must reach past warmup");
+        let throughput = (sessions * ticks) as f64 / secs;
+        rows.push(vec![
+            sessions.to_string(),
+            conns.to_string(),
+            ticks.to_string(),
+            format!("{throughput:.0}"),
+            scores.to_string(),
+        ]);
+        server.stop();
+    }
+
+    print_table(
+        &["sessions", "conns", "ticks", "samples/s", "detections"],
+        &rows,
+    );
+    write_csv(
+        "serving_net.csv",
+        &[
+            "sessions",
+            "conns",
+            "ticks",
+            "samples_per_sec",
+            "detections",
+        ],
+        &rows,
+    );
+    println!("network serving OK: every push acknowledged, zero Busy/Gone/Error");
+}

@@ -265,13 +265,10 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, CoreError> {
 /// Returns [`CoreError::Checkpoint`] on serialization or I/O failure.
 pub fn write_snapshot(path: &Path, snapshot: &GraphSnapshot) -> Result<(), CoreError> {
     let mut span = mdes_obs::span("checkpoint.snapshot_write");
-    let payload = serde_json::to_string(snapshot)
-        .map_err(|e| ckpt_err(path, format!("serialize snapshot failed: {e}")))?;
-    let mut framed = Vec::with_capacity(HEADER_LEN + FRAME_HEADER_LEN + payload.len());
-    framed.extend_from_slice(SNAP_MAGIC);
-    framed.extend_from_slice(&SNAP_VERSION.to_le_bytes());
-    framed.extend_from_slice(&0u64.to_le_bytes());
-    push_frame(&mut framed, KIND_SNAPSHOT, payload.as_bytes());
+    let framed = snapshot_to_bytes(snapshot).map_err(|e| match e {
+        CoreError::Checkpoint { detail, .. } => ckpt_err(path, detail),
+        other => other,
+    })?;
     span.field("bytes", framed.len());
 
     let tmp = path.with_extension("tmp");
@@ -296,6 +293,42 @@ pub fn write_snapshot(path: &Path, snapshot: &GraphSnapshot) -> Result<(), CoreE
 pub fn read_snapshot(path: &Path) -> Result<GraphSnapshot, CoreError> {
     let mut span = mdes_obs::span("checkpoint.snapshot_read");
     let bytes = fs::read(path).map_err(|e| ckpt_err(path, format!("read failed: {e}")))?;
+    span.field("bytes", bytes.len());
+    snapshot_from_bytes(&bytes).map_err(|e| match e {
+        CoreError::Checkpoint { detail, .. } => ckpt_err(path, detail),
+        other => other,
+    })
+}
+
+/// Encodes a frozen serving artifact into the `MDSN` byte layout used by
+/// [`write_snapshot`] — for transports other than the filesystem (e.g. a
+/// snapshot uploaded over a daemon's admin plane).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] (with an empty path) on serialization
+/// failure.
+pub fn snapshot_to_bytes(snapshot: &GraphSnapshot) -> Result<Vec<u8>, CoreError> {
+    let payload = serde_json::to_string(snapshot)
+        .map_err(|e| ckpt_err(Path::new(""), format!("serialize snapshot failed: {e}")))?;
+    let mut framed = Vec::with_capacity(HEADER_LEN + FRAME_HEADER_LEN + payload.len());
+    framed.extend_from_slice(SNAP_MAGIC);
+    framed.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+    framed.extend_from_slice(&0u64.to_le_bytes());
+    push_frame(&mut framed, KIND_SNAPSHOT, payload.as_bytes());
+    Ok(framed)
+}
+
+/// Decodes a serving artifact from the `MDSN` byte layout; the in-memory
+/// counterpart of [`read_snapshot`], with the same all-or-nothing damage
+/// policy.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Checkpoint`] (with an empty path) on any damage:
+/// bad magic, unknown version, truncation, or checksum mismatch.
+pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<GraphSnapshot, CoreError> {
+    let path = Path::new("");
     if bytes.len() < HEADER_LEN || &bytes[..4] != SNAP_MAGIC {
         return Err(ckpt_err(path, "not a snapshot file (bad magic)"));
     }
@@ -321,7 +354,6 @@ pub fn read_snapshot(path: &Path) -> Result<GraphSnapshot, CoreError> {
     if fnv1a(payload) != checksum {
         return Err(ckpt_err(path, "snapshot checksum mismatch"));
     }
-    span.field("bytes", bytes.len());
     let text = std::str::from_utf8(payload)
         .map_err(|_| ckpt_err(path, "snapshot payload is not valid UTF-8"))?;
     serde_json::from_str(text).map_err(|e| ckpt_err(path, format!("snapshot parse failed: {e}")))

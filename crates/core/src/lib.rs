@@ -64,8 +64,8 @@ pub use algorithm1::{
 };
 pub use algorithm2::{detect, detect_excluding, BrokenRule, DetectionConfig, DetectionResult};
 pub use checkpoint::{
-    read_checkpoint, read_snapshot, write_checkpoint, write_snapshot, CheckpointConfig,
-    CheckpointData,
+    read_checkpoint, read_snapshot, snapshot_from_bytes, snapshot_to_bytes, write_checkpoint,
+    write_snapshot, CheckpointConfig, CheckpointData,
 };
 pub use diagnosis::{diagnose, propagation_timeline, Diagnosis, PropagationStep};
 pub use error::CoreError;

@@ -280,10 +280,9 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructors_still_work() {
+    fn fallible_constructor_accepts_a_valid_width() {
         let (m, traces) = fitted();
-        #[allow(deprecated)]
-        let mut monitor = m.into_online_monitor(3);
+        let mut monitor = m.try_into_online_monitor(3).expect("width 3 is valid");
         for t in 450..480 {
             let sample: Vec<String> = traces.iter().map(|tr| tr.events[t].clone()).collect();
             monitor.push(&sample).expect("push");

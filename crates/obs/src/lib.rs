@@ -72,6 +72,14 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// The installed recorder, if any — for consumers that want to *read*
+/// aggregated telemetry (e.g. a daemon's `obs` admin endpoint dumping
+/// [`Recorder::report`]) without tearing the recorder down the way
+/// [`uninstall`] does.
+pub fn installed() -> Option<Arc<Recorder>> {
+    current()
+}
+
 /// The installed recorder, if any.
 fn current() -> Option<Arc<Recorder>> {
     if !enabled() {

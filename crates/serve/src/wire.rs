@@ -1,0 +1,198 @@
+//! Wire messages carried by the framed ingest plane.
+//!
+//! All payloads are JSON. Scores cross the wire as **raw f64 bit
+//! patterns** (`f64::to_bits`), not decimal text, so a network-served
+//! detection is byte-identical to the in-process one by construction —
+//! no float-formatting roundtrip can perturb it (`tests/serve_net.rs`
+//! pins this).
+
+use mdes_core::OnlineDetection;
+use serde::{Deserialize, Serialize};
+
+/// Client → server: open a stream session over samples of `width` sensors.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenSessionReq {
+    /// Sensors per pushed sample (the trace count used at fit time).
+    pub width: usize,
+}
+
+/// Server → client: outcome of [`OpenSessionReq`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenSessionRep {
+    /// Whether the session was opened.
+    pub ok: bool,
+    /// Session id to push against (0 when `ok` is false).
+    pub session: u64,
+    /// Samples needed before the first detection can be emitted.
+    pub warmup: usize,
+    /// Version of the snapshot serving this session at open time.
+    pub snapshot_version: u64,
+    /// Failure diagnostics when `ok` is false.
+    pub detail: String,
+}
+
+/// Client → server: close a stream session.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloseSessionReq {
+    /// Session to close.
+    pub session: u64,
+}
+
+/// Server → client: outcome of [`CloseSessionReq`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CloseSessionRep {
+    /// The closed session.
+    pub session: u64,
+    /// `true` if the session existed.
+    pub existed: bool,
+}
+
+/// One sample for one session inside a [`PushBatchReq`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushEntry {
+    /// Target session.
+    pub session: u64,
+    /// Client-chosen correlation id, echoed in the [`PushReply`].
+    pub seq: u64,
+    /// One multivariate sample; `None` marks a sensor that delivered no
+    /// record this tick (see `ServingEngine::push_opt`).
+    pub records: Vec<Option<String>>,
+}
+
+/// Client → server: batched multi-session ingest. Entries for the same
+/// session are scored in order; entries for different sessions are
+/// independent.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushBatchReq {
+    /// The batch.
+    pub entries: Vec<PushEntry>,
+}
+
+/// A detection with its floats as raw bit patterns.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireDetection {
+    /// Index of the sample at which the window completed.
+    pub sample_index: usize,
+    /// `f64::to_bits` of the anomaly score `a_t`.
+    pub score_bits: u64,
+    /// `f64::to_bits` of the coverage fraction.
+    pub coverage_bits: u64,
+    /// Broken sensor pairs of the completed window.
+    pub alerts: Vec<(usize, usize)>,
+    /// Original (push-order) indices of sensors currently dropped.
+    pub dropped_sensors: Vec<usize>,
+}
+
+impl From<OnlineDetection> for WireDetection {
+    fn from(d: OnlineDetection) -> Self {
+        Self {
+            sample_index: d.sample_index,
+            score_bits: d.score.to_bits(),
+            coverage_bits: d.coverage.to_bits(),
+            alerts: d.alerts,
+            dropped_sensors: d.dropped_sensors,
+        }
+    }
+}
+
+impl From<WireDetection> for OnlineDetection {
+    fn from(w: WireDetection) -> Self {
+        Self {
+            sample_index: w.sample_index,
+            score: f64::from_bits(w.score_bits),
+            coverage: f64::from_bits(w.coverage_bits),
+            alerts: w.alerts,
+            dropped_sensors: w.dropped_sensors,
+        }
+    }
+}
+
+/// Per-entry outcome inside a [`PushReply`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PushOutcome {
+    /// Sample absorbed; no window completed.
+    Ack,
+    /// Sample completed a window; here is its detection.
+    Score(WireDetection),
+    /// Backpressure: the session's ingest queue is full. The sample was
+    /// **not** absorbed — re-send it after draining replies.
+    Busy,
+    /// The session does not exist (never opened, closed, or evicted by the
+    /// idle TTL). The sample was not absorbed.
+    Gone,
+    /// The engine rejected the sample (e.g. wrong width). The sample was
+    /// consumed but produced no detection.
+    Error {
+        /// Engine diagnostics.
+        detail: String,
+    },
+}
+
+/// Server → client: outcome of one [`PushEntry`], correlated by
+/// `(session, seq)`.
+///
+/// Outcomes for one session arrive in push order, except that `Busy` and
+/// `Gone` are emitted synchronously at ingest and may overtake queued
+/// outcomes of earlier entries.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PushReply {
+    /// The session pushed to.
+    pub session: u64,
+    /// The entry's correlation id.
+    pub seq: u64,
+    /// What happened.
+    pub outcome: PushOutcome,
+}
+
+/// Server → client: a typed protocol error, sent best-effort just before
+/// the server closes the connection.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtoErrRep {
+    /// Stable identifier (see `ProtoError::code`).
+    pub code: String,
+    /// Human-readable diagnostics.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_bits_roundtrip_exactly() {
+        for score in [0.0f64, -0.0, 0.1 + 0.2, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let d = OnlineDetection {
+                sample_index: 7,
+                score,
+                coverage: score / 2.0,
+                alerts: vec![(1, 2)],
+                dropped_sensors: vec![0],
+            };
+            let w = WireDetection::from(d.clone());
+            let json = serde_json::to_string(&w).expect("serialize");
+            let back: WireDetection = serde_json::from_str(&json).expect("deserialize");
+            let restored = OnlineDetection::from(back);
+            assert_eq!(restored.score.to_bits(), d.score.to_bits());
+            assert_eq!(restored.coverage.to_bits(), d.coverage.to_bits());
+            assert_eq!(restored.alerts, d.alerts);
+            assert_eq!(restored.dropped_sensors, d.dropped_sensors);
+        }
+    }
+
+    #[test]
+    fn push_outcome_variants_roundtrip() {
+        let outcomes = [
+            PushOutcome::Ack,
+            PushOutcome::Busy,
+            PushOutcome::Gone,
+            PushOutcome::Error {
+                detail: "width".to_owned(),
+            },
+        ];
+        for o in outcomes {
+            let json = serde_json::to_string(&o).expect("serialize");
+            let back: PushOutcome = serde_json::from_str(&json).expect("deserialize");
+            assert_eq!(back, o);
+        }
+    }
+}

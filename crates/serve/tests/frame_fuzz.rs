@@ -1,0 +1,161 @@
+//! Adversarial property tests for the frame decoder.
+//!
+//! The decoder sits on a network socket, so it must treat every byte as
+//! hostile: random garbage, truncations at every offset, single-byte
+//! corruptions, and absurd declared lengths must all come back as a typed
+//! [`ProtoError`] (or a clean EOF) — never a panic, never a giant
+//! allocation, never a silently wrong frame.
+
+use mdes_serve::{
+    encode_frame, encode_msg, read_frame, Frame, FrameKind, ProtoError, ReadOutcome, HEADER_LEN,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Decodes one frame from a byte slice (no timeout — `Cursor` never
+/// blocks).
+fn decode(bytes: &[u8]) -> Result<ReadOutcome, ProtoError> {
+    read_frame(&mut Cursor::new(bytes), MAX_PAYLOAD, None)
+}
+
+fn any_kind(selector: u8) -> FrameKind {
+    const KINDS: [FrameKind; 9] = [
+        FrameKind::OpenSession,
+        FrameKind::CloseSession,
+        FrameKind::PushBatch,
+        FrameKind::Ping,
+        FrameKind::SessionOpened,
+        FrameKind::SessionClosed,
+        FrameKind::PushReply,
+        FrameKind::ProtoErr,
+        FrameKind::Pong,
+    ];
+    KINDS[selector as usize % KINDS.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1000))]
+
+    /// Pure garbage: whatever comes in, the decoder returns a typed result
+    /// and never panics. An `Ok(Frame)` from random bytes is possible only
+    /// by forging a valid magic + checksum, which 200 random bytes won't.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..200)) {
+        match decode(&bytes) {
+            Ok(ReadOutcome::Eof) => prop_assert!(bytes.is_empty()),
+            Ok(ReadOutcome::Idle) => prop_assert!(false, "Cursor input cannot be idle"),
+            Ok(ReadOutcome::Frame(_)) => {
+                prop_assert!(bytes.len() >= HEADER_LEN, "frame needs a full header");
+            }
+            Err(_) => {} // typed rejection is the expected outcome
+        }
+    }
+
+    /// Every truncation of a valid frame is a clean EOF (cut at a frame
+    /// boundary, i.e. offset 0) or a typed `Truncated` error — nothing else.
+    #[test]
+    fn every_truncation_is_typed(
+        kind_sel in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_frame(any_kind(kind_sel), &payload);
+        let cut = ((frame.len() as f64) * cut_frac) as usize;
+        prop_assert!(cut < frame.len());
+        match decode(&frame[..cut]) {
+            Ok(ReadOutcome::Eof) => prop_assert_eq!(cut, 0, "EOF only at a frame boundary"),
+            Err(ProtoError::Truncated { .. }) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "truncation at {} gave {:?}", cut, other),
+        }
+    }
+
+    /// Flipping any single byte of a valid frame can never yield the
+    /// original frame back; it is either caught as a typed error or — only
+    /// when the flip stays inside the payload AND defeats the checksum
+    /// (impossible for FNV-1a over a single byte flip) — a different frame.
+    #[test]
+    fn single_byte_corruption_is_caught(
+        kind_sel in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..64),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let kind = any_kind(kind_sel);
+        let clean = encode_frame(kind, &payload);
+        let pos = ((clean.len() as f64) * pos_frac) as usize % clean.len();
+        let mut dirty = clean.clone();
+        dirty[pos] ^= flip;
+        match decode(&dirty) {
+            Err(_) => {} // typed rejection
+            Ok(ReadOutcome::Frame(f)) => {
+                prop_assert!(
+                    false,
+                    "corrupt byte {} accepted as kind {:?} with {}-byte payload",
+                    pos, f.kind, f.payload.len()
+                );
+            }
+            Ok(other) => prop_assert!(false, "corrupt frame gave {:?}", other),
+        }
+    }
+
+    /// A declared payload length over the cap is rejected as `Oversized`
+    /// *before* any payload allocation, whatever follows the header and
+    /// however large the lie.
+    #[test]
+    fn oversized_declarations_never_allocate(
+        kind_sel in 0u8..=255,
+        declared in (MAX_PAYLOAD as u32 + 1)..=u32::MAX,
+        tail in proptest::collection::vec(0u8..=255, 0..32),
+    ) {
+        // Hand-build a header with a huge declared length.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&mdes_serve::MAGIC);
+        bytes.extend_from_slice(&mdes_serve::VERSION.to_le_bytes());
+        bytes.push(any_kind(kind_sel) as u8);
+        bytes.extend_from_slice(&declared.to_le_bytes());
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&tail);
+        match decode(&bytes) {
+            Err(ProtoError::Oversized { declared: d, max }) => {
+                prop_assert_eq!(d, u64::from(declared));
+                prop_assert_eq!(max, MAX_PAYLOAD);
+            }
+            other => prop_assert!(false, "oversized declaration gave {:?}", other),
+        }
+    }
+
+    /// Sanity for the adversarial harness itself: a clean frame always
+    /// round-trips, and a trailing frame after garbage is still lost (the
+    /// decoder does not resynchronize mid-stream — the server closes the
+    /// connection on the first protocol error).
+    #[test]
+    fn clean_frames_always_roundtrip(
+        kind_sel in 0u8..=255,
+        payload in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let kind = any_kind(kind_sel);
+        let bytes = encode_frame(kind, &payload);
+        match decode(&bytes) {
+            Ok(ReadOutcome::Frame(Frame { kind: k, payload: p })) => {
+                prop_assert_eq!(k, kind);
+                prop_assert_eq!(p, payload);
+            }
+            other => prop_assert!(false, "clean frame gave {:?}", other),
+        }
+    }
+}
+
+/// A wrong protocol version in an otherwise valid frame is refused with the
+/// version echoed back (plain test: exact value, no randomness needed).
+#[test]
+fn wrong_version_is_refused_with_the_version_echoed() {
+    let mut bytes = encode_msg(FrameKind::Ping, &mdes_serve::OpenSessionReq { width: 1 });
+    bytes[4] = 0x99;
+    bytes[5] = 0x02;
+    match decode(&bytes) {
+        Err(ProtoError::UnsupportedVersion(v)) => assert_eq!(v, 0x0299),
+        other => panic!("got {other:?}"),
+    }
+}

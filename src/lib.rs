@@ -27,6 +27,7 @@
 //! | [`ml`] | `mdes-ml` | random forest, one-class SVM, k-means, metrics |
 //! | [`synth`] | `mdes-synth` | plant and HDD workload generators |
 //! | [`obs`] | `mdes-obs` | tracing spans, counters, latency histograms, JSONL sink |
+//! | [`net`] | `mdes-serve` | network serving daemon: framed ingest + text admin planes |
 //!
 //! # Quickstart
 //!
@@ -69,4 +70,5 @@ pub use mdes_lang as lang;
 pub use mdes_ml as ml;
 pub use mdes_nn as nn;
 pub use mdes_obs as obs;
+pub use mdes_serve as net;
 pub use mdes_synth as synth;

@@ -291,3 +291,318 @@ fn degrade_policy_fit_tolerates_a_poisoned_pair_end_to_end() {
     assert!(batch.valid_models > 0);
     stream(&m, &plant.traces, test);
 }
+
+// ---------------------------------------------------------------------------
+// Network chaos: the `mdes-serve` daemon under connection-level faults.
+//
+// The daemon must degrade per-connection, never per-process: a client that
+// disconnects mid-batch, feeds bytes too slowly, or stops reading replies
+// may lose *its own* work, while every other session keeps producing
+// bit-identical scores and the `serve.net.*` counters keep reconciling
+// (every queued sample is eventually scored or explicitly counted as
+// dropped — none vanish).
+// ---------------------------------------------------------------------------
+
+mod serve_net_chaos {
+    use mdes::core::serve::{GraphSnapshot, ServingEngine};
+    use mdes::core::{Mdes, MdesConfig, OnlineDetection};
+    use mdes::graph::ScoreRange;
+    use mdes::lang::{RawTrace, WindowConfig};
+    use mdes::net::{
+        encode_frame, start, FrameKind, IngestClient, PushEntry, PushOutcome, ServeConfig,
+        ServerHandle,
+    };
+    use mdes::obs::Recorder;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+    use std::time::{Duration, Instant};
+
+    /// Counter reconciliation needs exclusive use of the process-global
+    /// recorder, so the network chaos tests run one at a time.
+    fn net_lock() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn recorder() -> Arc<Recorder> {
+        static RECORDER: OnceLock<Arc<Recorder>> = OnceLock::new();
+        let r = RECORDER.get_or_init(|| Arc::new(Recorder::new()));
+        mdes::obs::install(Arc::clone(r));
+        Arc::clone(r)
+    }
+
+    fn square(name: &str, n: usize, phase: usize) -> RawTrace {
+        RawTrace::new(
+            name,
+            (0..n)
+                .map(|t| {
+                    if ((t + phase) / 5).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
+                .collect(),
+        )
+    }
+
+    fn fitted() -> (Mdes, Vec<RawTrace>) {
+        let traces = vec![
+            square("a", 710, 0),
+            square("b", 710, 2),
+            square("c", 710, 4),
+        ];
+        let mut cfg = MdesConfig {
+            window: WindowConfig {
+                word_len: 4,
+                word_stride: 1,
+                sent_len: 5,
+                sent_stride: 5,
+            },
+            ..MdesConfig::default()
+        };
+        cfg.detection.valid_range = ScoreRange::closed(60.0, 100.0);
+        let m = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit");
+        (m, traces)
+    }
+
+    fn sample(traces: &[RawTrace], t: usize) -> Vec<Option<String>> {
+        traces.iter().map(|tr| Some(tr.events[t].clone())).collect()
+    }
+
+    fn serve(cfg: ServeConfig) -> (ServerHandle, Vec<RawTrace>, Vec<OnlineDetection>) {
+        let (m, traces) = fitted();
+        let snapshot = GraphSnapshot::freeze(&m);
+        // In-process reference over the healthy stream 450..700.
+        let reference_engine = ServingEngine::new(snapshot.clone());
+        let mut session = reference_engine.open_session(3).expect("session");
+        let mut reference = Vec::new();
+        for t in 450..700 {
+            if let Some(d) = reference_engine
+                .push_opt(&mut session, &sample(&traces, t))
+                .expect("push")
+            {
+                reference.push(d);
+            }
+        }
+        assert!(!reference.is_empty(), "fixture must emit detections");
+        let server = start(ServingEngine::new(snapshot), cfg).expect("start");
+        (server, traces, reference)
+    }
+
+    /// Streams the healthy 450..700 range through one network session and
+    /// asserts the detections are bit-identical to the in-process run.
+    /// `chunk` bounds the outstanding pushes; it must stay within BOTH the
+    /// server's per-session queue capacity (or entries bounce `Busy`) and
+    /// its per-connection outbound capacity (or replies are dropped).
+    fn stream_and_verify_chunked(
+        client: &mut IngestClient,
+        session: u64,
+        traces: &[RawTrace],
+        reference: &[OnlineDetection],
+        chunk: usize,
+    ) {
+        let mut served = Vec::new();
+        for chunk in (450..700).collect::<Vec<_>>().chunks(chunk) {
+            let entries: Vec<PushEntry> = chunk
+                .iter()
+                .map(|&t| PushEntry {
+                    session,
+                    seq: t as u64,
+                    records: sample(traces, t),
+                })
+                .collect();
+            let n = entries.len();
+            client.send_push_batch(entries).expect("send");
+            for reply in client.recv_push_replies(n).expect("recv") {
+                match reply.outcome {
+                    PushOutcome::Ack => {}
+                    PushOutcome::Score(w) => served.push(OnlineDetection::from(w)),
+                    other => panic!("healthy session got {other:?}"),
+                }
+            }
+        }
+        assert_eq!(served.len(), reference.len());
+        for (s, r) in served.iter().zip(reference) {
+            assert_eq!(s.score.to_bits(), r.score.to_bits());
+            assert_eq!(s.alerts, r.alerts);
+        }
+    }
+
+    /// Sample-conservation invariant: once quiesced, every sample the
+    /// server ever queued was scored or explicitly counted as dropped.
+    fn assert_counters_reconcile(recorder: &Recorder) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let pushes = recorder.counter_value("serve.net.pushes");
+            let settled = recorder.counter_value("serve.net.acks")
+                + recorder.counter_value("serve.net.scores")
+                + recorder.counter_value("serve.net.push_errors")
+                + recorder.counter_value("serve.net.dropped_samples");
+            if pushes == settled {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "counters never reconciled: pushes={pushes} settled={settled}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn mid_batch_disconnect_leaves_other_sessions_scoring() {
+        let _guard = net_lock();
+        let recorder = recorder();
+        let (server, traces, reference) = serve(ServeConfig::default());
+
+        // The victim: queue a burst of work, then vanish without reading a
+        // single reply — half-way through, its last frame is cut mid-bytes.
+        let mut victim = IngestClient::connect(server.addr()).expect("connect");
+        let (victim_session, _) = victim.open_session(3).expect("open");
+        let entries: Vec<PushEntry> = (450..490)
+            .map(|t| PushEntry {
+                session: victim_session,
+                seq: t as u64,
+                records: sample(&traces, t),
+            })
+            .collect();
+        victim.send_push_batch(entries).expect("send");
+        // A torn frame: header + half the payload, then a hard disconnect.
+        let torn = encode_frame(FrameKind::PushBatch, b"{\"entries\": [");
+        victim.send_raw(&torn[..torn.len() / 2]).expect("raw");
+        drop(victim);
+
+        // The survivor scores the whole healthy stream bit-exactly while
+        // the server digests the victim's mess.
+        let mut survivor = IngestClient::connect(server.addr()).expect("connect");
+        let (survivor_session, _) = survivor.open_session(3).expect("open");
+        stream_and_verify_chunked(&mut survivor, survivor_session, &traces, &reference, 32);
+
+        // Quiesce: evict the victim's session (its queued samples become
+        // counted drops), then the books must balance.
+        server.engine(); // server alive until here
+        let mut admin =
+            mdes::net::AdminClient::connect(server.admin_addr().expect("admin")).expect("admin");
+        let (_, status) = admin
+            .cmd(&format!("evict {victim_session}"))
+            .expect("evict");
+        assert!(
+            status.starts_with("ok evicted") || status.starts_with("err unknown"),
+            "got {status:?}"
+        );
+        assert_counters_reconcile(&recorder);
+        server.stop();
+    }
+
+    #[test]
+    fn slow_loris_writer_is_cut_by_the_frame_timeout() {
+        let _guard = net_lock();
+        let recorder = recorder();
+        let cfg = ServeConfig {
+            read_timeout: Duration::from_millis(300),
+            ..ServeConfig::default()
+        };
+        let (server, traces, reference) = serve(cfg);
+        let timeouts_before = recorder.counter_value("serve.net.timeouts");
+
+        // The loris: drip half a valid frame, then go quiet forever.
+        let frame = encode_frame(FrameKind::Ping, &[]);
+        let mut loris = std::net::TcpStream::connect(server.addr()).expect("connect");
+        loris.write_all(&frame[..7]).expect("drip");
+
+        // While the loris dangles, a healthy connection keeps scoring.
+        let mut healthy = IngestClient::connect(server.addr()).expect("connect");
+        let (session, _) = healthy.open_session(3).expect("open");
+        stream_and_verify_chunked(&mut healthy, session, &traces, &reference, 32);
+
+        // The server must answer the loris with a typed timed_out error
+        // frame and close; the drained bytes end with EOF.
+        let bytes = mdes::net::drain_to_eof(&mut loris, Duration::from_secs(10)).expect("drain");
+        let text = String::from_utf8_lossy(&bytes);
+        assert!(
+            text.contains("timed_out"),
+            "loris must get a typed timeout error, got {text:?}"
+        );
+        assert!(
+            recorder.counter_value("serve.net.timeouts") > timeouts_before,
+            "timeout counter must advance"
+        );
+        assert_counters_reconcile(&recorder);
+        server.stop();
+    }
+
+    #[test]
+    fn stalled_consumer_backpressures_only_its_own_sessions() {
+        let _guard = net_lock();
+        let recorder = recorder();
+        let cfg = ServeConfig {
+            queue_capacity: 8,
+            outbound_capacity: 4,
+            ..ServeConfig::default()
+        };
+        let (server, traces, reference) = serve(cfg);
+
+        // The staller opens a session and floods pushes without ever
+        // reading a reply. Every entry produces a reply frame (an Ack, a
+        // Score, or a Busy bounce off the 8-deep ingest queue), so the
+        // flood eventually overflows the kernel's loopback socket
+        // buffering (a few MiB), wedges the writer thread, fills the
+        // 4-frame outbound queue, and forces the pump to skip the session.
+        let mut staller = IngestClient::connect(server.addr()).expect("connect");
+        let (stall_session, _) = staller.open_session(3).expect("open");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let mut seq = 0u64;
+        while recorder.counter_value("serve.net.stalled_skips") == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "pump never skipped the stalled consumer"
+            );
+            let entries: Vec<PushEntry> = (0..1000)
+                .map(|i| PushEntry {
+                    session: stall_session,
+                    seq: seq + i,
+                    records: sample(&traces, 450 + ((seq + i) as usize % 250)),
+                })
+                .collect();
+            seq += 1000;
+            staller.send_push_batch(entries).expect("send");
+        }
+
+        // The stalled consumer wedged; a parallel session must still score
+        // the full stream bit-exactly.
+        let mut healthy = IngestClient::connect(server.addr()).expect("connect");
+        let (session, _) = healthy.open_session(3).expect("open");
+        stream_and_verify_chunked(&mut healthy, session, &traces, &reference, 2);
+
+        // Backpressure was explicit, not silent: at least one Busy bounce
+        // or dropped reply is on the books.
+        let busy = recorder.counter_value("serve.net.busy");
+        let dropped_replies = recorder.counter_value("serve.net.replies_dropped");
+        assert!(
+            busy > 0 || dropped_replies > 0,
+            "a flooding producer must see explicit backpressure"
+        );
+
+        // When the staller finally reads, whatever replies fit the bounded
+        // queue are intact, in order, and parseable.
+        let drained = staller.recv_push_replies(1).expect("at least one reply");
+        assert_eq!(drained[0].session, stall_session);
+
+        drop(staller);
+        let mut admin =
+            mdes::net::AdminClient::connect(server.admin_addr().expect("admin")).expect("admin");
+        let (_, _status) = admin.cmd(&format!("evict {stall_session}")).expect("evict");
+        assert_counters_reconcile(&recorder);
+
+        // The obs admin endpoint serves the same recorder this test reads.
+        let (data, status) = admin.cmd("obs").expect("obs");
+        assert_eq!(status, "ok");
+        assert!(
+            data.iter().any(|l| l.contains("serve.net.pushes")),
+            "obs dump must include the serving counters"
+        );
+        server.stop();
+    }
+}

@@ -1,0 +1,487 @@
+//! Protocol conformance suite for the `mdes-serve` network daemon
+//! (DESIGN.md §12).
+//!
+//! Pins the acceptance criteria of the serving-daemon change:
+//!
+//! - every frame kind round-trips over loopback, including the refusal
+//!   paths (bad width, unknown session, garbage bytes → typed `ProtoErr`
+//!   + connection close);
+//! - scores served over the network are **bit-identical** to in-process
+//!   `ServingEngine` scores (`f64::to_bits`, not approximate equality);
+//! - a session idle past the TTL is evicted and later pushes answer
+//!   `Gone`;
+//! - a snapshot uploaded through the admin plane hot-swaps mid-stream
+//!   with the same windows-before/windows-after split as an in-process
+//!   `publish`, bit-exactly;
+//! - a snapshot that fails validation is rejected and the live model
+//!   keeps serving the original scores;
+//! - the admin plane answers `ping`/`stats`/`sessions`/`evict` in the
+//!   documented `"| "`-data + status-line shape.
+
+use mdes::core::serve::{GraphSnapshot, ServingEngine, StreamSession};
+use mdes::core::{snapshot_to_bytes, Mdes, MdesConfig, OnlineDetection};
+use mdes::graph::ScoreRange;
+use mdes::lang::{RawTrace, WindowConfig};
+use mdes::net::{
+    start, IngestClient, PushEntry, PushOutcome, ServeConfig, ServerHandle, WireDetection,
+};
+use std::time::Duration;
+
+fn square(name: &str, n: usize, phase: usize) -> RawTrace {
+    RawTrace::new(
+        name,
+        (0..n)
+            .map(|t| {
+                if ((t + phase) / 5).is_multiple_of(2) {
+                    "on"
+                } else {
+                    "off"
+                }
+                .to_owned()
+            })
+            .collect(),
+    )
+}
+
+fn traces() -> Vec<RawTrace> {
+    vec![
+        square("a", 710, 0),
+        square("b", 710, 2),
+        square("c", 710, 4),
+    ]
+}
+
+fn base_config() -> MdesConfig {
+    let mut cfg = MdesConfig {
+        window: WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        },
+        ..MdesConfig::default()
+    };
+    cfg.detection.valid_range = ScoreRange::closed(60.0, 100.0);
+    cfg
+}
+
+fn fitted() -> (Mdes, Vec<RawTrace>) {
+    let traces = traces();
+    let m = Mdes::fit(&traces, 0..300, 300..450, base_config()).expect("fit");
+    (m, traces)
+}
+
+/// The same phase-slip stream `tests/serving.rs` uses, so detections are
+/// non-trivial.
+fn slipped_sample(traces: &[RawTrace], t: usize) -> Vec<Option<String>> {
+    traces
+        .iter()
+        .enumerate()
+        .map(|(k, tr)| {
+            Some(if k == 1 && t >= 520 {
+                tr.events[t + 3].clone()
+            } else {
+                tr.events[t].clone()
+            })
+        })
+        .collect()
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        admin_addr: Some("127.0.0.1:0".to_owned()),
+        ..ServeConfig::default()
+    }
+}
+
+fn serve_fitted(cfg: ServeConfig) -> (ServerHandle, Vec<RawTrace>) {
+    let (m, traces) = fitted();
+    let engine = ServingEngine::new(GraphSnapshot::freeze(&m));
+    (start(engine, cfg).expect("start server"), traces)
+}
+
+/// Streams `range` through one network session, collecting detections.
+/// Keeps at most `window` pushes outstanding (below the server's queue
+/// capacity, so no `Busy` can occur and replies stay in push order).
+fn stream_network(
+    client: &mut IngestClient,
+    session: u64,
+    traces: &[RawTrace],
+    range: std::ops::Range<usize>,
+) -> Vec<OnlineDetection> {
+    let window = 32usize;
+    let ticks: Vec<usize> = range.collect();
+    let mut out = Vec::new();
+    for chunk in ticks.chunks(window) {
+        let entries: Vec<PushEntry> = chunk
+            .iter()
+            .map(|&t| PushEntry {
+                session,
+                seq: t as u64,
+                records: slipped_sample(traces, t),
+            })
+            .collect();
+        let n = entries.len();
+        client.send_push_batch(entries).expect("send batch");
+        for reply in client.recv_push_replies(n).expect("recv replies") {
+            assert_eq!(reply.session, session);
+            match reply.outcome {
+                PushOutcome::Ack => {}
+                PushOutcome::Score(w) => out.push(OnlineDetection::from(w)),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+    out
+}
+
+/// The in-process reference for the same stream.
+fn stream_in_process(
+    engine: &ServingEngine,
+    session: &mut StreamSession,
+    traces: &[RawTrace],
+    range: std::ops::Range<usize>,
+) -> Vec<OnlineDetection> {
+    let mut out = Vec::new();
+    for t in range {
+        if let Some(d) = engine
+            .push_opt(session, &slipped_sample(traces, t))
+            .expect("push")
+        {
+            out.push(d);
+        }
+    }
+    out
+}
+
+fn assert_bit_identical(net: &[OnlineDetection], local: &[OnlineDetection]) {
+    assert_eq!(net.len(), local.len(), "emission grids must match");
+    for (i, (n, l)) in net.iter().zip(local).enumerate() {
+        assert_eq!(
+            n.score.to_bits(),
+            l.score.to_bits(),
+            "window {i}: score must be bit-identical"
+        );
+        assert_eq!(
+            n.coverage.to_bits(),
+            l.coverage.to_bits(),
+            "window {i}: coverage must be bit-identical"
+        );
+        assert_eq!(n.sample_index, l.sample_index, "window {i}");
+        assert_eq!(n.alerts, l.alerts, "window {i}");
+        assert_eq!(n.dropped_sensors, l.dropped_sensors, "window {i}");
+    }
+}
+
+#[test]
+fn every_frame_kind_round_trips_over_loopback() {
+    let (server, _traces) = serve_fitted(test_config());
+    let mut client = IngestClient::connect(server.addr()).expect("connect");
+
+    // Ping / Pong.
+    client.ping().expect("ping");
+
+    // OpenSession / SessionOpened — accepted...
+    let (session, warmup) = client.open_session(3).expect("open");
+    assert!(session > 0);
+    assert!(warmup > 0, "fresh session needs warmup samples");
+
+    // ...and refused (width below the snapshot's minimum) without closing
+    // the connection.
+    let err = client.open_session(1).expect_err("bad width must refuse");
+    assert!(
+        matches!(err, mdes::net::ClientError::Refused(_)),
+        "got {err:?}"
+    );
+    client.ping().expect("connection survives a refused open");
+
+    // PushBatch / PushReply: Ack (warmup), then Gone for a bogus session.
+    client
+        .send_push_batch(vec![
+            PushEntry {
+                session,
+                seq: 1,
+                records: vec![Some("on".into()), Some("on".into()), Some("on".into())],
+            },
+            PushEntry {
+                session: 0xdead,
+                seq: 2,
+                records: vec![Some("on".into()), Some("on".into()), Some("on".into())],
+            },
+        ])
+        .expect("send");
+    let mut replies = client.recv_push_replies(2).expect("replies");
+    replies.sort_by_key(|r| r.seq);
+    assert_eq!(replies[0].outcome, PushOutcome::Ack);
+    assert_eq!(replies[1].outcome, PushOutcome::Gone);
+
+    // Engine-level refusal: wrong sample width is an Error outcome, not a
+    // dead connection.
+    client
+        .send_push_batch(vec![PushEntry {
+            session,
+            seq: 3,
+            records: vec![Some("on".into())],
+        }])
+        .expect("send");
+    let replies = client.recv_push_replies(1).expect("replies");
+    assert!(
+        matches!(replies[0].outcome, PushOutcome::Error { .. }),
+        "got {:?}",
+        replies[0].outcome
+    );
+
+    // CloseSession / SessionClosed, idempotent second close.
+    assert!(client.close_session(session).expect("close"));
+    assert!(!client.close_session(session).expect("close again"));
+
+    // A push to the closed session answers Gone.
+    client
+        .send_push_batch(vec![PushEntry {
+            session,
+            seq: 4,
+            records: vec![Some("on".into()), Some("on".into()), Some("on".into())],
+        }])
+        .expect("send");
+    assert_eq!(
+        client.recv_push_replies(1).expect("replies")[0].outcome,
+        PushOutcome::Gone
+    );
+
+    // Garbage bytes → typed ProtoErr frame, then the server closes.
+    let mut garbage = IngestClient::connect(server.addr()).expect("connect");
+    garbage.send_raw(b"XXXXXXXXXXXXXXXXXXXXXXXX").expect("raw");
+    let err = garbage
+        .ping()
+        .expect_err("garbage must kill the connection");
+    match err {
+        mdes::net::ClientError::Refused(detail) => {
+            assert!(detail.starts_with("bad_magic"), "got {detail}");
+        }
+        other => panic!("expected typed refusal, got {other:?}"),
+    }
+
+    server.stop();
+}
+
+#[test]
+fn network_scores_are_bit_identical_to_in_process() {
+    let (m, traces) = fitted();
+    let snapshot = GraphSnapshot::freeze(&m);
+
+    // In-process reference.
+    let reference_engine = ServingEngine::new(snapshot.clone());
+    let mut reference_session = reference_engine.open_session(3).expect("session");
+    let reference = stream_in_process(&reference_engine, &mut reference_session, &traces, 450..700);
+    assert!(
+        !reference.is_empty(),
+        "fixture must emit detections for the comparison to mean anything"
+    );
+
+    // Network run over the same snapshot.
+    let server = start(ServingEngine::new(snapshot), test_config()).expect("start");
+    let mut client = IngestClient::connect(server.addr()).expect("connect");
+    let (session, _) = client.open_session(3).expect("open");
+    let served = stream_network(&mut client, session, &traces, 450..700);
+
+    assert_bit_identical(&served, &reference);
+    server.stop();
+}
+
+#[test]
+fn idle_sessions_are_evicted_after_the_ttl() {
+    let cfg = ServeConfig {
+        idle_ttl: Duration::from_millis(400),
+        ..test_config()
+    };
+    let (server, _traces) = serve_fitted(cfg);
+    let mut client = IngestClient::connect(server.addr()).expect("connect");
+    let (session, _) = client.open_session(3).expect("open");
+    assert_eq!(server.session_count(), 1);
+
+    // Survives while active: keep touching it for a while.
+    for i in 0..4 {
+        client
+            .send_push_batch(vec![PushEntry {
+                session,
+                seq: i,
+                records: vec![Some("on".into()), Some("on".into()), Some("on".into())],
+            }])
+            .expect("send");
+        assert_eq!(
+            client.recv_push_replies(1).expect("reply")[0].outcome,
+            PushOutcome::Ack
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    assert_eq!(server.session_count(), 1, "active session must survive");
+
+    // Goes idle → reaped.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.session_count() != 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle session was never evicted"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // A push to the evicted session answers Gone.
+    client
+        .send_push_batch(vec![PushEntry {
+            session,
+            seq: 99,
+            records: vec![Some("on".into()), Some("on".into()), Some("on".into())],
+        }])
+        .expect("send");
+    assert_eq!(
+        client.recv_push_replies(1).expect("reply")[0].outcome,
+        PushOutcome::Gone
+    );
+    server.stop();
+}
+
+/// Two compatible-but-different snapshots (same construction as
+/// `tests/serving.rs`): B is trained on the slipped phase relationship, so
+/// the two disagree on post-slip windows of the replayed stream.
+fn snapshot_pair() -> (GraphSnapshot, GraphSnapshot, Vec<RawTrace>) {
+    let (m_a, traces) = fitted();
+    let traces_b = vec![
+        square("a", 710, 0),
+        square("b", 710, 5),
+        square("c", 710, 4),
+    ];
+    let m_b = Mdes::fit(&traces_b, 0..300, 300..450, base_config()).expect("fit B");
+    (
+        GraphSnapshot::freeze(&m_a),
+        GraphSnapshot::freeze(&m_b),
+        traces,
+    )
+}
+
+#[test]
+fn admin_publish_hot_swaps_mid_stream_bit_exactly() {
+    let (snap_a, snap_b, traces) = snapshot_pair();
+    let swap_at = 553;
+
+    // In-process mirror: publish between the same two pushes.
+    let mirror = ServingEngine::new(snap_a.clone());
+    let mut mirror_session = mirror.open_session(3).expect("session");
+    let mut reference = stream_in_process(&mirror, &mut mirror_session, &traces, 450..swap_at);
+    mirror.publish(snap_b.clone()).expect("publish");
+    reference.extend(stream_in_process(
+        &mirror,
+        &mut mirror_session,
+        &traces,
+        swap_at..700,
+    ));
+
+    // Network run: quiesce (all replies drained), upload B, continue.
+    let server = start(ServingEngine::new(snap_a), test_config()).expect("start");
+    let mut client = IngestClient::connect(server.addr()).expect("connect");
+    let mut admin =
+        mdes::net::AdminClient::connect(server.admin_addr().expect("admin plane")).expect("admin");
+    let (session, _) = client.open_session(3).expect("open");
+    let mut served = stream_network(&mut client, session, &traces, 450..swap_at);
+
+    let bytes = snapshot_to_bytes(&snap_b).expect("serialize");
+    let (_, status) = admin.publish(&bytes).expect("publish cmd");
+    assert_eq!(status, "ok published version=2", "got {status:?}");
+
+    served.extend(stream_network(&mut client, session, &traces, swap_at..700));
+    assert_bit_identical(&served, &reference);
+    server.stop();
+}
+
+#[test]
+fn rejected_publish_never_goes_live() {
+    let (m, traces) = fitted();
+    let snap = GraphSnapshot::freeze(&m);
+
+    // Reference: the original snapshot all the way through.
+    let reference_engine = ServingEngine::new(snap.clone());
+    let mut reference_session = reference_engine.open_session(3).expect("session");
+    let reference = stream_in_process(&reference_engine, &mut reference_session, &traces, 450..700);
+
+    let server = start(ServingEngine::new(snap), test_config()).expect("start");
+    let mut client = IngestClient::connect(server.addr()).expect("connect");
+    let mut admin =
+        mdes::net::AdminClient::connect(server.admin_addr().expect("admin plane")).expect("admin");
+    let (session, _) = client.open_session(3).expect("open");
+    let mut served = stream_network(&mut client, session, &traces, 450..570);
+
+    // An artifact with different windowing must be refused...
+    let mut cfg = base_config();
+    cfg.window.sent_len = 6;
+    let other = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit other");
+    let bytes = snapshot_to_bytes(&GraphSnapshot::freeze(&other)).expect("serialize");
+    let (_, status) = admin.publish(&bytes).expect("publish cmd");
+    assert!(status.starts_with("err publish rejected"), "got {status:?}");
+
+    // ...as must outright garbage...
+    let (_, status) = admin.publish(b"not a snapshot").expect("publish cmd");
+    assert!(status.starts_with("err publish rejected"), "got {status:?}");
+
+    // ...and neither may disturb the live model or bump the version.
+    let (data, status) = admin.cmd("stats").expect("stats");
+    assert_eq!(status, "ok");
+    assert!(
+        data[0].contains("snapshot_version=1"),
+        "version must not advance: {data:?}"
+    );
+    served.extend(stream_network(&mut client, session, &traces, 570..700));
+    assert_bit_identical(&served, &reference);
+    server.stop();
+}
+
+#[test]
+fn admin_plane_speaks_the_documented_shape() {
+    let (server, _traces) = serve_fitted(test_config());
+    let mut admin =
+        mdes::net::AdminClient::connect(server.admin_addr().expect("admin plane")).expect("admin");
+
+    let (data, status) = admin.cmd("ping").expect("ping");
+    assert!(data.is_empty());
+    assert_eq!(status, "ok pong");
+
+    let (_, status) = admin.cmd("bogus-command").expect("bogus");
+    assert!(status.starts_with("err unknown command"));
+
+    let (data, status) = admin.cmd("sessions").expect("sessions");
+    assert!(data.is_empty());
+    assert_eq!(status, "ok 0 sessions");
+
+    let mut client = IngestClient::connect(server.addr()).expect("connect");
+    let (session, _) = client.open_session(3).expect("open");
+    let (data, status) = admin.cmd("sessions").expect("sessions");
+    assert_eq!(status, "ok 1 sessions");
+    assert!(
+        data[0].contains(&format!("id={session}")) && data[0].contains("width=3"),
+        "got {data:?}"
+    );
+
+    let (data, status) = admin.cmd("stats").expect("stats");
+    assert_eq!(status, "ok");
+    assert!(data[0].contains("sessions=1"), "got {data:?}");
+
+    // Forced eviction through the admin plane.
+    let (_, status) = admin.cmd(&format!("evict {session}")).expect("evict");
+    assert_eq!(status, format!("ok evicted {session}"));
+    let (_, status) = admin.cmd(&format!("evict {session}")).expect("re-evict");
+    assert!(status.starts_with("err unknown session"));
+    assert_eq!(server.session_count(), 0);
+
+    // The wire detection helper visible to clients is lossless both ways.
+    let d = OnlineDetection {
+        sample_index: 3,
+        score: 0.1 + 0.2,
+        coverage: 2.0 / 3.0,
+        alerts: vec![(0, 1)],
+        dropped_sensors: vec![],
+    };
+    let w = WireDetection::from(d.clone());
+    assert_eq!(OnlineDetection::from(w), d);
+
+    server.stop();
+}
