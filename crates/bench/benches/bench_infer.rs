@@ -88,5 +88,88 @@ fn bench_beam(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_greedy, bench_batched, bench_beam);
+/// Frozen-artifact decode across the three weight encodings, through the
+/// same shared arena a serving worker uses. The `bytes` field of each JSON
+/// record carries the resident weight footprint, so one `BENCH_infer.json`
+/// shows the size/speed trade of f16/int8 against the f32 baseline.
+fn bench_quantized(c: &mut Criterion) {
+    use mdes_nn::{InferArena, QuantMode};
+    let vocab = 24;
+    let model = paper_scale_model(vocab);
+    let spec = model.freeze();
+    let sentences = random_sentences(16, 10, vocab, 11);
+    let srcs: Vec<&[usize]> = sentences.iter().map(Vec::as_slice).collect();
+    let mut arena = InferArena::new();
+    black_box(arena.translate_batch(&spec, &srcs, 10));
+    c.bench_function("infer/batch16_len10_frozen_f32", |bench| {
+        bench.bytes(spec.approx_bytes() as u64);
+        bench.iter(|| black_box(arena.translate_batch(black_box(&spec), &srcs, 10)))
+    });
+    for mode in [QuantMode::F16, QuantMode::Int8] {
+        let (qspec, report) = spec.quantize(mode).expect("quantize");
+        assert!(report.matrices > 0);
+        black_box(arena.translate_batch(&qspec, &srcs, 10));
+        c.bench_function(&format!("infer/batch16_len10_frozen_{mode}"), |bench| {
+            bench.bytes(qspec.approx_bytes() as u64);
+            bench.iter(|| black_box(arena.translate_batch(black_box(&qspec), &srcs, 10)))
+        });
+    }
+}
+
+/// The serving regime the quantized encodings exist for: a worker sweeping
+/// many pair models per window, so every model's weights stream through the
+/// cache once per round instead of staying resident. Halving (f16) or
+/// quartering (int8) the weight bytes is a bandwidth win here, not just a
+/// disk-size win — this is where the measured decode speedup shows up.
+fn bench_quantized_sweep(c: &mut Criterion) {
+    use mdes_nn::{InferArena, QuantMode};
+    let vocab = 32;
+    let models = 24;
+    let cfg = Seq2SeqConfig {
+        embed_dim: 64,
+        hidden: 128,
+        ..Seq2SeqConfig::default()
+    };
+    let specs: Vec<_> = (0..models)
+        .map(|_| Seq2Seq::new(vocab, vocab, 0, cfg.clone()).freeze())
+        .collect();
+    let sentences = random_sentences(4, 6, vocab, 13);
+    let srcs: Vec<&[usize]> = sentences.iter().map(Vec::as_slice).collect();
+    let mut arena = InferArena::new();
+    let total_bytes = |bytes_each: usize| (bytes_each * models) as u64;
+
+    black_box(arena.translate_batch(&specs[0], &srcs, 6));
+    c.bench_function("infer/sweep24_models_f32", |bench| {
+        bench.bytes(total_bytes(specs[0].approx_bytes()));
+        bench.iter(|| {
+            for spec in &specs {
+                black_box(arena.translate_batch(spec, &srcs, 6));
+            }
+        })
+    });
+    for mode in [QuantMode::F16, QuantMode::Int8] {
+        let qspecs: Vec<_> = specs
+            .iter()
+            .map(|s| s.quantize(mode).expect("quantize").0)
+            .collect();
+        black_box(arena.translate_batch(&qspecs[0], &srcs, 6));
+        c.bench_function(&format!("infer/sweep24_models_{mode}"), |bench| {
+            bench.bytes(total_bytes(qspecs[0].approx_bytes()));
+            bench.iter(|| {
+                for qspec in &qspecs {
+                    black_box(arena.translate_batch(qspec, &srcs, 6));
+                }
+            })
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_greedy,
+    bench_batched,
+    bench_beam,
+    bench_quantized,
+    bench_quantized_sweep
+);
 criterion_main!(benches);

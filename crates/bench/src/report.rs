@@ -68,6 +68,46 @@ pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
     path
 }
 
+/// One benchmark measurement in the machine-readable `BENCH_*.json` schema
+/// the vendored criterion harness also emits (`MDES_BENCH_JSON`): name,
+/// mean/p50/p95 per-iteration latency in nanoseconds, and an optional
+/// payload size in bytes. Experiment binaries aggregate their own timing
+/// samples into these so CI reads one schema everywhere.
+#[derive(serde::Serialize)]
+pub struct BenchRecord {
+    /// Benchmark id, e.g. `serving/push_16streams`.
+    pub name: String,
+    /// Mean per-iteration latency (ns).
+    pub mean_ns: f64,
+    /// Median per-iteration latency (ns).
+    pub p50_ns: f64,
+    /// 95th-percentile per-iteration latency (ns).
+    pub p95_ns: f64,
+    /// Payload processed per iteration (bytes), when meaningful.
+    pub bytes: Option<u64>,
+}
+
+impl BenchRecord {
+    /// Aggregates raw per-iteration latencies (ns) into one record.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples` is empty.
+    pub fn from_samples(name: &str, samples: &[f64], bytes: Option<u64>) -> Self {
+        assert!(!samples.is_empty(), "no samples for {name}");
+        let mut s = samples.to_vec();
+        s.sort_by(f64::total_cmp);
+        let pct = |q: f64| s[((q * (s.len() - 1) as f64).round() as usize).min(s.len() - 1)];
+        BenchRecord {
+            name: name.to_owned(),
+            mean_ns: s.iter().sum::<f64>() / s.len() as f64,
+            p50_ns: pct(0.50),
+            p95_ns: pct(0.95),
+            bytes,
+        }
+    }
+}
+
 /// Empirical CDF of float observations as `(value, fraction)` pairs.
 pub fn ecdf_f64(values: &[f64]) -> Vec<(f64, f64)> {
     if values.is_empty() {

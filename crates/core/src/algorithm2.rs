@@ -452,6 +452,276 @@ pub(crate) fn detect_with_bank<B: ModelBank + ?Sized>(
     })
 }
 
+/// One detection request of a cross-session batch: aligned test sentence
+/// sets plus the graph node indices to exclude (dropped sensors).
+pub(crate) struct DetectJob<'a> {
+    /// Aligned test sentence sets, one per graph node.
+    pub test_sets: &'a [SentenceSet],
+    /// Graph node indices excluded from the participating set.
+    pub excluded_sensors: &'a [usize],
+}
+
+/// Runs Algorithm 2 over many jobs against one shared bank, batching decode
+/// work *across* jobs: every window that needs model `k` — no matter which
+/// job it came from — is gathered, grouped by `(source length, output
+/// length)` and decoded in one `decode_batch` call. For the NMT family that
+/// turns B same-shape decode steps from B stream sessions into one GEMM per
+/// step instead of B, which is where serving throughput goes at high stream
+/// counts.
+///
+/// Result `j` is exactly what
+/// [`detect_with_bank`]`(bank, jobs[j].test_sets, cfg, jobs[j].excluded_sensors, _)`
+/// would return — bit-identical, because every GEMM output element is an
+/// independent accumulation chain (batch invariance, pinned by
+/// `mdes-nn`'s `quantized_matmul_is_batch_invariant` and the serving
+/// parity tests), and the per-job merge below walks models in the same
+/// participating order. Per-job validation errors (misaligned corpora, no
+/// valid models) land in that job's slot without poisoning the others.
+/// Per-model output of the batched pool: one `(job index, broken flags)`
+/// entry for every session that pulled the model.
+type ModelFlags = Vec<(usize, Vec<bool>)>;
+
+pub(crate) fn detect_many_with_bank<B: ModelBank + ?Sized>(
+    bank: &B,
+    jobs: &[DetectJob<'_>],
+    cfg: &DetectionConfig,
+    threads: usize,
+) -> Vec<Result<DetectionResult, CoreError>> {
+    let n = bank.node_count();
+    let valid: Vec<usize> = match bank.frozen_valid() {
+        Some(v) => v.to_vec(),
+        None => (0..bank.model_count())
+            .filter(|&k| cfg.valid_range.contains(bank.meta(k).train_score))
+            .collect(),
+    };
+
+    /// Per-job state that survives into the batched decode phase.
+    struct Prep {
+        count: usize,
+        participating: Vec<usize>,
+        coverage: f64,
+        ref_grams: Vec<Option<Vec<RefNgrams<u32>>>>,
+    }
+
+    let mut results: Vec<Option<Result<DetectionResult, CoreError>>> =
+        jobs.iter().map(|_| None).collect();
+    let mut spans: Vec<Option<mdes_obs::Span>> = jobs.iter().map(|_| None).collect();
+    let mut preps: Vec<Option<Prep>> = jobs.iter().map(|_| None).collect();
+
+    for (j, job) in jobs.iter().enumerate() {
+        // Same validation, in the same order, as `detect_with_bank`.
+        if job.test_sets.len() != n {
+            results[j] = Some(Err(CoreError::MisalignedCorpora {
+                expected: n,
+                found: job.test_sets.len(),
+            }));
+            continue;
+        }
+        let count = job.test_sets.first().map_or(0, SentenceSet::len);
+        if count == 0 {
+            results[j] = Some(Err(CoreError::EmptyCorpus));
+            continue;
+        }
+        if let Some(s) = job.test_sets.iter().find(|s| s.len() != count) {
+            results[j] = Some(Err(CoreError::MisalignedCorpora {
+                expected: count,
+                found: s.len(),
+            }));
+            continue;
+        }
+        if valid.is_empty() {
+            results[j] = Some(Err(CoreError::NoValidModels));
+            continue;
+        }
+        let participating: Vec<usize> = valid
+            .iter()
+            .copied()
+            .filter(|&k| {
+                let m = bank.meta(k);
+                !job.excluded_sensors.contains(&m.src) && !job.excluded_sensors.contains(&m.dst)
+            })
+            .collect();
+        let coverage = participating.len() as f64 / valid.len() as f64;
+        let mut span = mdes_obs::span("algo2.detect");
+        span.field("windows", count);
+        span.field("valid", valid.len());
+        span.field("participating", participating.len());
+        span.field("excluded", job.excluded_sensors.len());
+        mdes_obs::counter("algo2.windows", count as u64);
+        mdes_obs::counter("algo2.evaluations", (participating.len() * count) as u64);
+        if participating.is_empty() {
+            results[j] = Some(Ok(DetectionResult {
+                scores: vec![0.0; count],
+                alerts: vec![Vec::new(); count],
+                starts: job.test_sets[0].starts.clone(),
+                valid_models: 0,
+                coverage,
+            }));
+            continue;
+        }
+        let mut ref_grams: Vec<Option<Vec<RefNgrams<u32>>>> = vec![None; n];
+        for &k in &participating {
+            let dst = bank.meta(k).dst;
+            if ref_grams[dst].is_none() {
+                ref_grams[dst] = Some(
+                    job.test_sets[dst]
+                        .sentences
+                        .iter()
+                        .map(|r| RefNgrams::new(r, cfg.bleu.max_n))
+                        .collect(),
+                );
+            }
+        }
+        spans[j] = Some(span);
+        preps[j] = Some(Prep {
+            count,
+            participating,
+            coverage,
+            ref_grams,
+        });
+    }
+
+    // One work item per *distinct* model across all live jobs: this is the
+    // cross-session fan-in. The map is ordered so work assignment (and the
+    // batch-size observations) are deterministic.
+    let mut model_jobs: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (j, prep) in preps.iter().enumerate() {
+        if let Some(p) = prep {
+            for &k in &p.participating {
+                model_jobs.entry(k).or_default().push(j);
+            }
+        }
+    }
+    let work: Vec<(usize, Vec<usize>)> = model_jobs.into_iter().collect();
+
+    // Evaluates one model against every job that needs it: per-job broken
+    // flags, decoded through shared `(src_len, out_len)` batches. Pure
+    // given the bank, so scheduling cannot change results.
+    let eval = |k: usize, js: &[usize], arena: &mut InferArena| -> Vec<(usize, Vec<bool>)> {
+        let m = bank.meta(k);
+        // Group windows of every job by decode shape. Fixed window configs
+        // (the online case) put all B jobs' windows in the same group.
+        let mut groups: BTreeMap<(usize, usize), Vec<(usize, usize)>> = BTreeMap::new();
+        let mut hyps: BTreeMap<usize, Vec<Vec<u32>>> = BTreeMap::new();
+        for &j in js {
+            let sets = jobs[j].test_sets;
+            for (t, r) in sets[m.dst].sentences.iter().enumerate() {
+                let src_len = sets[m.src].sentences[t].len();
+                groups.entry((src_len, r.len())).or_default().push((j, t));
+            }
+            hyps.insert(
+                j,
+                vec![Vec::new(); preps[j].as_ref().expect("live job").count],
+            );
+        }
+        let decode_timer = mdes_obs::timer("algo2.model_decode_us");
+        for ((_, out_len), entries) in &groups {
+            let batch: Vec<&[u32]> = entries
+                .iter()
+                .map(|&(j, t)| jobs[j].test_sets[m.src].sentences[t].as_slice())
+                .collect();
+            mdes_obs::observe("algo2.batch_size", batch.len() as f64);
+            for (&(j, t), h) in entries
+                .iter()
+                .zip(bank.decode_batch(k, &batch, *out_len, arena))
+            {
+                hyps.get_mut(&j).expect("inserted above")[t] = h;
+            }
+        }
+        drop(decode_timer);
+        let threshold = match cfg.rule {
+            BrokenRule::CorpusScore => m.train_score,
+            BrokenRule::DevQuantileFloor => m.dev_floor,
+        };
+        js.iter()
+            .map(|&j| {
+                let grams = preps[j].as_ref().expect("live job").ref_grams[m.dst]
+                    .as_deref()
+                    .expect("precomputed above");
+                let flags = hyps[&j]
+                    .iter()
+                    .zip(grams)
+                    .map(|(hyp, g)| sentence_bleu_pre(hyp, g, &cfg.bleu) < threshold - cfg.margin)
+                    .collect();
+                (j, flags)
+            })
+            .collect()
+    };
+
+    // Model-parallel over distinct models, exactly like `detect_with_bank`'s
+    // pool — but each pull now serves every session wanting that model.
+    let slots: Mutex<Vec<Option<ModelFlags>>> = Mutex::new(vec![None; work.len()]);
+    let next = AtomicUsize::new(0);
+    let threads = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    };
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.clamp(1, work.len().max(1)) {
+            scope.spawn(|_| {
+                let mut arena = InferArena::new();
+                loop {
+                    let w = next.fetch_add(1, Ordering::Relaxed);
+                    if w >= work.len() {
+                        break;
+                    }
+                    let (k, js) = &work[w];
+                    let flags = eval(*k, js, &mut arena);
+                    slots.lock()[w] = Some(flags);
+                }
+            });
+        }
+    })
+    .expect("detection worker panicked");
+
+    // Scatter the per-(model, job) flags, then merge each job in its own
+    // participating order — the same walk `detect_with_bank` does.
+    let mut flags_by_job: Vec<BTreeMap<usize, Vec<bool>>> =
+        jobs.iter().map(|_| BTreeMap::new()).collect();
+    for (w, slot) in slots.into_inner().into_iter().enumerate() {
+        let k = work[w].0;
+        for (j, flags) in slot.expect("worker filled every slot") {
+            flags_by_job[j].insert(k, flags);
+        }
+    }
+    for (j, prep) in preps.into_iter().enumerate() {
+        let Some(p) = prep else { continue };
+        let mut alerts: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p.count];
+        for &k in &p.participating {
+            let m = bank.meta(k);
+            let broken = &flags_by_job[j][&k];
+            for (t, &b) in broken.iter().enumerate() {
+                if b {
+                    alerts[t].push((m.src, m.dst));
+                }
+            }
+        }
+        let scores: Vec<f64> = alerts
+            .iter()
+            .map(|b| b.len() as f64 / p.participating.len() as f64)
+            .collect();
+        let broken: usize = alerts.iter().map(Vec::len).sum();
+        if let Some(span) = spans[j].as_mut() {
+            span.field("broken", broken);
+        }
+        mdes_obs::counter("algo2.broken", broken as u64);
+        results[j] = Some(Ok(DetectionResult {
+            scores,
+            alerts,
+            starts: jobs[j].test_sets[0].starts.clone(),
+            valid_models: p.participating.len(),
+            coverage: p.coverage,
+        }));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every job resolved"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -626,6 +896,78 @@ mod tests {
             detect(&trained, &test, &cfg),
             Err(CoreError::NoValidModels)
         ));
+    }
+
+    #[test]
+    fn detect_many_matches_individual_detects_bitwise() {
+        let n = 600;
+        let mk = |phase: usize| -> RawTrace {
+            let events = (0..n)
+                .map(|t| {
+                    if ((t + phase) / 5).is_multiple_of(2) {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                    .to_owned()
+                })
+                .collect();
+            RawTrace::new(format!("p{phase}"), events)
+        };
+        let traces = vec![mk(0), mk(2), mk(4)];
+        let wcfg = WindowConfig {
+            word_len: 4,
+            word_stride: 1,
+            sent_len: 5,
+            sent_stride: 5,
+        };
+        let p = LanguagePipeline::fit(&traces, 0..300, wcfg).expect("fit");
+        let train = p.encode_segment(&traces, 0..300).expect("train");
+        let dev = p.encode_segment(&traces, 300..450).expect("dev");
+        let a = p.encode_segment(&traces, 450..525).expect("test a");
+        let b = p.encode_segment(&traces, 500..575).expect("test b");
+        let c = p.encode_segment(&traces, 525..600).expect("test c");
+        let trained = build_graph(&p, &train, &dev, &GraphBuildConfig::default()).expect("build");
+        let cfg = DetectionConfig {
+            valid_range: ScoreRange::closed(60.0, 100.0),
+            ..DetectionConfig::default()
+        };
+        let excl = [1usize];
+        let jobs = [
+            DetectJob {
+                test_sets: &a,
+                excluded_sensors: &[],
+            },
+            DetectJob {
+                test_sets: &b,
+                excluded_sensors: &excl,
+            },
+            DetectJob {
+                test_sets: &c,
+                excluded_sensors: &[],
+            },
+            // A misaligned job must fail alone without poisoning the batch.
+            DetectJob {
+                test_sets: &a[..2],
+                excluded_sensors: &[],
+            },
+        ];
+        for threads in [1, 4] {
+            let many = detect_many_with_bank(&trained, &jobs, &cfg, threads);
+            assert_eq!(
+                many[0].as_ref().expect("job a"),
+                &detect(&trained, &a, &cfg).expect("lone a")
+            );
+            assert_eq!(
+                many[1].as_ref().expect("job b"),
+                &detect_excluding(&trained, &b, &cfg, &excl).expect("lone b")
+            );
+            assert_eq!(
+                many[2].as_ref().expect("job c"),
+                &detect(&trained, &c, &cfg).expect("lone c")
+            );
+            assert!(matches!(many[3], Err(CoreError::MisalignedCorpora { .. })));
+        }
     }
 
     #[test]

@@ -65,7 +65,11 @@ const KIND_MODEL: u8 = 0;
 const KIND_QUARANTINED: u8 = 1;
 
 const SNAP_MAGIC: &[u8; 4] = b"MDSN";
-const SNAP_VERSION: u32 = 1;
+/// Current snapshot layout. Version 2 payloads may carry a `quant`
+/// calibration record (f16/int8 weight encodings); version 1 payloads are
+/// identical minus that key, so the reader accepts both.
+const SNAP_VERSION: u32 = 2;
+const SNAP_MIN_VERSION: u32 = 1;
 /// Serving artifacts reuse the frame layout with their own kind tag.
 const KIND_SNAPSHOT: u8 = 2;
 
@@ -252,9 +256,10 @@ pub fn read_checkpoint(path: &Path) -> Result<CheckpointData, CoreError> {
 }
 
 /// Atomically writes a frozen serving artifact to `path` (tmp file +
-/// rename): a 16-byte header (`b"MDSN"`, version 1, 8 reserved bytes)
+/// rename): a 16-byte header (`b"MDSN"`, version 2, 8 reserved bytes)
 /// followed by one checksummed frame holding the JSON-serialized
-/// [`GraphSnapshot`].
+/// [`GraphSnapshot`]. Version 2 adds the optional quantization calibration
+/// record; version-1 artifacts (f32-only, no `quant` key) remain readable.
 ///
 /// Unlike sweep checkpoints, a serving artifact is all-or-nothing — there
 /// is no meaningful prefix to recover — so [`read_snapshot`] rejects any
@@ -333,7 +338,7 @@ pub fn snapshot_from_bytes(bytes: &[u8]) -> Result<GraphSnapshot, CoreError> {
         return Err(ckpt_err(path, "not a snapshot file (bad magic)"));
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != SNAP_VERSION {
+    if !(SNAP_MIN_VERSION..=SNAP_VERSION).contains(&version) {
         return Err(ckpt_err(
             path,
             format!("unsupported snapshot version {version}"),
@@ -549,5 +554,136 @@ mod tests {
             Err(CoreError::Checkpoint { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// The fitted plant with its pair models swapped for real-sized
+    /// (untrained) neural weights, then re-encoded to int8 — training an
+    /// actual NMT here would dominate the suite's runtime, and the reader
+    /// only cares about the bytes.
+    fn quantized_snapshot() -> GraphSnapshot {
+        use crate::serve::{FrozenNmt, FrozenPairModel, FrozenTranslator, QuantPolicy};
+        use mdes_lang::Vocab;
+        use mdes_nn::{QuantMode, Seq2Seq, Seq2SeqConfig};
+        let base = frozen_snapshot();
+        let lang = base.language().clone();
+        let models: Vec<FrozenPairModel> = base
+            .models()
+            .iter()
+            .map(|m| {
+                let sv = lang.languages()[m.src].vocab.size();
+                let tv = lang.languages()[m.dst].vocab.size();
+                let spec =
+                    Seq2Seq::new(sv, tv, Vocab::BOS as usize, Seq2SeqConfig::default()).freeze();
+                FrozenPairModel::new(
+                    m.src,
+                    m.dst,
+                    m.train_score,
+                    m.dev_floor,
+                    FrozenTranslator::Nmt(FrozenNmt::new(spec)),
+                )
+            })
+            .collect();
+        GraphSnapshot::from_frozen_parts(
+            base.graph().clone(),
+            lang,
+            base.detection().clone(),
+            models,
+        )
+        .quantize(QuantMode::Int8, &QuantPolicy::default())
+        .expect("quantize")
+    }
+
+    #[test]
+    fn snapshot_version_1_still_reads_and_future_versions_are_rejected() {
+        let snap = frozen_snapshot();
+        let mut bytes = snapshot_to_bytes(&snap).expect("encode");
+        assert_eq!(
+            u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+            SNAP_VERSION
+        );
+        // A v1 artifact is the same frame layout without the quantization
+        // record; re-labelling an f32 payload exercises that read path.
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let back = snapshot_from_bytes(&bytes).expect("v1 read");
+        assert_eq!(back.valid_models(), snap.valid_models());
+        assert!(back.quant().is_none());
+        bytes[4..8].copy_from_slice(&(SNAP_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            snapshot_from_bytes(&bytes),
+            Err(CoreError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_reader_rejects_random_bytes() {
+        use rand::{rngs::StdRng, RngCore, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+        for i in 0..200 {
+            let len = (i * 13) % 600;
+            let buf: Vec<u8> = (0..len).map(|_| rng.next_u32() as u8).collect();
+            assert!(
+                snapshot_from_bytes(&buf).is_err(),
+                "random buffer {i} parsed"
+            );
+        }
+        // Garbage behind a well-formed header must die at the frame layer,
+        // not reach the model constructor.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SNAP_MAGIC);
+        buf.extend_from_slice(&SNAP_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        for _ in 0..400 {
+            buf.push(rng.next_u32() as u8);
+        }
+        assert!(matches!(
+            snapshot_from_bytes(&buf),
+            Err(CoreError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_reader_rejects_every_truncation_and_byte_flip() {
+        for (tag, snap) in [("f32", frozen_snapshot()), ("int8", quantized_snapshot())] {
+            let bytes = snapshot_to_bytes(&snap).expect("encode");
+            let reference = serde_json::to_string(&snap).expect("json");
+            // Every possible truncation: length checks catch all of them
+            // before any payload work, so the full sweep is cheap.
+            for cut in 0..bytes.len() {
+                assert!(
+                    snapshot_from_bytes(&bytes[..cut]).is_err(),
+                    "{tag}: truncation at {cut} parsed"
+                );
+            }
+            // Single-byte corruptions: the whole header/frame-header region
+            // plus a stride through the payload (flipping every payload byte
+            // would be quadratic in checksum work). FNV-1a's per-byte state
+            // change is never cancelled by the following bijective
+            // multiplies, so any single payload flip must fail the checksum.
+            let mut targets: Vec<usize> = (0..bytes.len().min(40)).collect();
+            targets.extend((40..bytes.len()).step_by(211));
+            for i in targets {
+                let mut damaged = bytes.clone();
+                damaged[i] ^= 0x80;
+                match snapshot_from_bytes(&damaged) {
+                    // The 8 reserved header bytes [8, 16) are ignored by the
+                    // reader; a flip there must still yield the identical
+                    // model — anywhere else, acceptance would be silent
+                    // corruption.
+                    Ok(back) => {
+                        assert!(
+                            (8..16).contains(&i),
+                            "{tag}: undetected corruption at byte {i}"
+                        );
+                        assert_eq!(
+                            serde_json::to_string(&back).expect("json"),
+                            reference,
+                            "{tag}: reserved-byte flip changed the model"
+                        );
+                    }
+                    Err(CoreError::Checkpoint { .. }) => {}
+                    Err(other) => panic!("{tag}: wrong error family at byte {i}: {other}"),
+                }
+            }
+        }
     }
 }

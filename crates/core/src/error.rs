@@ -68,6 +68,20 @@ pub enum CoreError {
         /// Human-readable description of the mismatch.
         detail: String,
     },
+    /// A quantized serving artifact drifted further from its f32 original
+    /// than the policy allows — at quantization time (weight error measured
+    /// by [`GraphSnapshot::quantize`](crate::serve::GraphSnapshot::quantize),
+    /// score drift by `quantize_calibrated`) or at publish time (a snapshot
+    /// whose recorded calibration violates its own recorded bound).
+    QuantizationDrift {
+        /// Which measurement exceeded its bound (`"weight error"` or
+        /// `"score drift"`).
+        metric: String,
+        /// The measured drift.
+        observed: f64,
+        /// The bound it had to stay within.
+        bound: f64,
+    },
     /// A sweep checkpoint could not be written, read, or validated.
     Checkpoint {
         /// Checkpoint file path.
@@ -119,6 +133,16 @@ impl fmt::Display for CoreError {
             }
             CoreError::IncompatibleSnapshot { detail } => {
                 write!(f, "incompatible snapshot rejected: {detail}")
+            }
+            CoreError::QuantizationDrift {
+                metric,
+                observed,
+                bound,
+            } => {
+                write!(
+                    f,
+                    "quantization {metric} {observed} exceeds the allowed bound {bound}"
+                )
             }
             CoreError::Checkpoint { path, detail } => {
                 write!(f, "checkpoint error at {path}: {detail}")
@@ -207,6 +231,11 @@ mod tests {
             },
             CoreError::IncompatibleSnapshot {
                 detail: "window config changed".to_owned(),
+            },
+            CoreError::QuantizationDrift {
+                metric: "score drift".to_owned(),
+                observed: 0.4,
+                bound: 0.25,
             },
         ] {
             assert!(!e.to_string().is_empty());

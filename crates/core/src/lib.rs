@@ -72,9 +72,11 @@ pub use error::CoreError;
 pub use online::{DegradationConfig, OnlineDetection, OnlineMonitor};
 pub use pipeline::{Mdes, MdesConfig};
 pub use serve::{
-    FrozenNmt, FrozenPairModel, FrozenTranslator, GraphSnapshot, ModelStore, ServingEngine,
-    StreamSession,
+    FrozenNmt, FrozenPairModel, FrozenTranslator, GraphSnapshot, ModelStore, QuantCalibration,
+    QuantPolicy, ServingEngine, StreamSession,
 };
+
+pub use mdes_nn::QuantMode;
 pub use translator::{
     train_translator, AnyTranslator, NgramConfig, NgramTranslator, NmtTranslator, Translator,
     TranslatorConfig,

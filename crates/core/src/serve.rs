@@ -26,7 +26,10 @@
 //! same kernels run in the same order over the same packed weights (pinned
 //! by `mdes-nn/tests/infer_parity.rs` and `tests/serving.rs`).
 
-use crate::algorithm2::{detect_with_bank, DetectStrategy, DetectionConfig, DetectionResult};
+use crate::algorithm2::{
+    detect_many_with_bank, detect_with_bank, DetectJob, DetectStrategy, DetectionConfig,
+    DetectionResult,
+};
 use crate::algorithm2::{ModelBank, PairMeta};
 use crate::error::CoreError;
 use crate::online::{DegradationConfig, OnlineDetection};
@@ -34,7 +37,7 @@ use crate::pipeline::Mdes;
 use crate::translator::{AnyTranslator, NgramTranslator, Translator};
 use mdes_graph::RelGraph;
 use mdes_lang::{LanguagePipeline, RawTrace, SentenceSet, MISSING_RECORD};
-use mdes_nn::{InferArena, ModelSpec};
+use mdes_nn::{InferArena, ModelSpec, QuantMode, QuantReport};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -62,6 +65,12 @@ impl FrozenNmt {
     /// The packed weights.
     pub fn spec(&self) -> &ModelSpec {
         &self.spec
+    }
+
+    /// Re-encodes the packed weights; see [`ModelSpec::quantize`].
+    fn quantize(&self, mode: QuantMode) -> Result<(Self, QuantReport), CoreError> {
+        let (spec, report) = self.spec.quantize(mode)?;
+        Ok((Self { spec }, report))
     }
 
     /// Mirrors `Seq2Seq::validate_src`: batched decoding needs a non-empty,
@@ -123,6 +132,10 @@ impl FrozenNmt {
 ///
 /// The statistical family carries its own tables and needs no arena; the
 /// neural family is weights-only and decodes through the worker's arena.
+// Both variants are small fixed headers over heap-owned weight buffers;
+// boxing the larger one would add an indirection on every decode for a
+// per-pair-model saving of a couple hundred bytes.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub enum FrozenTranslator {
     /// Statistical position-aligned model (already training-state-free).
@@ -160,6 +173,34 @@ impl FrozenTranslator {
             FrozenTranslator::Nmt(t) => t.spec.approx_bytes(),
         }
     }
+
+    /// The weight encoding of this translator, if it carries packed neural
+    /// weights; the statistical family has none.
+    pub fn quant_mode(&self) -> Option<QuantMode> {
+        match self {
+            FrozenTranslator::Ngram(_) => None,
+            FrozenTranslator::Nmt(t) => Some(t.spec.quant_mode()),
+        }
+    }
+
+    /// Re-encodes neural weights to `mode`, folding the measured drift into
+    /// `max_err` / `matrices`; statistical tables pass through unchanged.
+    fn quantize(
+        &self,
+        mode: QuantMode,
+        max_err: &mut f64,
+        matrices: &mut usize,
+    ) -> Result<Self, CoreError> {
+        match self {
+            FrozenTranslator::Ngram(t) => Ok(FrozenTranslator::Ngram(t.clone())),
+            FrozenTranslator::Nmt(t) => {
+                let (q, report) = t.quantize(mode)?;
+                *max_err = max_err.max(report.max_weight_error);
+                *matrices += report.matrices;
+                Ok(FrozenTranslator::Nmt(q))
+            }
+        }
+    }
 }
 
 /// One frozen directional pair model: thresholds plus decoding weights.
@@ -178,6 +219,25 @@ pub struct FrozenPairModel {
 }
 
 impl FrozenPairModel {
+    /// Assembles a frozen pair model directly — for tools that build
+    /// serving artifacts without an Algorithm 1 sweep (synthetic plants,
+    /// size/throughput experiments).
+    pub fn new(
+        src: usize,
+        dst: usize,
+        train_score: f64,
+        dev_floor: f64,
+        translator: FrozenTranslator,
+    ) -> Self {
+        Self {
+            src,
+            dst,
+            train_score,
+            dev_floor,
+            translator,
+        }
+    }
+
     /// Freezes one training-side pair model.
     pub(crate) fn freeze(model: &crate::algorithm1::PairModel) -> Self {
         Self {
@@ -195,6 +255,59 @@ impl FrozenPairModel {
     }
 }
 
+/// Bounds a quantized serving artifact must respect before it may be
+/// published.
+///
+/// Both bounds are checked at quantization time
+/// ([`GraphSnapshot::quantize`] / [`GraphSnapshot::quantize_calibrated`])
+/// and re-checked from the artifact's own [`QuantCalibration`] record by
+/// [`ModelStore::publish`], so a quantized snapshot arriving over a
+/// network publish path cannot sneak past the policy it was built under.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantPolicy {
+    /// Largest allowed elementwise `|quantized − f32|` over every
+    /// re-encoded weight. Int8's per-row symmetric scale bounds this by
+    /// `max|row| / 254`, so the default tolerates rows up to ~12.7.
+    pub max_weight_error: f64,
+    /// Largest allowed `|Δ anomaly score|` between the quantized artifact
+    /// and its f32 original on the calibration windows. Anomaly scores are
+    /// fractions of broken pairs in `[0, 1]`, so 0.25 means no calibration
+    /// window may flip more than a quarter of the valid relationships.
+    pub max_score_drift: f64,
+}
+
+impl Default for QuantPolicy {
+    fn default() -> Self {
+        Self {
+            max_weight_error: 0.05,
+            max_score_drift: 0.25,
+        }
+    }
+}
+
+/// The calibration record a quantized [`GraphSnapshot`] carries: what the
+/// weights were re-encoded to, how far they moved, and the bounds in force
+/// when the artifact was built. [`ModelStore::publish`] refuses artifacts
+/// whose record is inconsistent with the actual weight encodings or
+/// violates its own bounds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuantCalibration {
+    /// Weight encoding of every neural pair model.
+    pub mode: QuantMode,
+    /// Measured max elementwise weight error vs the f32 original.
+    pub max_weight_error: f64,
+    /// Weight-error bound in force at quantization time.
+    pub weight_bound: f64,
+    /// Measured max `|Δ anomaly score|` on the calibration windows; `None`
+    /// when the artifact was quantized without calibration data
+    /// ([`GraphSnapshot::quantize`] instead of `quantize_calibrated`).
+    pub score_drift: Option<f64>,
+    /// Score-drift bound in force at quantization time.
+    pub score_bound: f64,
+    /// Number of weight matrices re-encoded.
+    pub matrices: usize,
+}
+
 /// An immutable serving artifact frozen from a fitted model.
 ///
 /// Everything Algorithm 2 needs and nothing training-related: the
@@ -208,13 +321,48 @@ impl FrozenPairModel {
 /// producing bit-identical detection scores. Like
 /// [`DetectionConfig::threads`], the thread knob is not persisted — a
 /// restored snapshot uses the host's available parallelism.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone, Serialize)]
 pub struct GraphSnapshot {
     graph: RelGraph,
     lang: LanguagePipeline,
     detection: DetectionConfig,
     models: Vec<FrozenPairModel>,
     valid: Vec<usize>,
+    /// Present iff the artifact was re-encoded by [`GraphSnapshot::quantize`].
+    quant: Option<QuantCalibration>,
+}
+
+// Hand-written so pre-quantization artifacts (MDSN v1 payloads, which have
+// no `quant` key) keep deserializing, and so a damaged or hand-built valid
+// index can never address past the model table.
+impl Deserialize for GraphSnapshot {
+    fn from_content(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let graph = serde::__field(content, "graph")?;
+        let lang = serde::__field(content, "lang")?;
+        let detection = serde::__field(content, "detection")?;
+        let models: Vec<FrozenPairModel> = serde::__field(content, "models")?;
+        let valid: Vec<usize> = serde::__field(content, "valid")?;
+        let quant: Option<QuantCalibration> = match content {
+            serde::Content::Map(entries) if entries.iter().any(|(k, _)| k == "quant") => {
+                serde::__field(content, "quant")?
+            }
+            _ => None,
+        };
+        if let Some(&bad) = valid.iter().find(|&&k| k >= models.len()) {
+            return Err(serde::DeError::custom(format!(
+                "valid index {bad} out of range for {} models",
+                models.len()
+            )));
+        }
+        Ok(Self {
+            graph,
+            lang,
+            detection,
+            models,
+            valid,
+            quant,
+        })
+    }
 }
 
 impl std::fmt::Debug for GraphSnapshot {
@@ -259,6 +407,30 @@ impl GraphSnapshot {
             detection,
             models,
             valid,
+            quant: None,
+        }
+    }
+
+    /// Assembles a serving artifact directly from frozen parts, computing
+    /// the valid-model index from `detection.valid_range` — for tools that
+    /// build synthetic artifacts (e.g. `exp_quant`'s 128-sensor plant)
+    /// without re-running an Algorithm 1 sweep.
+    pub fn from_frozen_parts(
+        graph: RelGraph,
+        lang: LanguagePipeline,
+        detection: DetectionConfig,
+        models: Vec<FrozenPairModel>,
+    ) -> Self {
+        let valid: Vec<usize> = (0..models.len())
+            .filter(|&k| detection.valid_range.contains(models[k].train_score))
+            .collect();
+        Self {
+            graph,
+            lang,
+            detection,
+            models,
+            valid,
+            quant: None,
         }
     }
 
@@ -308,6 +480,122 @@ impl GraphSnapshot {
             .sum()
     }
 
+    /// The calibration record, present iff this artifact was produced by
+    /// [`GraphSnapshot::quantize`] / [`GraphSnapshot::quantize_calibrated`].
+    pub fn quant(&self) -> Option<&QuantCalibration> {
+        self.quant.as_ref()
+    }
+
+    /// The uniform weight encoding of the neural pair models: `Some(F32)`
+    /// for a classic artifact (or one with no neural models at all),
+    /// `None` when models disagree — a hand-built or tampered artifact
+    /// that [`ModelStore::publish`] refuses.
+    pub fn quant_mode(&self) -> Option<QuantMode> {
+        let mut seen: Option<QuantMode> = None;
+        for m in &self.models {
+            if let Some(q) = m.translator.quant_mode() {
+                match seen {
+                    None => seen = Some(q),
+                    Some(s) if s != q => return None,
+                    Some(_) => {}
+                }
+            }
+        }
+        Some(seen.unwrap_or(QuantMode::F32))
+    }
+
+    /// Re-encodes every neural pair model's weights to `mode`, measuring
+    /// the worst elementwise weight drift against `policy`.
+    ///
+    /// The result carries a [`QuantCalibration`] record with
+    /// `score_drift: None`; run [`GraphSnapshot::quantize_calibrated`]
+    /// instead to also measure (and bound) anomaly-score drift on held-out
+    /// windows. Detection configuration, vocab tables, thresholds and the
+    /// valid-model index are untouched — only the decode weights shrink.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::QuantizationDrift`] when the measured weight error
+    /// exceeds `policy.max_weight_error`; [`CoreError::Nn`] when a weight
+    /// is non-finite.
+    pub fn quantize(&self, mode: QuantMode, policy: &QuantPolicy) -> Result<Self, CoreError> {
+        let mut max_err = 0.0f64;
+        let mut matrices = 0usize;
+        let models = self
+            .models
+            .iter()
+            .map(|m| -> Result<FrozenPairModel, CoreError> {
+                Ok(FrozenPairModel {
+                    src: m.src,
+                    dst: m.dst,
+                    train_score: m.train_score,
+                    dev_floor: m.dev_floor,
+                    translator: m.translator.quantize(mode, &mut max_err, &mut matrices)?,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if max_err > policy.max_weight_error {
+            return Err(CoreError::QuantizationDrift {
+                metric: "weight error".to_owned(),
+                observed: max_err,
+                bound: policy.max_weight_error,
+            });
+        }
+        Ok(Self {
+            graph: self.graph.clone(),
+            lang: self.lang.clone(),
+            detection: self.detection.clone(),
+            models,
+            valid: self.valid.clone(),
+            quant: Some(QuantCalibration {
+                mode,
+                max_weight_error: max_err,
+                weight_bound: policy.max_weight_error,
+                score_drift: None,
+                score_bound: policy.max_score_drift,
+                matrices,
+            }),
+        })
+    }
+
+    /// [`GraphSnapshot::quantize`], plus a calibration pass: both artifacts
+    /// run Algorithm 2 over `calib_sets` and the largest `|Δ anomaly
+    /// score|` is measured, bounded by `policy.max_score_drift`, and
+    /// recorded in the artifact for [`ModelStore::publish`] to re-check.
+    ///
+    /// # Errors
+    ///
+    /// As [`GraphSnapshot::quantize`], plus
+    /// [`CoreError::QuantizationDrift`] when the measured score drift
+    /// exceeds the bound, and any detection error on `calib_sets`.
+    pub fn quantize_calibrated(
+        &self,
+        mode: QuantMode,
+        policy: &QuantPolicy,
+        calib_sets: &[SentenceSet],
+    ) -> Result<Self, CoreError> {
+        let mut q = self.quantize(mode, policy)?;
+        let base = self.detect_excluding(calib_sets, &[])?;
+        let quantized = q.detect_excluding(calib_sets, &[])?;
+        let drift = base
+            .scores
+            .iter()
+            .zip(&quantized.scores)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        if drift > policy.max_score_drift {
+            return Err(CoreError::QuantizationDrift {
+                metric: "score drift".to_owned(),
+                observed: drift,
+                bound: policy.max_score_drift,
+            });
+        }
+        if let Some(c) = &mut q.quant {
+            c.score_drift = Some(drift);
+        }
+        Ok(q)
+    }
+
     /// Runs Algorithm 2 on aligned test sentence sets against this
     /// snapshot, excluding `excluded_sensors` (graph node indices), on the
     /// crossbeam worker pool.
@@ -349,6 +637,18 @@ impl GraphSnapshot {
             excluded_sensors,
             DetectStrategy::Serial(arena),
         )
+    }
+
+    /// Cross-session batched detection: one Algorithm 2 round over many
+    /// jobs, decoding same-shape windows from different jobs in shared
+    /// batches (see [`detect_many_with_bank`]). Used by
+    /// [`ServingEngine::push_opt_many`].
+    pub(crate) fn detect_many(
+        &self,
+        jobs: &[DetectJob<'_>],
+        threads: usize,
+    ) -> Vec<Result<DetectionResult, CoreError>> {
+        detect_many_with_bank(self, jobs, &self.detection, threads)
     }
 }
 
@@ -452,6 +752,49 @@ impl ModelStore {
                     snapshot.min_width()
                 ),
             });
+        }
+        // Quantized artifacts must arrive with a self-consistent calibration
+        // record that respects its own bounds — a snapshot uploaded over the
+        // network publish path is otherwise free to claim whatever it likes.
+        let Some(actual) = snapshot.quant_mode() else {
+            return Err(CoreError::IncompatibleSnapshot {
+                detail: "pair models mix weight encodings".to_owned(),
+            });
+        };
+        match &snapshot.quant {
+            None if actual == QuantMode::F32 => {}
+            None => {
+                return Err(CoreError::IncompatibleSnapshot {
+                    detail: format!("{actual} weights carry no calibration record"),
+                });
+            }
+            Some(c) => {
+                if c.mode != actual {
+                    return Err(CoreError::IncompatibleSnapshot {
+                        detail: format!(
+                            "calibration record says {} but the weights are {actual}",
+                            c.mode
+                        ),
+                    });
+                }
+                // NaN-safe: a NaN error must refuse, not pass.
+                if c.max_weight_error.is_nan() || c.max_weight_error > c.weight_bound {
+                    return Err(CoreError::QuantizationDrift {
+                        metric: "weight error".to_owned(),
+                        observed: c.max_weight_error,
+                        bound: c.weight_bound,
+                    });
+                }
+                if let Some(drift) = c.score_drift {
+                    if drift.is_nan() || drift > c.score_bound {
+                        return Err(CoreError::QuantizationDrift {
+                            metric: "score drift".to_owned(),
+                            observed: drift,
+                            bound: c.score_bound,
+                        });
+                    }
+                }
+            }
         }
         let models = snapshot.models.len();
         let valid = snapshot.valid.len();
@@ -804,10 +1147,16 @@ impl ServingEngine {
     }
 
     /// Pushes one sample into each of `sessions` (sample `i` into session
-    /// `i`), multiplexed over the crossbeam worker pool with one scratch
-    /// [`InferArena`] per worker. Result `i` is session `i`'s outcome, in
-    /// order; results are byte-identical to pushing serially at any thread
-    /// count.
+    /// `i`). Result `i` is session `i`'s outcome, in order; results are
+    /// byte-identical to pushing serially at any thread count.
+    ///
+    /// Sessions that complete a window on this tick are detected *together*
+    /// in one cross-session Algorithm 2 round
+    /// ([`detect_many_with_bank`]): every window needing pair model `k` is
+    /// decoded in shared `(shape)`-keyed batches, so B streams completing
+    /// the same-shaped window cost one GEMM per decode step instead of B.
+    /// Batch invariance of the kernels (including the quantized family)
+    /// keeps the scores bitwise equal to per-session pushes.
     ///
     /// Every window completed by this call is scored against the same
     /// snapshot (read once at entry), so one tick is never split across a
@@ -828,40 +1177,100 @@ impl ServingEngine {
         );
         mdes_obs::observe("serve.sessions", self.session_count() as f64);
         let snapshot = self.store.current();
-        let jobs: Vec<Mutex<Option<&mut StreamSession>>> =
-            sessions.iter_mut().map(|s| Mutex::new(Some(s))).collect();
-        type PushOutcome = Result<Option<OnlineDetection>, CoreError>;
-        let results: Mutex<Vec<Option<PushOutcome>>> = Mutex::new(vec![None; jobs.len()]);
-        let next = AtomicUsize::new(0);
-        let threads = if self.threads == 0 {
-            std::thread::available_parallelism()
-                .map(|p| p.get())
-                .unwrap_or(1)
-        } else {
-            self.threads
-        };
-        crossbeam::scope(|scope| {
-            for _ in 0..threads.clamp(1, jobs.len().max(1)) {
-                scope.spawn(|_| {
-                    let mut arena = InferArena::new();
-                    loop {
-                        let w = next.fetch_add(1, Ordering::Relaxed);
-                        if w >= jobs.len() {
-                            break;
+        let mut results: Vec<Option<Result<Option<OnlineDetection>, CoreError>>> =
+            sessions.iter().map(|_| None).collect();
+
+        /// A session whose window completed on this tick, with its encoded
+        /// window held until the shared detection round below.
+        struct Completing {
+            idx: usize,
+            sets: Vec<SentenceSet>,
+            excluded: Vec<usize>,
+            dropped: Vec<usize>,
+            sample_index: usize,
+            span: mdes_obs::Span,
+        }
+
+        // Phase 1 — absorb every sample and encode the completed windows.
+        // Each session still gets its own `serve.push_us` measurement: in a
+        // batched round, the effective latency of one push *is* the round's
+        // duration, so the timers all run until the round ends.
+        let push_timers: Vec<_> = sessions
+            .iter()
+            .map(|_| mdes_obs::timer("serve.push_us"))
+            .collect();
+        let mut completing: Vec<Completing> = Vec::new();
+        for (i, (session, sample)) in sessions.iter_mut().zip(samples).enumerate() {
+            match session.absorb(sample) {
+                Err(e) => results[i] = Some(Err(e)),
+                Ok(false) => results[i] = Some(Ok(None)),
+                Ok(true) => {
+                    let span = mdes_obs::span("online.push");
+                    mdes_obs::counter("online.windows", 1);
+                    session.refill_scratch();
+                    match snapshot
+                        .language()
+                        .encode_segment(&session.scratch_traces, 0..session.window)
+                    {
+                        Err(e) => results[i] = Some(Err(e.into())),
+                        Ok(sets) => {
+                            let dropped = session.dropped_sensors();
+                            let excluded: Vec<usize> = snapshot
+                                .language()
+                                .languages()
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, l)| dropped.contains(&l.source_index))
+                                .map(|(node, _)| node)
+                                .collect();
+                            completing.push(Completing {
+                                idx: i,
+                                sets,
+                                excluded,
+                                dropped,
+                                sample_index: session.seen - 1,
+                                span,
+                            });
                         }
-                        let session = jobs[w].lock().take().expect("each job claimed once");
-                        let outcome =
-                            self.push_one(session, &samples[w], Some(&snapshot), Some(&mut arena));
-                        results.lock()[w] = Some(outcome);
                     }
-                });
+                }
             }
-        })
-        .expect("serving worker panicked");
+        }
+
+        // Phase 2 — one cross-session detection round over every completed
+        // window, sharing decode batches between sessions.
+        let jobs: Vec<DetectJob<'_>> = completing
+            .iter()
+            .map(|c| DetectJob {
+                test_sets: &c.sets,
+                excluded_sensors: &c.excluded,
+            })
+            .collect();
+        let detections = snapshot.detect_many(&jobs, self.threads);
+
+        // Phase 3 — per-session outcomes.
+        for (c, detection) in completing.into_iter().zip(detections) {
+            let mut span = c.span;
+            results[c.idx] = Some(match detection {
+                Err(e) => Err(e),
+                Ok(result) => {
+                    span.field("sample_index", c.sample_index);
+                    span.field("score", result.scores[0]);
+                    span.field("coverage", result.coverage);
+                    Ok(Some(OnlineDetection {
+                        sample_index: c.sample_index,
+                        score: result.scores[0],
+                        alerts: result.alerts.into_iter().next().unwrap_or_default(),
+                        coverage: result.coverage,
+                        dropped_sensors: c.dropped,
+                    }))
+                }
+            });
+        }
+        drop(push_timers);
         results
-            .into_inner()
             .into_iter()
-            .map(|r| r.expect("every job ran"))
+            .map(|r| r.expect("every session resolved"))
             .collect()
     }
 
@@ -962,6 +1371,28 @@ mod tests {
             ..MdesConfig::default()
         };
         cfg.detection.valid_range = ScoreRange::closed(60.0, 100.0);
+        let m = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit");
+        (m, traces)
+    }
+
+    /// A two-sensor plant trained with the paper's neural family — the
+    /// quantization tests need packed neural weights to re-encode. The
+    /// detection margin gives BLEU a few points of slack so quantization
+    /// noise cannot flip a broken/healthy decision on this tiny fixture.
+    fn neural_fitted() -> (Mdes, Vec<RawTrace>) {
+        let traces = vec![square("a", 700, 0), square("b", 700, 2)];
+        let mut cfg = MdesConfig {
+            window: WindowConfig {
+                word_len: 4,
+                word_stride: 1,
+                sent_len: 5,
+                sent_stride: 5,
+            },
+            ..MdesConfig::default()
+        };
+        cfg.build.translator = crate::translator::TranslatorConfig::neural();
+        cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+        cfg.detection.margin = 5.0;
         let m = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit");
         (m, traces)
     }
@@ -1068,6 +1499,187 @@ mod tests {
             snap.detect_excluding(&sets, &[]).expect("original"),
             restored.detect_excluding(&sets, &[]).expect("restored"),
         );
+    }
+
+    #[test]
+    fn quantized_snapshot_scores_stay_within_declared_drift() {
+        let (m, traces) = neural_fitted();
+        let snap = GraphSnapshot::freeze(&m);
+        let sets = m
+            .language()
+            .encode_segment(&traces, 450..700)
+            .expect("encode");
+        let policy = QuantPolicy::default();
+        let base = snap.detect_excluding(&sets, &[]).expect("f32 detect");
+        for mode in [QuantMode::F16, QuantMode::Int8] {
+            let q = snap
+                .quantize_calibrated(mode, &policy, &sets)
+                .expect("quantize");
+            let c = q.quant().expect("calibration record");
+            assert_eq!(c.mode, mode);
+            assert!(c.max_weight_error <= c.weight_bound);
+            let drift = c.score_drift.expect("calibrated");
+            assert!(drift <= c.score_bound, "{mode}: drift {drift}");
+            assert_eq!(q.quant_mode(), Some(mode));
+            assert!(c.matrices > 0);
+            // The record is honest: re-measuring reproduces it.
+            let scores = q.detect_excluding(&sets, &[]).expect("quant detect");
+            let measured = base
+                .scores
+                .iter()
+                .zip(&scores.scores)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert_eq!(measured, drift, "{mode}");
+            assert!(q.approx_bytes() < snap.approx_bytes(), "{mode}");
+            if mode == QuantMode::Int8 {
+                assert!(
+                    q.approx_bytes() * 2 <= snap.approx_bytes(),
+                    "int8 must at least halve the artifact: {} vs {}",
+                    q.approx_bytes(),
+                    snap.approx_bytes()
+                );
+            }
+        }
+        // An impossible weight bound is enforced at quantization time.
+        let strict = QuantPolicy {
+            max_weight_error: 1e-12,
+            ..QuantPolicy::default()
+        };
+        assert!(matches!(
+            snap.quantize(QuantMode::Int8, &strict),
+            Err(CoreError::QuantizationDrift { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_snapshot_serde_roundtrip_preserves_scores() {
+        let (m, traces) = neural_fitted();
+        let sets = m
+            .language()
+            .encode_segment(&traces, 450..700)
+            .expect("encode");
+        let q = GraphSnapshot::freeze(&m)
+            .quantize_calibrated(QuantMode::Int8, &QuantPolicy::default(), &sets)
+            .expect("quantize");
+        let json = serde_json::to_string(&q).expect("serialize");
+        let restored: GraphSnapshot = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(restored.quant(), q.quant());
+        assert_eq!(restored.quant_mode(), Some(QuantMode::Int8));
+        assert_eq!(
+            q.detect_excluding(&sets, &[]).expect("original"),
+            restored.detect_excluding(&sets, &[]).expect("restored"),
+        );
+    }
+
+    #[test]
+    fn snapshot_deserialize_tolerates_missing_quant_and_validates_valid_index() {
+        use serde::Content;
+        let (m, _) = fitted();
+        let snap = GraphSnapshot::freeze(&m);
+        let Content::Map(entries) = snap.to_content() else {
+            panic!("snapshot serializes as a map");
+        };
+        // A pre-quantization (MDSN v1) payload has no `quant` key at all.
+        let stripped = Content::Map(
+            entries
+                .iter()
+                .filter(|(k, _)| k != "quant")
+                .cloned()
+                .collect(),
+        );
+        let back = GraphSnapshot::from_content(&stripped).expect("v1 payload");
+        assert!(back.quant().is_none());
+        assert_eq!(back.valid_models(), snap.valid_models());
+        // A valid index addressing past the model table is damage, not data.
+        let forged = Content::Map(
+            entries
+                .iter()
+                .map(|(k, v)| {
+                    if k == "valid" {
+                        (k.clone(), vec![snap.models().len()].to_content())
+                    } else {
+                        (k.clone(), v.clone())
+                    }
+                })
+                .collect(),
+        );
+        assert!(GraphSnapshot::from_content(&forged).is_err());
+    }
+
+    #[test]
+    fn publish_accepts_calibrated_quantized_snapshot_and_rejects_forgeries() {
+        let (m, traces) = neural_fitted();
+        let snap = GraphSnapshot::freeze(&m);
+        let sets = m
+            .language()
+            .encode_segment(&traces, 450..700)
+            .expect("encode");
+        let store = ModelStore::new(snap.clone());
+        let q = snap
+            .quantize_calibrated(QuantMode::Int8, &QuantPolicy::default(), &sets)
+            .expect("quantize");
+        store.publish(q.clone()).expect("calibrated publish");
+        // Quantized weights without a calibration record are refused.
+        let mut naked = q.clone();
+        naked.quant = None;
+        assert!(matches!(
+            store.publish(naked),
+            Err(CoreError::IncompatibleSnapshot { .. })
+        ));
+        // A record whose mode disagrees with the actual weights is refused.
+        let mut lying = q.clone();
+        lying.quant.as_mut().expect("record").mode = QuantMode::F16;
+        assert!(matches!(
+            store.publish(lying),
+            Err(CoreError::IncompatibleSnapshot { .. })
+        ));
+        // A record violating its own recorded bounds is refused.
+        let mut drifted = q.clone();
+        drifted.quant.as_mut().expect("record").score_drift = Some(0.9);
+        assert!(matches!(
+            store.publish(drifted),
+            Err(CoreError::QuantizationDrift { .. })
+        ));
+        let mut heavy = q.clone();
+        heavy.quant.as_mut().expect("record").max_weight_error = 1.0;
+        assert!(matches!(
+            store.publish(heavy),
+            Err(CoreError::QuantizationDrift { .. })
+        ));
+        // Models mixing encodings (hand-spliced artifact) are refused.
+        let mut mixed = q.clone();
+        mixed.models[0].translator = snap.models()[0].translator.clone();
+        assert!(matches!(
+            store.publish(mixed),
+            Err(CoreError::IncompatibleSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_push_opt_many_matches_individual_pushes() {
+        let (m, traces) = neural_fitted();
+        let sets = m
+            .language()
+            .encode_segment(&traces, 450..700)
+            .expect("encode");
+        let q = GraphSnapshot::freeze(&m)
+            .quantize_calibrated(QuantMode::Int8, &QuantPolicy::default(), &sets)
+            .expect("quantize");
+        let engine = ServingEngine::new(q).with_threads(2);
+        let mut many: Vec<StreamSession> = (0..3)
+            .map(|_| engine.open_session(2).expect("open"))
+            .collect();
+        let mut single = engine.open_session(2).expect("open");
+        for t in 450..530 {
+            let sample: Vec<Option<String>> =
+                traces.iter().map(|tr| Some(tr.events[t].clone())).collect();
+            let batch = engine.push_opt_many(&mut many, &vec![sample.clone(); 3]);
+            let lone = engine.push_opt(&mut single, &sample).expect("push");
+            for r in batch {
+                assert_eq!(r.expect("batch push"), lone);
+            }
+        }
     }
 
     #[test]

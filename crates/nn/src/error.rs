@@ -33,6 +33,11 @@ pub enum NnError {
         /// Mini-batch update index at which the non-finite loss appeared.
         step: usize,
     },
+    /// A weight offered for quantization was NaN or infinite. A non-finite
+    /// row maximum would poison the whole row's int8 scale (and f16 encodes
+    /// non-finite values as saturated finite ones), so quantization refuses
+    /// the model instead of producing a silently-wrong artifact.
+    NonFiniteWeight,
 }
 
 impl fmt::Display for NnError {
@@ -51,6 +56,9 @@ impl fmt::Display for NnError {
             NnError::EmptySequence => write!(f, "sequence of length zero provided"),
             NnError::Diverged { step } => {
                 write!(f, "training diverged: non-finite loss at step {step}")
+            }
+            NnError::NonFiniteWeight => {
+                write!(f, "non-finite weight offered for quantization")
             }
         }
     }
@@ -73,6 +81,7 @@ mod tests {
             NnError::TokenOutOfRange { token: 9, vocab: 4 },
             NnError::EmptySequence,
             NnError::Diverged { step: 7 },
+            NnError::NonFiniteWeight,
         ];
         for e in errs {
             let s = e.to_string();

@@ -107,12 +107,15 @@ impl GruLayer {
     /// copied out of `params` once instead of per forward pass.
     pub fn pack_infer(&self, params: &ParamSet) -> crate::infer::PackedCell {
         crate::infer::PackedCell::Gru {
-            w_gates: crate::infer::pack_rows(
+            w_gates: crate::QMatrix::F32(crate::infer::pack_rows(
                 params.value(self.wx_gates),
                 params.value(self.wh_gates),
-            ),
+            )),
             b_gates: params.value(self.b_gates).clone(),
-            w_cand: crate::infer::pack_rows(params.value(self.wx_cand), params.value(self.wh_cand)),
+            w_cand: crate::QMatrix::F32(crate::infer::pack_rows(
+                params.value(self.wx_cand),
+                params.value(self.wh_cand),
+            )),
             b_cand: params.value(self.b_cand).clone(),
             hidden: self.hidden,
         }

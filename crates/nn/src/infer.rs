@@ -28,6 +28,8 @@
 //! output under both kernel families.
 
 use crate::matrix::{sigmoid_slice, tanh_slice, Matrix};
+use crate::quant::{QMatrix, QuantMode, QuantReport};
+use crate::NnError;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
@@ -40,8 +42,10 @@ use std::sync::Mutex;
 pub enum PackedCell {
     /// LSTM layer with gate columns laid out `[i | f | g | o]`.
     Lstm {
-        /// Packed `[wx; wh]`, shape `(input + hidden) x 4H`.
-        w: Matrix,
+        /// Packed `[wx; wh]`, shape `(input + hidden) x 4H`. Possibly
+        /// quantized; biases stay f32 (they are a rounding-error's worth of
+        /// bytes and an outsized share of the accuracy).
+        w: QMatrix,
         /// Gate bias, `1 x 4H`.
         b: Matrix,
         /// Hidden units.
@@ -50,11 +54,11 @@ pub enum PackedCell {
     /// GRU layer with gate columns laid out `[r | z]`.
     Gru {
         /// Packed `[wx_gates; wh_gates]`, shape `(input + hidden) x 2H`.
-        w_gates: Matrix,
+        w_gates: QMatrix,
         /// Gate bias, `1 x 2H`.
         b_gates: Matrix,
         /// Packed `[wx_cand; wh_cand]`, shape `(input + hidden) x H`.
-        w_cand: Matrix,
+        w_cand: QMatrix,
         /// Candidate bias, `1 x H`.
         b_cand: Matrix,
         /// Hidden units.
@@ -75,8 +79,9 @@ impl PackedCell {
 
     /// Approximate heap footprint of the packed weights in bytes.
     pub fn approx_bytes(&self) -> usize {
-        let floats = match self {
-            PackedCell::Lstm { w, b, .. } => w.data().len() + b.data().len(),
+        let f = std::mem::size_of::<f32>();
+        match self {
+            PackedCell::Lstm { w, b, .. } => w.approx_bytes() + std::mem::size_of_val(b.data()),
             PackedCell::Gru {
                 w_gates,
                 b_gates,
@@ -84,14 +89,46 @@ impl PackedCell {
                 b_cand,
                 ..
             } => {
-                w_gates.data().len()
-                    + b_gates.data().len()
-                    + w_cand.data().len()
-                    + b_cand.data().len()
+                w_gates.approx_bytes()
+                    + w_cand.approx_bytes()
+                    + (b_gates.data().len() + b_cand.data().len()) * f
             }
-        };
-        floats * std::mem::size_of::<f32>()
+        }
     }
+
+    /// Re-encodes the weight matrices in `mode`, tracking the largest
+    /// elementwise error into `max_err`.
+    fn quantize(&self, mode: QuantMode, max_err: &mut f64) -> Result<PackedCell, NnError> {
+        Ok(match self {
+            PackedCell::Lstm { w, b, hidden } => PackedCell::Lstm {
+                w: requantize(w, mode, max_err)?,
+                b: b.clone(),
+                hidden: *hidden,
+            },
+            PackedCell::Gru {
+                w_gates,
+                b_gates,
+                w_cand,
+                b_cand,
+                hidden,
+            } => PackedCell::Gru {
+                w_gates: requantize(w_gates, mode, max_err)?,
+                b_gates: b_gates.clone(),
+                w_cand: requantize(w_cand, mode, max_err)?,
+                b_cand: b_cand.clone(),
+                hidden: *hidden,
+            },
+        })
+    }
+}
+
+/// Re-encodes one weight operand (through f32 if it was already quantized),
+/// folding its reconstruction error into `max_err`.
+fn requantize(w: &QMatrix, mode: QuantMode, max_err: &mut f64) -> Result<QMatrix, NnError> {
+    let full = w.dequantize();
+    let q = QMatrix::quantize(&full, mode)?;
+    *max_err = max_err.max(q.max_abs_error(&full));
+    Ok(q)
 }
 
 /// Stacks `top` above `bottom` — the tape's `concat_rows`, used to pack the
@@ -117,21 +154,21 @@ pub fn pack_rows(top: &Matrix, bottom: &Matrix) -> Matrix {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ModelSpec {
     /// Source embedding table, `src_vocab x E`.
-    pub src_emb: Matrix,
+    pub src_emb: QMatrix,
     /// Target embedding table, `tgt_vocab x E`.
-    pub tgt_emb: Matrix,
+    pub tgt_emb: QMatrix,
     /// Encoder layers, bottom first.
     pub encoder: Vec<PackedCell>,
     /// Decoder layers, bottom first.
     pub decoder: Vec<PackedCell>,
     /// Bilinear attention weight (`General` attention only), `H x H`.
-    pub w_a: Option<Matrix>,
+    pub w_a: Option<QMatrix>,
     /// Attentional combination weight, `2H x H`.
-    pub w_c: Matrix,
+    pub w_c: QMatrix,
     /// Attentional combination bias, `1 x H`.
     pub b_c: Matrix,
     /// Output projection, `H x V`.
-    pub w_out: Matrix,
+    pub w_out: QMatrix,
     /// Output bias, `1 x V`.
     pub b_out: Matrix,
     /// Hidden units per layer.
@@ -158,15 +195,13 @@ impl ModelSpec {
     /// per-model cost of holding this artifact in a serving snapshot.
     pub fn approx_bytes(&self) -> usize {
         let f = std::mem::size_of::<f32>();
-        let mut bytes = (self.src_emb.data().len()
-            + self.tgt_emb.data().len()
-            + self.w_c.data().len()
-            + self.b_c.data().len()
-            + self.w_out.data().len()
-            + self.b_out.data().len())
-            * f;
+        let mut bytes = self.src_emb.approx_bytes()
+            + self.tgt_emb.approx_bytes()
+            + self.w_c.approx_bytes()
+            + self.w_out.approx_bytes()
+            + (self.b_c.data().len() + self.b_out.data().len()) * f;
         if let Some(w_a) = &self.w_a {
-            bytes += std::mem::size_of_val(w_a.data());
+            bytes += w_a.approx_bytes();
         }
         bytes += self
             .encoder
@@ -175,6 +210,77 @@ impl ModelSpec {
             .map(PackedCell::approx_bytes)
             .sum::<usize>();
         bytes
+    }
+
+    /// The weight encoding of this artifact.
+    ///
+    /// Weights are only ever re-encoded together (by [`ModelSpec::quantize`]),
+    /// so the output projection's mode speaks for all of them; a debug
+    /// assertion checks the invariant on the embedding tables.
+    pub fn quant_mode(&self) -> QuantMode {
+        debug_assert_eq!(self.w_out.mode(), self.src_emb.mode());
+        debug_assert_eq!(self.w_out.mode(), self.tgt_emb.mode());
+        self.w_out.mode()
+    }
+
+    /// Re-encodes every weight matrix in `mode` (via f32 if already
+    /// quantized), leaving biases and hyper-parameters untouched.
+    ///
+    /// Returns the quantized spec plus a [`QuantReport`] with the largest
+    /// elementwise weight error — the serving layer folds this into its
+    /// calibration record and refuses artifacts that drift past the declared
+    /// bound.
+    ///
+    /// Fails with [`NnError::NonFiniteWeight`] if any weight is NaN or
+    /// infinite.
+    pub fn quantize(&self, mode: QuantMode) -> Result<(ModelSpec, QuantReport), NnError> {
+        let mut max_err = 0.0f64;
+        let mut matrices = 0usize;
+        let mut q = |w: &QMatrix| -> Result<QMatrix, NnError> {
+            matrices += 1;
+            requantize(w, mode, &mut max_err)
+        };
+        let src_emb = q(&self.src_emb)?;
+        let tgt_emb = q(&self.tgt_emb)?;
+        let w_a = self.w_a.as_ref().map(&mut q).transpose()?;
+        let w_c = q(&self.w_c)?;
+        let w_out = q(&self.w_out)?;
+        let mut cells = |layers: &[PackedCell]| -> Result<Vec<PackedCell>, NnError> {
+            layers
+                .iter()
+                .map(|c| {
+                    matrices += match c {
+                        PackedCell::Lstm { .. } => 1,
+                        PackedCell::Gru { .. } => 2,
+                    };
+                    c.quantize(mode, &mut max_err)
+                })
+                .collect()
+        };
+        let encoder = cells(&self.encoder)?;
+        let decoder = cells(&self.decoder)?;
+        let spec = ModelSpec {
+            src_emb,
+            tgt_emb,
+            encoder,
+            decoder,
+            w_a,
+            w_c,
+            b_c: self.b_c.clone(),
+            w_out,
+            b_out: self.b_out.clone(),
+            hidden: self.hidden,
+            input_feeding: self.input_feeding,
+            bos: self.bos,
+        };
+        Ok((
+            spec,
+            QuantReport {
+                mode,
+                max_weight_error: max_err,
+                matrices,
+            },
+        ))
     }
 }
 
@@ -306,7 +412,7 @@ impl InferArena {
             let scr = &mut self.scratch;
             shape_to(&mut scr.x, batch, embed);
             for (r, s) in srcs.iter().enumerate() {
-                scr.x.row_mut(r).copy_from_slice(spec.src_emb.row(s[t]));
+                spec.src_emb.copy_row_into(s[t], scr.x.row_mut(r));
             }
             step_stack(&spec.encoder, scr, &mut state);
             assign(
@@ -340,7 +446,7 @@ impl InferArena {
         shape_to(&mut scr.x, batch, in_dim);
         for (r, &tok) in prev.iter().enumerate() {
             let row = scr.x.row_mut(r);
-            row[..embed].copy_from_slice(spec.tgt_emb.row(tok));
+            spec.tgt_emb.copy_row_into(tok, &mut row[..embed]);
             if spec.input_feeding {
                 if state.has_att {
                     row[embed..].copy_from_slice(state.att.row(r));
@@ -485,7 +591,7 @@ fn step_stack(layers: &[PackedCell], scr: &mut Scratch, state: &mut InferState) 
                     row[in_dim..].copy_from_slice(state.h[l].row(r));
                 }
                 shape_to(z, batch, 4 * hd);
-                xh.matmul_into(w, z);
+                xh.matmul_q_into(w, z);
                 add_row_inplace(z, b);
                 // Gate blocks copied out contiguously (the tape's
                 // slice_cols), then activated whole-buffer like the tape.
@@ -539,7 +645,7 @@ fn step_stack(layers: &[PackedCell], scr: &mut Scratch, state: &mut InferState) 
                     row[in_dim..].copy_from_slice(state.h[l].row(r));
                 }
                 shape_to(z, batch, 2 * hd);
-                xh.matmul_into(w_gates, z);
+                xh.matmul_q_into(w_gates, z);
                 add_row_inplace(z, b_gates);
                 copy_cols(z, 0, hd, gate_pre);
                 shape_to(ga, batch, hd); // r
@@ -566,7 +672,7 @@ fn step_stack(layers: &[PackedCell], scr: &mut Scratch, state: &mut InferState) 
                     row[in_dim..].copy_from_slice(rh.row(r));
                 }
                 shape_to(gate_pre, batch, hd);
-                xh.matmul_into(w_cand, gate_pre);
+                xh.matmul_q_into(w_cand, gate_pre);
                 add_row_inplace(gate_pre, b_cand);
                 shape_to(tc, batch, hd);
                 tanh_slice(gate_pre.data(), tc.data_mut());
@@ -607,7 +713,7 @@ fn attend(spec: &ModelSpec, scr: &mut Scratch, state: &mut InferState, enc_hs: &
     let q: &Matrix = match &spec.w_a {
         Some(w_a) => {
             shape_to(query, batch, hd);
-            h_top.matmul_into(w_a, query);
+            h_top.matmul_q_into(w_a, query);
             query
         }
         None => h_top,
@@ -661,13 +767,13 @@ fn attend(spec: &ModelSpec, scr: &mut Scratch, state: &mut InferState, enc_hs: &
         row[hd..].copy_from_slice(h_top.row(r));
     }
     shape_to(att_pre, batch, hd);
-    cat.matmul_into(&spec.w_c, att_pre);
+    cat.matmul_q_into(&spec.w_c, att_pre);
     add_row_inplace(att_pre, &spec.b_c);
     shape_to(att, batch, hd);
     tanh_slice(att_pre.data(), att.data_mut());
     *has_att = true;
     shape_to(logits, batch, spec.w_out.cols());
-    att.matmul_into(&spec.w_out, logits);
+    att.matmul_q_into(&spec.w_out, logits);
     add_row_inplace(logits, &spec.b_out);
 }
 
@@ -794,14 +900,14 @@ mod tests {
     fn infer_cache_clone_is_empty_and_clear_drops() {
         let cache = InferCache::new();
         let spec = ModelSpec {
-            src_emb: Matrix::zeros(2, 2),
-            tgt_emb: Matrix::zeros(2, 2),
+            src_emb: QMatrix::F32(Matrix::zeros(2, 2)),
+            tgt_emb: QMatrix::F32(Matrix::zeros(2, 2)),
             encoder: vec![],
             decoder: vec![],
             w_a: None,
-            w_c: Matrix::zeros(4, 2),
+            w_c: QMatrix::F32(Matrix::zeros(4, 2)),
             b_c: Matrix::zeros(1, 2),
-            w_out: Matrix::zeros(2, 2),
+            w_out: QMatrix::F32(Matrix::zeros(2, 2)),
             b_out: Matrix::zeros(1, 2),
             hidden: 2,
             input_feeding: false,

@@ -40,6 +40,7 @@ pub mod infer;
 pub mod lstm;
 pub mod matrix;
 pub mod optim;
+pub mod quant;
 pub mod reference;
 pub mod seq2seq;
 pub mod tape;
@@ -50,5 +51,6 @@ pub use infer::{InferArena, InferCtx, InferState, ModelSpec, PackedCell};
 pub use lstm::{LstmLayer, LstmStack};
 pub use matrix::Matrix;
 pub use optim::{Adam, Sgd};
+pub use quant::{QMatrix, QuantMode, QuantReport};
 pub use seq2seq::{AttentionKind, CellKind, Seq2Seq, Seq2SeqConfig};
 pub use tape::{ParamSet, Tape, TensorId};

@@ -103,7 +103,10 @@ impl LstmLayer {
     /// copied out of `params` once instead of per forward pass.
     pub fn pack_infer(&self, params: &ParamSet) -> crate::infer::PackedCell {
         crate::infer::PackedCell::Lstm {
-            w: crate::infer::pack_rows(params.value(self.wx), params.value(self.wh)),
+            w: crate::QMatrix::F32(crate::infer::pack_rows(
+                params.value(self.wx),
+                params.value(self.wh),
+            )),
             b: params.value(self.b).clone(),
             hidden: self.hidden,
         }

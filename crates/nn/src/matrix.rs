@@ -6,7 +6,7 @@
 //! row-major order.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 
 /// A dense row-major matrix of `f32` values.
 ///
@@ -17,11 +17,43 @@ use serde::{Deserialize, Serialize};
 /// let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
 /// assert_eq!(m.get(1, 0), 3.0);
 /// ```
-#[derive(Clone, Debug, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Default)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
+}
+
+impl Serialize for Matrix {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("rows".to_owned(), self.rows.to_content()),
+            ("cols".to_owned(), self.cols.to_content()),
+            ("data".to_owned(), self.data.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for Matrix {
+    /// Hand-written (identical wire format to the old derived impl) so the
+    /// shape is *validated* against the payload: a crafted or corrupted
+    /// artifact whose `data` length disagrees with `rows * cols` is rejected
+    /// here instead of panicking later inside a kernel's row indexing.
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let rows: usize = serde::__field(content, "rows")?;
+        let cols: usize = serde::__field(content, "cols")?;
+        let data: Vec<f32> = serde::__field(content, "data")?;
+        let elems = rows
+            .checked_mul(cols)
+            .ok_or_else(|| DeError::custom("matrix shape overflows"))?;
+        if data.len() != elems {
+            return Err(DeError::custom(format!(
+                "matrix {rows}x{cols} carries {} values",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
 }
 
 impl Matrix {
@@ -940,6 +972,20 @@ mod tests {
         let c = Matrix::uniform(5, 7, 1.0, &mut rng);
         a.matmul_nt_into(&c, &mut out_nt);
         assert_eq!(out_nt, a.matmul_nt(&c));
+    }
+
+    #[test]
+    fn deserialize_validates_shape_against_payload() {
+        let m = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let c = m.to_content();
+        assert_eq!(Matrix::from_content(&c).expect("roundtrip"), m);
+        let lying = Content::Map(vec![
+            ("rows".to_owned(), 2usize.to_content()),
+            ("cols".to_owned(), 3usize.to_content()),
+            ("data".to_owned(), vec![1.0f32; 4].to_content()),
+        ]);
+        let err = Matrix::from_content(&lying).expect_err("short payload");
+        assert!(err.to_string().contains("2x3"));
     }
 
     #[test]

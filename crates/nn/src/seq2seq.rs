@@ -604,15 +604,16 @@ impl Seq2Seq {
     /// [`crate::infer::InferArena`] (pinned by `tests/infer_parity.rs`).
     /// This is the artifact serving layers deploy and hot-swap.
     pub fn freeze(&self) -> ModelSpec {
+        use crate::QMatrix;
         ModelSpec {
-            src_emb: self.params.value(self.src_emb).clone(),
-            tgt_emb: self.params.value(self.tgt_emb).clone(),
+            src_emb: QMatrix::F32(self.params.value(self.src_emb).clone()),
+            tgt_emb: QMatrix::F32(self.params.value(self.tgt_emb).clone()),
             encoder: self.encoder.pack_infer(&self.params),
             decoder: self.decoder.pack_infer(&self.params),
-            w_a: self.w_a.map(|w| self.params.value(w).clone()),
-            w_c: self.params.value(self.w_c).clone(),
+            w_a: self.w_a.map(|w| QMatrix::F32(self.params.value(w).clone())),
+            w_c: QMatrix::F32(self.params.value(self.w_c).clone()),
             b_c: self.params.value(self.b_c).clone(),
-            w_out: self.params.value(self.w_out).clone(),
+            w_out: QMatrix::F32(self.params.value(self.w_out).clone()),
             b_out: self.params.value(self.b_out).clone(),
             hidden: self.cfg.hidden,
             input_feeding: self.cfg.input_feeding,

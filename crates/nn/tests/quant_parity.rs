@@ -1,0 +1,247 @@
+//! Drift harness for the quantized kernel family (`mdes_nn::quant`).
+//!
+//! The f32 fast kernels are pinned bit-identical to the reference loops
+//! (`tests/parity.rs`); the quantized path is **drift-bounded** instead.
+//! This suite makes every bound explicit and proptests it:
+//!
+//! * f16 round-trip error within half an ulp (`|x|·2^-11`, absolute floor
+//!   `2^-25` in the subnormal range), and never Inf/NaN;
+//! * int8 reconstruction within half a per-row scale step
+//!   (`max|row| / 254`) per element;
+//! * quantized GEMM output within a rounding budget of the f32 product of
+//!   the dequantized weights — the products are identical, so fast kernels
+//!   (which may fuse multiply-adds) and the naive oracle may differ only by
+//!   accumulated rounding, bounded via the absolute-value product;
+//! * the embedding-lookup path (`copy_row_into`) bit-identical to
+//!   `dequantize`;
+//! * batch invariance on random shapes: decoding row `r` of a batch gives
+//!   the same bits as decoding it alone (cross-session batching in the
+//!   serving layer relies on this);
+//! * end-to-end: a trained artifact re-encoded to f16/int8 must translate a
+//!   held-out corpus with high BLEU agreement against its own f32 decode.
+//!
+//! CI runs this file under both the default and `reference-kernels` builds,
+//! so the tiled AVX2/FMA kernels and the dequantize-and-accumulate oracle
+//! satisfy the same bounds.
+
+use mdes_nn::quant::{f16_to_f32, f32_to_f16};
+use mdes_nn::{InferArena, Matrix, QMatrix, QuantMode, Seq2Seq, Seq2SeqConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// `scale` decoded from a proptest integer: 0.1 .. ~12.8 — spans tiny rows
+/// and rows near the int8 default-policy ceiling.
+fn scale_from(raw: u32) -> f32 {
+    0.1 + raw as f32 / 10.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// f16 round-trip: error ≤ max(|x|·2^-11, 2^-25), always finite, and
+    /// magnitudes beyond the f16 range saturate at ±65504 instead of Inf.
+    #[test]
+    fn f16_roundtrip_within_declared_bound(seed in 0u64..1 << 32) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..256 {
+            // Span subnormals through the saturation threshold.
+            let exp = rng.gen_range(-30i32..20);
+            let x = rng.gen_range(-1.0f32..1.0) * 2.0f32.powi(exp);
+            let y = f16_to_f32(f32_to_f16(x));
+            prop_assert!(y.is_finite(), "{x} decoded non-finite");
+            if x.abs() >= 65504.0 {
+                prop_assert_eq!(y.abs(), 65504.0, "{}", x);
+            } else {
+                let bound = (x.abs() * 2.0f32.powi(-11)).max(2.0f32.powi(-25));
+                prop_assert!((x - y).abs() <= bound, "{} -> {} (bound {})", x, y, bound);
+            }
+        }
+    }
+
+    /// Int8 reconstruction: every element within half a scale step of the
+    /// original, where the step is `max|row| / 127`.
+    #[test]
+    fn int8_reconstruction_within_half_step(
+        rows in 1usize..12,
+        cols in 1usize..48,
+        raw_scale in 0u32..127,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::uniform(rows, cols, scale_from(raw_scale), &mut rng);
+        let q = QMatrix::quantize(&m, QuantMode::Int8).expect("finite weights");
+        let deq = q.dequantize();
+        for r in 0..rows {
+            let max_abs = m.row(r).iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+            let half_step = f64::from(max_abs) / 254.0;
+            for (c, (&a, &b)) in m.row(r).iter().zip(deq.row(r)).enumerate() {
+                let err = (f64::from(a) - f64::from(b)).abs();
+                prop_assert!(
+                    err <= half_step * (1.0 + 1e-5) + 1e-9,
+                    "({r},{c}): {a} vs {b}, err {err} > {half_step}"
+                );
+            }
+        }
+        // The aggregate report agrees with the per-row analytic bound.
+        let global = f64::from(
+            (0..rows)
+                .map(|r| m.row(r).iter().fold(0.0f32, |a, &x| a.max(x.abs())))
+                .fold(0.0f32, f32::max),
+        );
+        prop_assert!(q.max_abs_error(&m) <= global / 254.0 * (1.0 + 1e-5) + 1e-9);
+    }
+
+    /// Quantized GEMM vs the f32 product of the dequantized weights: the
+    /// same multiplications in the same per-element ascending order, so the
+    /// only admissible difference is accumulation rounding (the fast path
+    /// may fuse multiply-adds). Budget: `4(k+1)·ε` of the absolute-value
+    /// product, elementwise.
+    #[test]
+    fn qgemm_within_rounding_budget_of_dequantized_f32(
+        m in 1usize..10,
+        k in 1usize..48,
+        n in 1usize..72,
+        raw_scale in 0u32..40,
+        int8 in 0u8..=1,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(m, k, 1.0, &mut rng);
+        let w = Matrix::uniform(k, n, scale_from(raw_scale), &mut rng);
+        let mode = if int8 != 0 { QuantMode::Int8 } else { QuantMode::F16 };
+        let q = QMatrix::quantize(&w, mode).expect("finite weights");
+        let deq = q.dequantize();
+        let mut want = Matrix::zeros(m, n);
+        a.matmul_into(&deq, &mut want);
+        let mut got = Matrix::zeros(m, n);
+        a.matmul_q_into(&q, &mut got);
+        let budget_per_product = 4.0 * (k as f64 + 1.0) * f64::from(f32::EPSILON);
+        for i in 0..m {
+            for j in 0..n {
+                let absdot: f64 = (0..k)
+                    .map(|p| f64::from(a.row(i)[p].abs()) * f64::from(deq.row(p)[j].abs()))
+                    .sum();
+                let err = (f64::from(got.row(i)[j]) - f64::from(want.row(i)[j])).abs();
+                prop_assert!(
+                    err <= budget_per_product * absdot + 1e-30,
+                    "{mode} ({i},{j}): err {err} over budget {}",
+                    budget_per_product * absdot
+                );
+            }
+        }
+    }
+
+    /// The embedding-lookup path must agree with `dequantize` bit for bit.
+    #[test]
+    fn copy_row_into_matches_dequantize_exactly(
+        rows in 1usize..10,
+        cols in 1usize..40,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = Matrix::uniform(rows, cols, 2.0, &mut rng);
+        for mode in [QuantMode::F32, QuantMode::F16, QuantMode::Int8] {
+            let q = QMatrix::quantize(&m, mode).expect("finite weights");
+            let deq = q.dequantize();
+            let mut row = vec![0.0f32; cols];
+            for r in 0..rows {
+                q.copy_row_into(r, &mut row);
+                for (c, (&a, &b)) in row.iter().zip(deq.row(r)).enumerate() {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(), "{} ({},{})", mode, r, c);
+                }
+            }
+        }
+    }
+
+    /// Batch invariance on random shapes: row `r` of a batched product is
+    /// bit-identical to the same row computed in a batch of one — the
+    /// property cross-session batched decode is built on.
+    #[test]
+    fn qgemm_is_batch_invariant(
+        m in 2usize..9,
+        k in 1usize..40,
+        n in 1usize..70,
+        int8 in 0u8..=1,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(m, k, 1.0, &mut rng);
+        let w = Matrix::uniform(k, n, 1.0, &mut rng);
+        let mode = if int8 != 0 { QuantMode::Int8 } else { QuantMode::F16 };
+        let q = QMatrix::quantize(&w, mode).expect("finite weights");
+        let mut full = Matrix::zeros(m, n);
+        a.matmul_q_into(&q, &mut full);
+        for r in 0..m {
+            let single = Matrix::from_vec(1, k, a.row(r).to_vec());
+            let mut one = Matrix::zeros(1, n);
+            single.matmul_q_into(&q, &mut one);
+            for (j, (&x, &y)) in one.row(0).iter().zip(full.row(r)).enumerate() {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "{} ({},{})", mode, r, j);
+            }
+        }
+    }
+}
+
+/// End-to-end decode drift: a *trained* artifact (so logit gaps are real,
+/// not random near-ties) re-encoded to f16/int8 must translate a held-out
+/// corpus in near-perfect BLEU agreement with its own f32 decode, and the
+/// quantization report must stay within the analytic weight-error bound.
+#[test]
+fn quantized_decode_agrees_with_f32_decode_in_bleu() {
+    use mdes_bleu::{BleuStats, Smoothing};
+
+    let vocab = 8usize;
+    let pairs: Vec<(Vec<usize>, Vec<usize>)> = {
+        let mut rng = StdRng::seed_from_u64(41);
+        (0..24)
+            .map(|_| {
+                let src: Vec<usize> = (0..5).map(|_| rng.gen_range(1..vocab)).collect();
+                let tgt: Vec<usize> = src.iter().map(|&t| (t % (vocab - 1)) + 1).collect();
+                (src, tgt)
+            })
+            .collect()
+    };
+    let cfg = Seq2SeqConfig {
+        embed_dim: 16,
+        hidden: 16,
+        train_steps: 40,
+        ..Seq2SeqConfig::default()
+    };
+    let mut model = Seq2Seq::new(vocab, vocab, 0, cfg);
+    model.fit(&pairs).expect("fit");
+    let spec = model.freeze();
+
+    let held_out: Vec<Vec<usize>> = {
+        let mut rng = StdRng::seed_from_u64(43);
+        (0..16)
+            .map(|_| (0..5).map(|_| rng.gen_range(1..vocab)).collect())
+            .collect()
+    };
+    let srcs: Vec<&[usize]> = held_out.iter().map(Vec::as_slice).collect();
+    let mut arena = InferArena::new();
+    let baseline = arena.translate_batch(&spec, &srcs, 5);
+
+    for mode in [QuantMode::F16, QuantMode::Int8] {
+        let (qspec, report) = spec.quantize(mode).expect("quantize");
+        assert_eq!(report.mode, mode);
+        assert!(report.matrices > 0, "{mode}: nothing re-encoded");
+        // Xavier-initialized-then-trained weights stay well inside the
+        // serving layer's default 0.05 elementwise budget.
+        assert!(
+            report.max_weight_error < 0.05,
+            "{mode}: weight error {}",
+            report.max_weight_error
+        );
+        let hyps = arena.translate_batch(&qspec, &srcs, 5);
+        let mut stats = BleuStats::new(2);
+        for (hyp, reference) in hyps.iter().zip(&baseline) {
+            stats.update(hyp, reference);
+        }
+        let bleu = stats.score(Smoothing::AddOne);
+        assert!(
+            bleu >= 0.9,
+            "{mode}: quantized decode drifted to BLEU {bleu} against f32"
+        );
+    }
+}

@@ -148,9 +148,17 @@ fn cmd_sessions(shared: &Arc<Shared>, stream: &mut TcpStream) -> bool {
 }
 
 fn cmd_stats(shared: &Arc<Shared>, stream: &mut TcpStream) -> bool {
+    let snapshot = shared.engine.snapshot();
+    // A mixed-encoding snapshot cannot be published, but report it honestly
+    // rather than crash the admin plane if one ever appears.
+    let format = snapshot.quant_mode().map_or("mixed", |m| m.name());
     let line = format!(
-        "snapshot_version={} sessions={} engine_sessions={} conns={}",
+        "snapshot_version={} snapshot_format={} snapshot_bytes={} pair_models={} \
+         sessions={} engine_sessions={} conns={}",
         shared.engine.store().version(),
+        format,
+        snapshot.approx_bytes(),
+        snapshot.models().len(),
         shared
             .registry
             .lock()

@@ -464,6 +464,17 @@ fn admin_plane_speaks_the_documented_shape() {
     let (data, status) = admin.cmd("stats").expect("stats");
     assert_eq!(status, "ok");
     assert!(data[0].contains("sessions=1"), "got {data:?}");
+    // The active artifact's identity: weight encoding, footprint, and the
+    // number of frozen pair models (3 sensors -> 6 ordered pairs).
+    assert!(data[0].contains("snapshot_format=f32"), "got {data:?}");
+    assert!(data[0].contains("pair_models=6"), "got {data:?}");
+    let bytes: usize = data[0]
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("snapshot_bytes="))
+        .expect("snapshot_bytes field")
+        .parse()
+        .expect("numeric byte count");
+    assert!(bytes > 0, "got {data:?}");
 
     // Forced eviction through the admin plane.
     let (_, status) = admin.cmd(&format!("evict {session}")).expect("evict");
@@ -483,5 +494,81 @@ fn admin_plane_speaks_the_documented_shape() {
     let w = WireDetection::from(d.clone());
     assert_eq!(OnlineDetection::from(w), d);
 
+    server.stop();
+}
+
+#[test]
+fn quantized_snapshot_round_trips_through_network_publish() {
+    use mdes::core::serve::QuantPolicy;
+    use mdes::core::{QuantMode, TranslatorConfig};
+
+    // A two-sensor plant trained with the paper's neural family — the
+    // statistical default carries no weights to quantize. The detection
+    // margin keeps quantization noise from flipping broken decisions on
+    // this tiny plant.
+    let traces = vec![square("a", 710, 0), square("b", 710, 2)];
+    let mut cfg = base_config();
+    cfg.build.translator = TranslatorConfig::neural();
+    cfg.detection.valid_range = ScoreRange::closed(0.0, 100.0);
+    cfg.detection.margin = 5.0;
+    let m = Mdes::fit(&traces, 0..300, 300..450, cfg).expect("fit");
+    let snap = GraphSnapshot::freeze(&m);
+    let sets = m
+        .language()
+        .encode_segment(&traces, 450..700)
+        .expect("encode");
+    let q = snap
+        .quantize_calibrated(QuantMode::Int8, &QuantPolicy::default(), &sets)
+        .expect("quantize");
+    let score_bound = q.quant().expect("calibration record").score_bound;
+    let q_bytes = snapshot_to_bytes(&q).expect("serialize");
+
+    // In-process references: the f32 artifact all the way through, and the
+    // same mid-stream hot-swap the network path will perform.
+    let f32_engine = ServingEngine::new(snap.clone());
+    let mut f32_session = f32_engine.open_session(2).expect("session");
+    let f32_all = stream_in_process(&f32_engine, &mut f32_session, &traces, 450..700);
+
+    let swap_engine = ServingEngine::new(snap.clone());
+    let mut swap_session = swap_engine.open_session(2).expect("session");
+    let mut reference = stream_in_process(&swap_engine, &mut swap_session, &traces, 450..570);
+    swap_engine.publish(q.clone()).expect("in-process publish");
+    reference.extend(stream_in_process(
+        &swap_engine,
+        &mut swap_session,
+        &traces,
+        570..700,
+    ));
+
+    // The network path: stream, upload the quantized artifact through the
+    // admin plane, keep streaming against the swapped-in weights.
+    let server = start(ServingEngine::new(snap), test_config()).expect("start");
+    let mut client = IngestClient::connect(server.addr()).expect("connect");
+    let mut admin =
+        mdes::net::AdminClient::connect(server.admin_addr().expect("admin plane")).expect("admin");
+    let (session, _) = client.open_session(2).expect("open");
+    let mut served = stream_network(&mut client, session, &traces, 450..570);
+    let (_, status) = admin.publish(&q_bytes).expect("publish cmd");
+    assert!(status.starts_with("ok published"), "got {status:?}");
+    let (data, status) = admin.cmd("stats").expect("stats");
+    assert_eq!(status, "ok");
+    assert!(data[0].contains("snapshot_format=int8"), "got {data:?}");
+    assert!(data[0].contains("pair_models=2"), "got {data:?}");
+    served.extend(stream_network(&mut client, session, &traces, 570..700));
+
+    // Bit-identical to the in-process hot-swap, and every post-swap window
+    // stays within the artifact's own declared score-drift bound of the
+    // f32 reference.
+    assert_bit_identical(&served, &reference);
+    assert_eq!(served.len(), f32_all.len());
+    for (s, f) in served.iter().zip(&f32_all) {
+        assert!(
+            (s.score - f.score).abs() <= score_bound,
+            "window {}: quantized score {} drifted past {score_bound} from f32 {}",
+            s.sample_index,
+            s.score,
+            f.score
+        );
+    }
     server.stop();
 }

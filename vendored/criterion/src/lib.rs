@@ -11,6 +11,13 @@
 //! arguments act as a substring filter on benchmark names, and `--test` /
 //! `--bench` flags are accepted (and ignored) so `cargo test` and
 //! `cargo bench` both drive these targets.
+//!
+//! Beyond the printed `time: [..]` lines, every run accumulates one record
+//! per benchmark (name, mean, p50, p95, optional payload bytes declared via
+//! [`Bencher::bytes`]); when the `MDES_BENCH_JSON` environment variable
+//! names a file, [`Criterion::final_summary`] writes the records there as a
+//! JSON array, so CI and experiment scripts get machine-readable results
+//! without scraping stdout.
 
 #![warn(missing_docs)]
 
@@ -32,9 +39,17 @@ pub struct Bencher {
     /// Collected per-iteration times (ns) for the measurement phase.
     samples: Vec<f64>,
     measurement_time: Duration,
+    bytes: Option<u64>,
 }
 
 impl Bencher {
+    /// Declares the payload size (bytes) one iteration processes — carried
+    /// into the JSON record so throughput and artifact-size comparisons
+    /// don't need a side channel.
+    pub fn bytes(&mut self, n: u64) {
+        self.bytes = Some(n);
+    }
+
     /// Benchmarks `routine` by timing batches of calls.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Calibrate: find a batch size taking ~1ms.
@@ -85,10 +100,20 @@ impl Bencher {
     }
 }
 
+/// One benchmark's aggregated measurements.
+struct Record {
+    name: String,
+    mean_ns: f64,
+    p50_ns: f64,
+    p95_ns: f64,
+    bytes: Option<u64>,
+}
+
 /// Benchmark driver; one instance runs every registered bench function.
 pub struct Criterion {
     filter: Option<String>,
     measurement_time: Duration,
+    records: Vec<Record>,
 }
 
 impl Default for Criterion {
@@ -96,6 +121,7 @@ impl Default for Criterion {
         Criterion {
             filter: None,
             measurement_time: Duration::from_millis(300),
+            records: Vec::new(),
         }
     }
 }
@@ -143,8 +169,10 @@ impl Criterion {
         let mut bencher = Bencher {
             samples: Vec::new(),
             measurement_time: self.measurement_time,
+            bytes: None,
         };
         f(&mut bencher);
+        let bytes = bencher.bytes;
         let mut s = bencher.samples;
         if s.is_empty() {
             println!("{id:<40} (no samples)");
@@ -160,11 +188,55 @@ impl Criterion {
             fmt_ns(mid),
             fmt_ns(hi)
         );
+        self.records.push(Record {
+            name: id.to_owned(),
+            mean_ns: s.iter().sum::<f64>() / s.len() as f64,
+            p50_ns: percentile(&s, 0.50),
+            p95_ns: percentile(&s, 0.95),
+            bytes,
+        });
         self
     }
 
-    /// Finalizes the run (no-op; reports were printed inline).
-    pub fn final_summary(&mut self) {}
+    /// Finalizes the run: when `MDES_BENCH_JSON` names a file, the
+    /// accumulated records are written there as a JSON array.
+    pub fn final_summary(&mut self) {
+        if let Ok(path) = std::env::var("MDES_BENCH_JSON") {
+            if let Err(e) = self.write_json(std::path::Path::new(&path)) {
+                eprintln!("criterion: failed to write {path}: {e}");
+            }
+        }
+    }
+
+    /// Serializes the records by hand (the stand-in has no serde
+    /// dependency; the schema is five flat fields).
+    fn write_json(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = String::from("[\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let bytes = r.bytes.map_or_else(|| "null".to_owned(), |b| b.to_string());
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"p50_ns\": {:.1}, \
+                 \"p95_ns\": {:.1}, \"bytes\": {}}}{}\n",
+                r.name.replace('\\', "\\\\").replace('"', "\\\""),
+                r.mean_ns,
+                r.p50_ns,
+                r.p95_ns,
+                bytes,
+                if i + 1 < self.records.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out)
+    }
+}
+
+/// Interpolation-free percentile over an ascending-sorted sample slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 fn fmt_ns(ns: f64) -> String {
@@ -238,6 +310,27 @@ mod tests {
         c.bench_function("smoke/batched", |b| {
             b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn records_written_as_json() {
+        let mut c = Criterion::default();
+        c.measurement_time(Duration::from_millis(2));
+        c.bench_function("smoke/json", |b| {
+            b.bytes(512);
+            b.iter(|| std::hint::black_box(1u64 + 1))
+        });
+        c.bench_function("smoke/json_nobytes", |b| b.iter(|| std::hint::black_box(2)));
+        let path =
+            std::env::temp_dir().join(format!("criterion_json_test_{}.json", std::process::id()));
+        c.write_json(&path).expect("write");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        std::fs::remove_file(&path).ok();
+        assert!(text.contains("\"name\": \"smoke/json\""), "{text}");
+        assert!(text.contains("\"bytes\": 512"), "{text}");
+        assert!(text.contains("\"bytes\": null"), "{text}");
+        assert!(text.contains("\"mean_ns\""), "{text}");
+        assert!(text.contains("\"p95_ns\""), "{text}");
     }
 
     #[test]
