@@ -1,58 +1,360 @@
-//! Scalability experiment (paper §III-A2: "model scalability is not a
-//! concern ... this can be further accelerated if this process is done in
-//! parallel for different sensor pairs").
+//! Scalability experiment: the prescreened, sharded Algorithm 1 at fleet
+//! scale (paper §III-A2: "model scalability is not a concern ... this can
+//! be further accelerated if this process is done in parallel").
 //!
-//! Measures the pairwise sweep as the sensor count grows: the model count
-//! is quadratic but each model is independent, so wall-clock scales with
-//! `N^2 / cores`. Run on a multi-core host to see the parallel speed-up;
-//! the sweep uses all available cores by default.
+//! The exhaustive sweep trains `N·(N-1)` neural models — out of reach past
+//! a few hundred sensors on one core. This experiment validates the
+//! two-stage substitute end to end:
+//!
+//! * **Phase A — recall.** On a paper-scale plant (128 sensors) the
+//!   exhaustive tiny-NMT sweep is still feasible, so the n-gram prescreen
+//!   can be graded against ground truth: what fraction of the pairs the
+//!   exhaustive sweep scores inside the validity band does the prescreen
+//!   keep? Asserted ≥ 0.95.
+//! * **Phase B — fleet build.** A 512-sensor (``--sensors=N`` up to 1000)
+//!   fleet with deterministically spread component periods is prescreened
+//!   and the survivors swept in checkpointed shards. Asserts the memory
+//!   bound (peak shard corpus ∝ shard sensor union, not the fleet) and
+//!   that an immediate re-run resumes every pair from the shard
+//!   checkpoints with identical scores.
+//!
+//! Flags: `--smoke` (24/64 sensors, CI-sized), `--sensors=N` (fleet size,
+//! default 512).
+//!
+//! Writes `results/BENCH_scalability.json`.
 
-use mdes_bench::plant_study::{translator_from_args, PlantScale, PlantStudy};
-use mdes_bench::report::{print_table, write_csv};
+use mdes_bench::report::{arg_flag, arg_value, print_table, results_dir, write_json, BenchRecord};
+use mdes_core::{
+    build_graph, build_graph_sharded, prescreen_pairs, GraphBuildConfig, PrescreenConfig,
+    ShardedSweepConfig, TrainedGraph, TranslatorConfig,
+};
+use mdes_graph::ScoreRange;
+use mdes_lang::{LanguagePipeline, WindowConfig};
+use mdes_nn::Seq2SeqConfig;
+use mdes_synth::plant::{generate, PlantConfig, PlantData};
+use std::time::Instant;
+
+/// The refine-stage translator: the paper's seq2seq, sized for single-core
+/// sweeps of thousands of pairs.
+fn tiny_nmt() -> TranslatorConfig {
+    TranslatorConfig::Nmt(Seq2SeqConfig {
+        embed_dim: 8,
+        hidden: 8,
+        train_steps: 30,
+        batch_size: 4,
+        ..Seq2SeqConfig::default()
+    })
+}
+
+fn window() -> WindowConfig {
+    WindowConfig {
+        word_len: 8,
+        word_stride: 1,
+        sent_len: 10,
+        sent_stride: 10,
+    }
+}
+
+fn fit(plant: &PlantData) -> LanguagePipeline {
+    LanguagePipeline::fit(&plant.traces, plant.days_range(1, 4), window())
+        .expect("fit plant languages")
+}
+
+/// Sorted `(src, dst, train_score)` triples — the comparison key that is
+/// stable across resumed runs (wall-clock timings are not).
+fn score_key(g: &TrainedGraph) -> Vec<(usize, usize, u64)> {
+    let mut v: Vec<(usize, usize, u64)> = g
+        .models()
+        .iter()
+        .map(|m| (m.src, m.dst, m.train_score.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[derive(serde::Serialize)]
+struct ScalabilityReport {
+    smoke: bool,
+    recall_sensors: usize,
+    recall_in_range_pairs: usize,
+    prescreen_recall: f64,
+    prescreen_kept_fraction: f64,
+    prescreen_speedup: f64,
+    fleet_sensors: usize,
+    fleet_pairs_total: usize,
+    fleet_survivors: usize,
+    models_trained: usize,
+    shards: usize,
+    resumed_on_rerun: usize,
+    peak_shard_corpus_bytes: usize,
+    peak_shard_sensors: usize,
+    fleet_corpus_bytes: usize,
+    distinct_sensors: usize,
+    prescreen_secs: f64,
+    sweep_secs: f64,
+    latencies: Vec<BenchRecord>,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let translator = translator_from_args(&args);
-    println!("Scalability of the pairwise sweep ({translator:?})\n");
-    let mut rows = Vec::new();
-    for sensors in [8usize, 16, 32, 64] {
-        let scale = PlantScale {
-            n_sensors: sensors,
-            minutes_per_day: 240,
-            word_len: 8,
-            sent_len: 10,
-        };
-        let start = std::time::Instant::now();
-        let study = PlantStudy::run(&scale, translator.clone());
-        let wall = start.elapsed().as_secs_f64();
-        let models = study.trained.models().len();
-        let cpu: f64 = study.trained.runtimes().iter().sum();
-        rows.push(vec![
-            sensors.to_string(),
-            models.to_string(),
-            format!("{wall:.2}s"),
-            format!("{cpu:.2}s"),
-            format!("{:.2}ms", 1000.0 * cpu / models as f64),
-        ]);
-    }
-    print_table(
-        &[
-            "sensors",
-            "models",
-            "wall time",
-            "cpu time (sum)",
-            "per model",
-        ],
-        &rows,
+    let smoke = arg_flag(&args, "smoke");
+    let fleet_sensors = if smoke {
+        64
+    } else {
+        arg_value(&args, "sensors")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(512)
+    };
+    let recall_sensors = if smoke { 24 } else { 128 };
+    println!(
+        "Prescreened, sharded Algorithm 1 — recall at {recall_sensors} sensors, \
+         fleet build at {fleet_sensors} sensors\n"
+    );
+
+    // ---- Phase A: prescreen recall against the exhaustive sweep --------
+    let plant = generate(&PlantConfig {
+        n_sensors: recall_sensors,
+        days: 8,
+        minutes_per_day: 240,
+        ..PlantConfig::default()
+    });
+    let pipeline = fit(&plant);
+    let train = plant.days_range(1, 4);
+    let dev = plant.days_range(5, 6);
+    let train_sets = pipeline
+        .encode_segment(&plant.traces, train.clone())
+        .expect("encode train");
+    let dev_sets = pipeline
+        .encode_segment(&plant.traces, dev.clone())
+        .expect("encode dev");
+
+    eprintln!(
+        "[recall] exhaustive tiny-NMT sweep over {} pairs ...",
+        pipeline.sensor_count() * (pipeline.sensor_count() - 1)
+    );
+    let t0 = Instant::now();
+    let exhaustive = build_graph(
+        &pipeline,
+        &train_sets,
+        &dev_sets,
+        &GraphBuildConfig {
+            translator: tiny_nmt(),
+            ..GraphBuildConfig::default()
+        },
+    )
+    .expect("exhaustive sweep");
+    let exhaustive_secs = t0.elapsed().as_secs_f64();
+
+    // The validity band the fleet build will deploy. The plant's score
+    // distribution is bimodal (strongly related pairs land well above 80,
+    // unrelated pairs far below), so this band separates real edges from
+    // noise for both translator families.
+    let band = ScoreRange::closed(80.0, 100.0);
+    let in_range: Vec<(usize, usize)> = exhaustive
+        .models()
+        .iter()
+        .filter(|m| band.contains(m.train_score))
+        .map(|m| (m.src, m.dst))
+        .collect();
+    assert!(
+        !in_range.is_empty(),
+        "recall band {band:?} contains no exhaustive edges"
+    );
+
+    let screen_cfg = PrescreenConfig {
+        range: band,
+        margin: 10.0,
+        ..PrescreenConfig::default()
+    };
+    let t0 = Instant::now();
+    let screened = prescreen_pairs(&pipeline, &plant.traces, train, dev, &screen_cfg)
+        .expect("recall prescreen");
+    let prescreen_a_secs = t0.elapsed().as_secs_f64();
+    let survivors = screened.survivors();
+    let kept_in_range = in_range
+        .iter()
+        .filter(|p| survivors.binary_search(p).is_ok())
+        .count();
+    let recall = kept_in_range as f64 / in_range.len() as f64;
+    let kept_fraction = screened.kept() as f64 / screened.total_pairs() as f64;
+    let speedup = exhaustive_secs / prescreen_a_secs.max(1e-9);
+    println!(
+        "[recall] band {:.1}..{:.1}: {}/{} in-range edges kept (recall {recall:.3}), \
+         kept {:.1}% of all pairs, prescreen {:.2}s vs exhaustive {:.2}s ({speedup:.0}x)",
+        band.lo(),
+        band.hi(),
+        kept_in_range,
+        in_range.len(),
+        100.0 * kept_fraction,
+        prescreen_a_secs,
+        exhaustive_secs,
+    );
+    assert!(
+        recall >= 0.95,
+        "prescreen recall {recall:.3} below the 0.95 target \
+         ({kept_in_range}/{} in-range edges kept)",
+        in_range.len()
+    );
+
+    // ---- Phase B: prescreened, sharded fleet build ---------------------
+    let fleet = generate(&PlantConfig::fleet(fleet_sensors));
+    let pipeline = fit(&fleet);
+    let train = fleet.days_range(1, 4);
+    let dev = fleet.days_range(5, 6);
+    let n = pipeline.sensor_count();
+    eprintln!("[fleet] prescreening {} pairs ...", n * (n - 1));
+    let t0 = Instant::now();
+    let screen_cfg = PrescreenConfig {
+        range: band,
+        margin: 10.0,
+        ..PrescreenConfig::default()
+    };
+    let screened = prescreen_pairs(
+        &pipeline,
+        &fleet.traces,
+        train.clone(),
+        dev.clone(),
+        &screen_cfg,
+    )
+    .expect("fleet prescreen");
+    let prescreen_secs = t0.elapsed().as_secs_f64();
+    let survivors = screened.survivors();
+    println!(
+        "[fleet] prescreen kept {}/{} pairs ({:.1}%) in {prescreen_secs:.2}s, \
+         peak block corpus {} KiB",
+        screened.kept(),
+        screened.total_pairs(),
+        100.0 * screened.kept() as f64 / screened.total_pairs() as f64,
+        screened.peak_block_corpus_bytes() / 1024,
+    );
+    assert!(
+        screened.kept() < screened.total_pairs(),
+        "fleet prescreen pruned nothing — the spread-period fleet must have \
+         out-of-band pairs"
+    );
+
+    let ckpt_dir = results_dir().join(format!("scalability_ckpt_{fleet_sensors}"));
+    let _ = std::fs::remove_dir_all(&ckpt_dir); // stale selections would be rejected
+    let sharded_cfg = ShardedSweepConfig {
+        build: GraphBuildConfig {
+            translator: tiny_nmt(),
+            ..GraphBuildConfig::default()
+        },
+        pairs_per_shard: if smoke { 64 } else { 128 },
+        checkpoint_dir: Some(ckpt_dir.to_string_lossy().into_owned()),
+        checkpoint_every: 16,
+    };
+    eprintln!(
+        "[fleet] sharded NMT sweep over {} survivors ...",
+        survivors.len()
+    );
+    let t0 = Instant::now();
+    let (trained, report) = build_graph_sharded(
+        &pipeline,
+        &fleet.traces,
+        train.clone(),
+        dev.clone(),
+        &survivors,
+        &sharded_cfg,
+    )
+    .expect("sharded sweep");
+    let sweep_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "[fleet] {} models in {} shards, {sweep_secs:.2}s; peak shard corpus \
+         {} KiB over {} sensors (fleet: {} KiB over {} sensors)",
+        trained.models().len(),
+        report.shards,
+        report.peak_shard_corpus_bytes / 1024,
+        report.peak_shard_sensors,
+        report.fleet_corpus_bytes / 1024,
+        report.distinct_sensors,
+    );
+
+    // The memory bound, asserted: the peak shard's resident corpus must
+    // not exceed its share of the fleet footprint (peak sensors / distinct
+    // sensors), with 2x slack for unevenly sized sensor corpora. A
+    // regression that re-encodes the whole fleet per shard trips this.
+    assert!(report.peak_shard_sensors < report.distinct_sensors);
+    assert!(
+        report.peak_shard_corpus_bytes * report.distinct_sensors
+            <= report.fleet_corpus_bytes * report.peak_shard_sensors * 2,
+        "peak shard corpus {} B is not bounded by its sensor share \
+         ({}/{} sensors of {} B fleet)",
+        report.peak_shard_corpus_bytes,
+        report.peak_shard_sensors,
+        report.distinct_sensors,
+        report.fleet_corpus_bytes,
+    );
+
+    // Re-run over the same selection: every pair must come back from the
+    // shard checkpoints, with scores identical to the live sweep.
+    let (resumed_graph, resumed_report) = build_graph_sharded(
+        &pipeline,
+        &fleet.traces,
+        train,
+        dev,
+        &survivors,
+        &sharded_cfg,
+    )
+    .expect("resumed sweep");
+    assert_eq!(
+        resumed_report.resumed, resumed_report.pairs_total,
+        "re-run must resume every pair from shard checkpoints"
+    );
+    assert_eq!(
+        score_key(&trained),
+        score_key(&resumed_graph),
+        "resumed graph must match the live sweep"
     );
     println!(
-        "\nModels grow as N(N-1); per-model cost is flat, so the sweep parallelizes\n\
-         embarrassingly — the paper's scalability argument."
+        "[fleet] re-run resumed {}/{} pairs from {} shard checkpoints",
+        resumed_report.resumed, resumed_report.pairs_total, resumed_report.shards,
     );
-    let path = write_csv(
-        "scalability.csv",
-        &["sensors", "models", "wall_time", "cpu_time", "per_model_ms"],
-        &rows,
+
+    // ---- Report --------------------------------------------------------
+    let runtimes = trained.runtimes();
+    let nmt_ns: Vec<f64> = runtimes.iter().map(|s| s * 1e9).collect();
+    let screen_ns = vec![prescreen_secs * 1e9 / screened.total_pairs() as f64; 1];
+    let latencies = vec![
+        BenchRecord::from_samples("scalability/nmt_pair_train", &nmt_ns, None),
+        BenchRecord::from_samples("scalability/prescreen_pair", &screen_ns, None),
+    ];
+    print_table(
+        &["stage", "pairs", "wall time"],
+        &[
+            vec![
+                "prescreen".into(),
+                screened.total_pairs().to_string(),
+                format!("{prescreen_secs:.2}s"),
+            ],
+            vec![
+                "sharded sweep".into(),
+                survivors.len().to_string(),
+                format!("{sweep_secs:.2}s"),
+            ],
+        ],
     );
+    let out = ScalabilityReport {
+        smoke,
+        recall_sensors,
+        recall_in_range_pairs: in_range.len(),
+        prescreen_recall: recall,
+        prescreen_kept_fraction: kept_fraction,
+        prescreen_speedup: speedup,
+        fleet_sensors,
+        fleet_pairs_total: screened.total_pairs(),
+        fleet_survivors: survivors.len(),
+        models_trained: trained.models().len(),
+        shards: report.shards,
+        resumed_on_rerun: resumed_report.resumed,
+        peak_shard_corpus_bytes: report.peak_shard_corpus_bytes,
+        peak_shard_sensors: report.peak_shard_sensors,
+        fleet_corpus_bytes: report.fleet_corpus_bytes,
+        distinct_sensors: report.distinct_sensors,
+        prescreen_secs,
+        sweep_secs,
+        latencies,
+    };
+    let path = write_json("BENCH_scalability.json", &out);
     println!("wrote {}", path.display());
 }

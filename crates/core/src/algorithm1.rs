@@ -115,6 +115,13 @@ pub struct GraphBuildConfig {
     /// Fault-injection hook for chaos tests: workers deliberately panic on
     /// these `(src, dst)` pairs. Leave empty (the default) outside tests.
     pub chaos_fail_pairs: Vec<(usize, usize)>,
+    /// Fault-injection hook for chaos tests: a worker panics *outside* the
+    /// per-pair `catch_unwind` isolation when it claims one of these pairs,
+    /// simulating a panic in merge/checkpoint plumbing (the
+    /// [`CoreError::WorkerLost`] path). Never serialized; leave empty
+    /// outside tests.
+    #[serde(skip)]
+    pub chaos_lose_worker_pairs: Vec<(usize, usize)>,
 }
 
 impl Default for GraphBuildConfig {
@@ -131,6 +138,7 @@ impl Default for GraphBuildConfig {
             max_retries: 2,
             checkpoint: None,
             chaos_fail_pairs: Vec::new(),
+            chaos_lose_worker_pairs: Vec::new(),
         }
     }
 }
@@ -265,9 +273,16 @@ impl std::fmt::Debug for TrainedGraph {
 
 /// Per-pair sweep outcome; slot order is the deterministic pair order, so
 /// assembly does not depend on thread scheduling.
-enum PairOutcome {
+pub(crate) enum PairOutcome {
     Model(Box<PairModel>),
     Quarantined(QuarantinedPair),
+}
+
+/// Raw result of one [`sweep_pairs`] call: one outcome per requested pair,
+/// in pair order, plus how many outcomes came from a resumed checkpoint.
+pub(crate) struct SweepOutput {
+    pub(crate) slots: Vec<Option<PairOutcome>>,
+    pub(crate) resumed: usize,
 }
 
 /// Runs Algorithm 1: trains two directional models per sensor pair and
@@ -302,13 +317,53 @@ pub fn build_graph(
         .flat_map(|i| (0..n).map(move |j| (i, j)))
         .filter(|(i, j)| i != j)
         .collect();
+    let train_refs: Vec<Option<&SentenceSet>> = train_sets.iter().map(Some).collect();
+    let dev_refs: Vec<Option<&SentenceSet>> = dev_sets.iter().map(Some).collect();
+    let fingerprint = sweep_fingerprint(pipeline, cfg, &pairs);
+    let out = sweep_pairs(pipeline, &train_refs, &dev_refs, &pairs, cfg, fingerprint)?;
+    assemble_graph(pipeline, out.slots, pairs.len(), cfg.policy)
+}
+
+/// Trains the given ordered pairs on a worker pool and returns one outcome
+/// slot per pair, honoring retries, the failure policy, checkpointing and
+/// resume. The corpus slices are indexed by surviving-sensor index; entries
+/// for sensors no swept pair touches may be `None` (the sharded path
+/// provides only the shard's sensors).
+///
+/// # Panics
+///
+/// Panics if a swept pair references an out-of-range sensor, a self-pair,
+/// or a sensor whose corpus slot is `None` — those are caller bugs, not
+/// runtime conditions.
+pub(crate) fn sweep_pairs(
+    pipeline: &LanguagePipeline,
+    train_sets: &[Option<&SentenceSet>],
+    dev_sets: &[Option<&SentenceSet>],
+    pairs: &[(usize, usize)],
+    cfg: &GraphBuildConfig,
+    fingerprint: u64,
+) -> Result<SweepOutput, CoreError> {
+    let n = pipeline.sensor_count();
+    for &(i, j) in pairs {
+        assert!(
+            i < n && j < n && i != j,
+            "swept pair ({i} -> {j}) invalid for {n} sensors"
+        );
+        assert!(
+            train_sets[i].is_some()
+                && train_sets[j].is_some()
+                && dev_sets[i].is_some()
+                && dev_sets[j].is_some(),
+            "corpora for pair ({i} -> {j}) not provided to the sweep"
+        );
+    }
     let total = pairs.len();
 
     let results: Mutex<Vec<Option<PairOutcome>>> = Mutex::new((0..total).map(|_| None).collect());
-    let fingerprint = sweep_fingerprint(pipeline, cfg);
     let mut sweep_span = mdes_obs::span("algo1.sweep");
     sweep_span.field("sensors", n);
     sweep_span.field("pairs", total);
+    let mut resumed = 0;
 
     // Resume: prefill slots from a valid checkpoint at the configured path.
     if let Some(ck) = &cfg.checkpoint {
@@ -338,7 +393,7 @@ pub fn build_graph(
                     slots[k] = Some(PairOutcome::Quarantined(q));
                 }
             }
-            let resumed = slots.iter().filter(|s| s.is_some()).count();
+            resumed = slots.iter().filter(|s| s.is_some()).count();
             sweep_span.field("resumed", resumed);
             mdes_obs::counter("algo1.pairs_resumed", resumed as u64);
         }
@@ -359,7 +414,7 @@ pub fn build_graph(
         cfg.threads
     };
 
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads.max(1) {
             scope.spawn(|_| loop {
                 let k = next.fetch_add(1, Ordering::Relaxed);
@@ -370,6 +425,12 @@ pub fn build_graph(
                     continue; // restored from checkpoint
                 }
                 let (i, j) = pairs[k];
+                if cfg.chaos_lose_worker_pairs.contains(&(i, j)) {
+                    // Deliberately OUTSIDE the catch_unwind below: simulates
+                    // a panic in merge/checkpoint plumbing, killing this
+                    // worker with the pair claimed but no outcome recorded.
+                    panic!("chaos: worker lost outside pair isolation at ({i} -> {j})");
+                }
                 let mut pair_span = mdes_obs::span("algo1.pair");
                 pair_span.field("src", i);
                 pair_span.field("dst", j);
@@ -455,13 +516,70 @@ pub fn build_graph(
                 }
             });
         }
-    })
-    .expect("worker panics are contained by catch_unwind");
+    });
 
+    // Typed per-pair FailFast failures win over a lost worker: they carry
+    // the offending pair and the underlying error.
     if let Some(e) = failure.into_inner() {
         return Err(e);
     }
 
+    let mut slots = results.into_inner();
+    if let Err(payload) = scope_result {
+        // A panic escaped between catch_unwind boundaries (slot merge,
+        // checkpoint plumbing, a chaos injection), so at least one worker
+        // died with pairs unclaimed or claimed-but-unrecorded.
+        let detail = format!(
+            "worker panicked outside pair isolation: {}",
+            panic_message(&*payload)
+        );
+        mdes_obs::counter("algo1.workers_lost", 1);
+        let lost = slots.iter().filter(|s| s.is_none()).count();
+        match cfg.policy {
+            FailurePolicy::FailFast => {
+                return Err(CoreError::WorkerLost { lost, detail });
+            }
+            FailurePolicy::Degrade { .. } => {
+                for (k, slot) in slots.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        let (src, dst) = pairs[k];
+                        mdes_obs::counter("algo1.pairs_quarantined", 1);
+                        *slot = Some(PairOutcome::Quarantined(QuarantinedPair {
+                            src,
+                            dst,
+                            error: detail.clone(),
+                            retries: 0,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(ck) = &cfg.checkpoint {
+        // Final write so the checkpoint reflects the completed sweep; unlike
+        // periodic writes this failure is surfaced — the caller asked for a
+        // durable artifact and silently lacking one defeats the point.
+        let snap = snapshot(&slots, fingerprint);
+        write_checkpoint(Path::new(&ck.path), &snap)?;
+    }
+    let trained = slots
+        .iter()
+        .filter(|s| matches!(s, Some(PairOutcome::Model(_))))
+        .count();
+    sweep_span.field("trained", trained);
+    sweep_span.field("quarantined", total - trained);
+    Ok(SweepOutput { slots, resumed })
+}
+
+/// Assembles completed sweep slots into the graph, enforcing the `Degrade`
+/// minimum-success-fraction over `total` attempted pairs.
+pub(crate) fn assemble_graph(
+    pipeline: &LanguagePipeline,
+    slots: Vec<Option<PairOutcome>>,
+    total: usize,
+    policy: FailurePolicy,
+) -> Result<TrainedGraph, CoreError> {
     let names: Vec<String> = pipeline
         .languages()
         .iter()
@@ -471,14 +589,6 @@ pub fn build_graph(
     let mut models = Vec::with_capacity(total);
     let mut quarantined = Vec::new();
     let mut index = HashMap::with_capacity(total);
-    let slots = results.into_inner();
-    if let Some(ck) = &cfg.checkpoint {
-        // Final write so the checkpoint reflects the completed sweep; unlike
-        // periodic writes this failure is surfaced — the caller asked for a
-        // durable artifact and silently lacking one defeats the point.
-        let snap = snapshot(&slots, fingerprint);
-        write_checkpoint(Path::new(&ck.path), &snap)?;
-    }
     for outcome in slots.into_iter().flatten() {
         match outcome {
             PairOutcome::Model(model) => {
@@ -491,7 +601,7 @@ pub fn build_graph(
     }
     if let FailurePolicy::Degrade {
         min_success_fraction,
-    } = cfg.policy
+    } = policy
     {
         let failed = quarantined.len();
         let succeeded = total - failed;
@@ -499,8 +609,6 @@ pub fn build_graph(
             return Err(CoreError::TooManyFailedPairs { failed, total });
         }
     }
-    sweep_span.field("trained", models.len());
-    sweep_span.field("quarantined", quarantined.len());
     Ok(TrainedGraph {
         graph,
         models,
@@ -526,12 +634,19 @@ fn snapshot(slots: &[Option<PairOutcome>], fingerprint: u64) -> CheckpointData {
     }
 }
 
-/// Hashes the sweep inputs that determine pair models: sensor names and the
-/// model-affecting configuration. Scheduling and robustness knobs (threads,
-/// policy, checkpointing, chaos hooks) are deliberately excluded — they do
-/// not change what a completed pair model contains, so a checkpoint remains
-/// resumable across them.
-fn sweep_fingerprint(pipeline: &LanguagePipeline, cfg: &GraphBuildConfig) -> u64 {
+/// Hashes the sweep inputs that determine pair models: sensor names, the
+/// model-affecting configuration, and the exact ordered list of pairs this
+/// sweep covers. Scheduling and robustness knobs (threads, policy,
+/// checkpointing, chaos hooks) are deliberately excluded — they do not
+/// change what a completed pair model contains, so a checkpoint remains
+/// resumable across them. The pair list is *included* because it is part of
+/// the sweep's identity: a checkpoint taken over a different prescreen
+/// selection (or a different shard slice) must not silently resume.
+pub(crate) fn sweep_fingerprint(
+    pipeline: &LanguagePipeline,
+    cfg: &GraphBuildConfig,
+    pairs: &[(usize, usize)],
+) -> u64 {
     let names: Vec<&str> = pipeline
         .languages()
         .iter()
@@ -543,7 +658,13 @@ fn sweep_fingerprint(pipeline: &LanguagePipeline, cfg: &GraphBuildConfig) -> u64
         "{names:?}|{translator}|{bleu}|{}|{}",
         cfg.floor_quantile, cfg.max_retries
     );
-    crate::checkpoint::fnv1a(text.as_bytes())
+    let mut bytes = text.into_bytes();
+    bytes.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for &(i, j) in pairs {
+        bytes.extend_from_slice(&(i as u64).to_le_bytes());
+        bytes.extend_from_slice(&(j as u64).to_le_bytes());
+    }
+    crate::checkpoint::fnv1a(&bytes)
 }
 
 fn panic_message(payload: &(dyn Any + Send)) -> String {
@@ -574,6 +695,32 @@ fn validate_alignment(sets: &[SentenceSet], n: usize) -> Result<(), CoreError> {
                 found: s.len(),
             });
         }
+    }
+    Ok(())
+}
+
+/// Alignment check over sparsely-provided corpora (the sharded path encodes
+/// only the shard's sensors): every provided set must be non-empty and
+/// sentence counts must agree across all provided sets.
+pub(crate) fn validate_alignment_sparse(sets: &[Option<&SentenceSet>]) -> Result<(), CoreError> {
+    let mut expected: Option<usize> = None;
+    for s in sets.iter().flatten() {
+        if s.is_empty() {
+            return Err(CoreError::EmptyCorpus);
+        }
+        match expected {
+            None => expected = Some(s.len()),
+            Some(count) if s.len() != count => {
+                return Err(CoreError::MisalignedCorpora {
+                    expected: count,
+                    found: s.len(),
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    if expected.is_none() {
+        return Err(CoreError::EmptyCorpus);
     }
     Ok(())
 }
@@ -621,8 +768,8 @@ fn retuned_translator(base: &TranslatorConfig, attempt: u64) -> TranslatorConfig
 
 fn train_pair_with_retries(
     pipeline: &LanguagePipeline,
-    train_sets: &[SentenceSet],
-    dev_sets: &[SentenceSet],
+    train_sets: &[Option<&SentenceSet>],
+    dev_sets: &[Option<&SentenceSet>],
     i: usize,
     j: usize,
     cfg: &GraphBuildConfig,
@@ -635,18 +782,22 @@ fn train_pair_with_retries(
 
 fn train_pair(
     pipeline: &LanguagePipeline,
-    train_sets: &[SentenceSet],
-    dev_sets: &[SentenceSet],
+    train_sets: &[Option<&SentenceSet>],
+    dev_sets: &[Option<&SentenceSet>],
     i: usize,
     j: usize,
     tcfg: &TranslatorConfig,
     cfg: &GraphBuildConfig,
 ) -> Result<PairModel, CoreError> {
     let start = Instant::now();
-    let pairs: Vec<(Vec<u32>, Vec<u32>)> = train_sets[i]
+    // sweep_pairs validated presence for every swept pair up front.
+    let present = "sweep validated corpus presence";
+    let (train_i, train_j) = (train_sets[i].expect(present), train_sets[j].expect(present));
+    let (dev_i, dev_j) = (dev_sets[i].expect(present), dev_sets[j].expect(present));
+    let pairs: Vec<(Vec<u32>, Vec<u32>)> = train_i
         .sentences
         .iter()
-        .zip(&train_sets[j].sentences)
+        .zip(&train_j.sentences)
         .map(|(s, t)| (s.clone(), t.clone()))
         .collect();
     let src_vocab = pipeline.languages()[i].vocab.size();
@@ -654,14 +805,14 @@ fn train_pair(
     let translator = train_translator(tcfg, &pairs, src_vocab, tgt_vocab, Vocab::BOS)?;
 
     let out_len = pipeline.config().sent_len;
-    let dev_srcs: Vec<&[u32]> = dev_sets[i].sentences.iter().map(Vec::as_slice).collect();
+    let dev_srcs: Vec<&[u32]> = dev_i.sentences.iter().map(Vec::as_slice).collect();
     let hyps: Vec<Vec<u32>> = translator.translate_batch(&dev_srcs, out_len);
-    let score = corpus_bleu(&hyps, &dev_sets[j].sentences, &cfg.bleu);
+    let score = corpus_bleu(&hyps, &dev_j.sentences, &cfg.bleu);
     // Per-sentence dev scores calibrate the broken-relationship floor.
     let sentence_cfg = mdes_bleu::BleuConfig::sentence();
     let mut sentence_scores: Vec<f64> = hyps
         .iter()
-        .zip(&dev_sets[j].sentences)
+        .zip(&dev_j.sentences)
         .map(|(h, r)| mdes_bleu::sentence_bleu(h, r, &sentence_cfg))
         .collect();
     sentence_scores.sort_by(f64::total_cmp);
@@ -899,6 +1050,63 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!((q[0].src, q[0].dst), (1, 2));
         assert!(q[0].error.contains("chaos"));
+    }
+
+    #[test]
+    fn lost_worker_under_fail_fast_is_a_typed_error() {
+        let (p, train, dev, _) = setup();
+        let cfg = GraphBuildConfig {
+            threads: 1,
+            chaos_lose_worker_pairs: vec![(1, 2)],
+            ..GraphBuildConfig::default()
+        };
+        match build_graph(&p, &train, &dev, &cfg) {
+            Err(CoreError::WorkerLost { lost, detail }) => {
+                // Single worker: its claimed pair plus everything after it
+                // never gets an outcome.
+                assert!(lost >= 1, "at least the claimed pair is lost: {lost}");
+                assert!(detail.contains("outside pair isolation"), "{detail}");
+            }
+            other => panic!("expected WorkerLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lost_worker_under_degrade_quarantines_orphaned_pairs() {
+        let (p, train, dev, _) = setup();
+        let cfg = GraphBuildConfig {
+            threads: 2,
+            policy: FailurePolicy::Degrade {
+                min_success_fraction: 0.0,
+            },
+            chaos_lose_worker_pairs: vec![(1, 2)],
+            ..GraphBuildConfig::default()
+        };
+        let trained = build_graph(&p, &train, &dev, &cfg).expect("degrades, not dies");
+        // The surviving worker drains the remaining pairs; only pairs the
+        // dead worker claimed (at least the chaos pair) are quarantined.
+        assert!(trained.model(1, 2).is_none());
+        assert!(!trained.quarantined().is_empty());
+        assert_eq!(trained.models().len() + trained.quarantined().len(), 6);
+        let q = trained
+            .quarantined()
+            .iter()
+            .find(|q| (q.src, q.dst) == (1, 2))
+            .expect("chaos pair quarantined");
+        assert!(q.error.contains("outside pair isolation"), "{}", q.error);
+    }
+
+    #[test]
+    fn fingerprint_covers_the_pair_list() {
+        let (p, _, _, _) = setup();
+        let cfg = GraphBuildConfig::default();
+        let all = vec![(0usize, 1usize), (0, 2), (1, 0), (1, 2), (2, 0), (2, 1)];
+        let pruned = vec![(0usize, 1usize), (1, 0)];
+        let reordered = vec![(0usize, 2usize), (0, 1), (1, 0), (1, 2), (2, 0), (2, 1)];
+        let f_all = sweep_fingerprint(&p, &cfg, &all);
+        assert_ne!(f_all, sweep_fingerprint(&p, &cfg, &pruned));
+        assert_ne!(f_all, sweep_fingerprint(&p, &cfg, &reordered));
+        assert_eq!(f_all, sweep_fingerprint(&p, &cfg, &all.clone()));
     }
 
     #[test]

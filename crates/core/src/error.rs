@@ -52,6 +52,18 @@ pub enum CoreError {
         /// Human-readable failure description (panic payload or error text).
         detail: String,
     },
+    /// A sweep worker thread died *outside* the per-pair panic isolation —
+    /// a panic escaped between [`std::panic::catch_unwind`] boundaries (slot
+    /// merge, checkpoint plumbing) — so its claimed pairs never produced an
+    /// outcome. Under [`FailurePolicy::FailFast`](crate::algorithm1::FailurePolicy)
+    /// the sweep aborts with this error; under `Degrade` the orphaned pairs
+    /// are quarantined instead and the sweep completes.
+    WorkerLost {
+        /// Pairs left without an outcome when the worker pool was joined.
+        lost: usize,
+        /// Panic payload text of the first lost worker.
+        detail: String,
+    },
     /// Too many pairs were quarantined for the sweep to meet the configured
     /// `Degrade` policy's minimum success fraction.
     TooManyFailedPairs {
@@ -123,6 +135,13 @@ impl fmt::Display for CoreError {
                 src, dst, detail, ..
             } => {
                 write!(f, "pair ({src} -> {dst}) quarantined: {detail}")
+            }
+            CoreError::WorkerLost { lost, detail } => {
+                write!(
+                    f,
+                    "sweep worker lost outside pair isolation ({lost} pair(s) without an \
+                     outcome): {detail}"
+                )
             }
             CoreError::TooManyFailedPairs { failed, total } => {
                 write!(
@@ -224,6 +243,10 @@ mod tests {
             CoreError::TooManyFailedPairs {
                 failed: 9,
                 total: 12,
+            },
+            CoreError::WorkerLost {
+                lost: 3,
+                detail: "panicked in merge".to_owned(),
             },
             CoreError::Checkpoint {
                 path: "/tmp/x.ckpt".to_owned(),

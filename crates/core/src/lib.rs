@@ -56,7 +56,9 @@ pub mod diagnosis;
 mod error;
 pub mod online;
 mod pipeline;
+pub mod prescreen;
 pub mod serve;
+pub mod sharded;
 pub mod translator;
 
 pub use algorithm1::{
@@ -70,11 +72,13 @@ pub use checkpoint::{
 pub use diagnosis::{diagnose, propagation_timeline, Diagnosis, PropagationStep};
 pub use error::CoreError;
 pub use online::{DegradationConfig, OnlineDetection, OnlineMonitor};
-pub use pipeline::{Mdes, MdesConfig};
+pub use pipeline::{Mdes, MdesConfig, ScalableFitConfig};
+pub use prescreen::{prescreen_pairs, PrescreenConfig, PrescreenResult, PrescreenedPair};
 pub use serve::{
     FrozenNmt, FrozenPairModel, FrozenTranslator, GraphSnapshot, ModelStore, QuantCalibration,
     QuantPolicy, ServingEngine, StreamSession,
 };
+pub use sharded::{build_graph_sharded, ShardedSweepConfig, ShardedSweepReport};
 
 pub use mdes_nn::QuantMode;
 pub use translator::{

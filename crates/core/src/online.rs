@@ -114,19 +114,6 @@ impl OnlineMonitor {
         })
     }
 
-    /// Wraps a fitted model; see [`OnlineMonitor::try_new`] for the fallible
-    /// form.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `width` is smaller than the largest original sensor index
-    /// the model references.
-    #[deprecated(note = "use `OnlineMonitor::try_new`, which returns a typed \
-                         `CoreError::WidthMismatch` instead of panicking")]
-    pub fn new(mdes: Mdes, width: usize) -> Self {
-        Self::try_new(mdes, width).expect("monitor width covers the model's sensors")
-    }
-
     /// Replaces the dropout-detection thresholds (builder style).
     #[must_use]
     pub fn with_degradation(mut self, degradation: DegradationConfig) -> Self {
@@ -190,18 +177,6 @@ impl OnlineMonitor {
 impl Mdes {
     /// Converts the fitted model into a streaming monitor over samples of
     /// `width` sensors (the original trace count used at fit time).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `width` is smaller than the model's largest original
-    /// sensor index.
-    #[deprecated(note = "use `Mdes::try_into_online_monitor`, which returns a \
-                         typed `CoreError::WidthMismatch` instead of panicking")]
-    pub fn into_online_monitor(self, width: usize) -> OnlineMonitor {
-        OnlineMonitor::try_new(self, width).expect("monitor width covers the model's sensors")
-    }
-
-    /// Fallible form of the `Mdes` → [`OnlineMonitor`] conversion.
     ///
     /// # Errors
     ///

@@ -68,6 +68,16 @@ impl SentenceSet {
     pub fn is_empty(&self) -> bool {
         self.sentences.is_empty()
     }
+
+    /// Approximate heap footprint in bytes (word ids plus per-sentence and
+    /// per-start vector headers). Sharded sweeps use this to verify that
+    /// streamed per-shard corpora stay bounded by the shard, not the fleet.
+    pub fn approx_bytes(&self) -> usize {
+        let words: usize = self.sentences.iter().map(Vec::len).sum();
+        words * std::mem::size_of::<u32>()
+            + self.sentences.len() * std::mem::size_of::<Vec<u32>>()
+            + self.starts.len() * std::mem::size_of::<usize>()
+    }
 }
 
 /// A fitted multivariate language pipeline: fit on a training range, then
@@ -175,27 +185,75 @@ impl LanguagePipeline {
             });
         }
         let mut out = Vec::with_capacity(self.languages.len());
-        for lang in &self.languages {
-            let trace = &traces[lang.source_index];
-            if range.end > trace.events.len() {
-                return Err(LangError::RangeOutOfBounds {
-                    end: range.end,
-                    len: trace.events.len(),
-                });
-            }
-            let segment = &trace.events[range.clone()];
-            let encoded = lang.alphabet.encode(segment);
-            let word_ids: Vec<u32> = window::words(&encoded, &self.cfg)
-                .iter()
-                .map(|w| lang.vocab.encode(w))
-                .collect();
-            let sentences = window::sentences(&word_ids, &self.cfg);
-            let starts = (0..sentences.len())
-                .map(|s| self.cfg.sentence_start(s))
-                .collect();
-            out.push(SentenceSet { sentences, starts });
+        for sensor in 0..self.languages.len() {
+            out.push(self.encode_one(traces, range.clone(), sensor)?);
         }
         Ok(out)
+    }
+
+    /// Encodes `traces[*].events[range.clone()]` for a *single* surviving
+    /// sensor (an index into [`LanguagePipeline::languages`]). Produces
+    /// exactly the [`SentenceSet`] that [`LanguagePipeline::encode_segment`]
+    /// would place at `sensor`, without materializing the other sensors —
+    /// the building block for sharded sweeps whose memory must stay bounded
+    /// by the shard's sensor set, not the fleet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the range is out of bounds for the sensor's trace
+    /// or too short for a single sentence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is not a surviving-sensor index.
+    pub fn encode_sensor_segment(
+        &self,
+        traces: &[RawTrace],
+        range: Range<usize>,
+        sensor: usize,
+    ) -> Result<SentenceSet, LangError> {
+        assert!(
+            sensor < self.languages.len(),
+            "sensor index {sensor} outside the {} surviving languages",
+            self.languages.len()
+        );
+        let len = range.end.saturating_sub(range.start);
+        if len < self.cfg.min_samples() {
+            return Err(LangError::SegmentTooShort {
+                available: len,
+                required: self.cfg.min_samples(),
+            });
+        }
+        self.encode_one(traces, range, sensor)
+    }
+
+    /// Shared per-sensor encoding body; bounds on `sensor` and the minimum
+    /// segment length are the caller's responsibility.
+    fn encode_one(
+        &self,
+        traces: &[RawTrace],
+        range: Range<usize>,
+        sensor: usize,
+    ) -> Result<SentenceSet, LangError> {
+        let lang = &self.languages[sensor];
+        let trace = &traces[lang.source_index];
+        if range.end > trace.events.len() {
+            return Err(LangError::RangeOutOfBounds {
+                end: range.end,
+                len: trace.events.len(),
+            });
+        }
+        let segment = &trace.events[range];
+        let encoded = lang.alphabet.encode(segment);
+        let word_ids: Vec<u32> = window::words(&encoded, &self.cfg)
+            .iter()
+            .map(|w| lang.vocab.encode(w))
+            .collect();
+        let sentences = window::sentences(&word_ids, &self.cfg);
+        let starts = (0..sentences.len())
+            .map(|s| self.cfg.sentence_start(s))
+            .collect();
+        Ok(SentenceSet { sentences, starts })
     }
 }
 
@@ -260,6 +318,28 @@ mod tests {
         for s in &sets[0].sentences {
             assert_eq!(s.len(), cfg.sent_len);
         }
+    }
+
+    #[test]
+    fn per_sensor_encoding_matches_full_segment() {
+        let traces = vec![
+            toggling("a", 120, 3),
+            RawTrace::new("flat", vec!["x".to_owned(); 120]),
+            toggling("b", 120, 4),
+        ];
+        let p = LanguagePipeline::fit(&traces, 0..60, small_cfg()).expect("fit");
+        let all = p.encode_segment(&traces, 60..120).expect("encode");
+        for (sensor, full) in all.iter().enumerate() {
+            let one = p
+                .encode_sensor_segment(&traces, 60..120, sensor)
+                .expect("encode one");
+            assert_eq!(one, *full);
+            assert!(one.approx_bytes() > 0);
+        }
+        assert!(matches!(
+            p.encode_sensor_segment(&traces, 60..62, 0),
+            Err(LangError::SegmentTooShort { .. })
+        ));
     }
 
     #[test]
